@@ -1,0 +1,40 @@
+//! Criterion benchmarks for the compression codecs, verifying their
+//! relative speed ordering matches the originals they model
+//! (Snap fastest, Gz slowest compress, Zst best ratio at speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lzcodec::{compress, decompress, CodecKind};
+
+fn scientific_payload(n: usize) -> Vec<u8> {
+    // Columnar doubles with smooth variation — similar entropy to the
+    // Deep Water velocity fields.
+    let mut out = Vec::with_capacity(n * 8);
+    for i in 0..n {
+        let v = ((i as f64) * 0.001).sin() * 0.1 + 0.05;
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let data = scientific_payload(64 * 1024);
+    let mut g = c.benchmark_group("codecs");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    for kind in [CodecKind::Snap, CodecKind::Gz, CodecKind::Zst] {
+        g.bench_function(BenchmarkId::new("compress", kind.name()), |b| {
+            b.iter(|| compress(kind, &data))
+        });
+        let packed = compress(kind, &data);
+        g.bench_function(BenchmarkId::new("decompress", kind.name()), |b| {
+            b.iter(|| decompress(kind, &packed).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_codecs
+}
+criterion_main!(benches);

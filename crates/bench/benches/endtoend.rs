@@ -1,0 +1,36 @@
+//! Criterion end-to-end micro-runs: one full query execution per
+//! iteration, per access path — measuring the *wall-clock* cost of the
+//! reproduction itself (the simulated times are the figures' currency;
+//! this keeps the harness honest about its own speed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lzcodec::CodecKind;
+use ocs_bench::{build_stack, run_as, DatasetSelection, Scale};
+use workloads::queries;
+
+fn bench_endtoend(c: &mut Criterion) {
+    let stack = build_stack(
+        Scale::Small,
+        CodecKind::None,
+        DatasetSelection::all(),
+        None,
+    );
+    let mut g = c.benchmark_group("endtoend");
+    g.sample_size(10);
+
+    for (table, sql, key) in [
+        ("laghos", queries::LAGHOS, "laghos"),
+        ("deepwater", queries::DEEPWATER, "deepwater"),
+        ("lineitem", queries::TPCH_Q1, "tpch_q1"),
+    ] {
+        for connector in ["raw", "hive", "pd-all"] {
+            g.bench_function(BenchmarkId::new(key, connector), |b| {
+                b.iter(|| run_as(&stack, table, connector, sql))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_endtoend);
+criterion_main!(benches);

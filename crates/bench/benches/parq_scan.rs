@@ -1,0 +1,87 @@
+//! Criterion benchmarks for the parq file format: write, projected read,
+//! and statistics-pruned scan.
+
+use columnar::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lzcodec::CodecKind;
+use parq::{ParqReader, RangePredicate, WriteOptions};
+use std::sync::Arc;
+
+fn file_bytes(rows: usize, codec: CodecKind) -> Vec<u8> {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int64, false),
+        Field::new("a", DataType::Float64, false),
+        Field::new("b", DataType::Float64, false),
+        Field::new("tag", DataType::Utf8, false),
+    ]));
+    let tags: Vec<String> = (0..rows).map(|i| format!("g{}", i % 4)).collect();
+    let batch = RecordBatch::try_new(
+        schema.clone(),
+        vec![
+            Arc::new(Array::from_i64((0..rows as i64).collect())),
+            Arc::new(Array::from_f64((0..rows).map(|i| i as f64 * 0.5).collect())),
+            Arc::new(Array::from_f64((0..rows).map(|i| i as f64 * 0.25).collect())),
+            Arc::new(Array::from_strs(tags.iter().map(|s| s.as_str()))),
+        ],
+    )
+    .unwrap();
+    parq::writer::write_file(
+        schema,
+        &[batch],
+        WriteOptions {
+            codec,
+            row_group_rows: 16 * 1024,
+            enable_dictionary: true,
+        },
+    )
+    .unwrap()
+}
+
+fn bench_parq(c: &mut Criterion) {
+    let rows = 128 * 1024;
+    let mut g = c.benchmark_group("parq");
+    g.throughput(Throughput::Elements(rows as u64));
+
+    for codec in [CodecKind::None, CodecKind::Snap, CodecKind::Zst] {
+        g.bench_function(BenchmarkId::new("write", codec.name()), |b| {
+            b.iter(|| file_bytes(rows, codec))
+        });
+        let bytes = file_bytes(rows, codec);
+        g.bench_function(BenchmarkId::new("read_all", codec.name()), |b| {
+            b.iter(|| {
+                let r = ParqReader::open(bytes.clone().into()).unwrap();
+                r.read_all(None).unwrap()
+            })
+        });
+        g.bench_function(BenchmarkId::new("read_projected", codec.name()), |b| {
+            b.iter(|| {
+                let r = ParqReader::open(bytes.clone().into()).unwrap();
+                r.read_all(Some(&[0])).unwrap()
+            })
+        });
+    }
+
+    let bytes = file_bytes(rows, CodecKind::None);
+    g.bench_function("pruned_point_lookup", |b| {
+        b.iter(|| {
+            let r = ParqReader::open(bytes.clone().into()).unwrap();
+            let groups = r.prune_row_groups(&[RangePredicate {
+                column: 0,
+                op: columnar::kernels::cmp::CmpOp::Eq,
+                value: Scalar::Int64(100_000),
+            }]);
+            groups
+                .into_iter()
+                .map(|rg| r.read_row_group(rg, Some(&[0])).unwrap().num_rows())
+                .sum::<usize>()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_parq
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion benchmarks for the planning path: SQL parse, analysis +
+//! optimization, connector pushdown rewrite, and Substrait encode/decode —
+//! the overheads the paper's Table 3 shows must stay marginal.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lzcodec::CodecKind;
+use ocs_bench::{build_stack, DatasetSelection, Scale};
+use workloads::queries;
+
+fn bench_planning(c: &mut Criterion) {
+    let stack = build_stack(
+        Scale::Small,
+        CodecKind::None,
+        DatasetSelection::all(),
+        None,
+    );
+    let mut g = c.benchmark_group("planning");
+
+    g.bench_function("sql_parse_tpch_q1", |b| {
+        b.iter(|| sqlparse::parse(queries::TPCH_Q1).unwrap())
+    });
+
+    for (name, sql, _) in queries::TABLE2 {
+        g.bench_function(format!("plan_{}", name.to_lowercase().replace(' ', "_")), |b| {
+            b.iter(|| stack.engine.plan(sql).unwrap())
+        });
+    }
+
+    // Substrait wire round-trip of the full Laghos pushdown plan.
+    let (_, plan) = stack.engine.plan(queries::LAGHOS).unwrap();
+    if let Some(h) = plan
+        .scan()
+        .handle
+        .as_any()
+        .downcast_ref::<ocs_connector::OcsTableHandle>()
+    {
+        let (ir, _) = ocs_connector::translate::to_substrait(h);
+        g.bench_function("substrait_encode", |b| {
+            b.iter(|| substrait_ir::encode(&ir))
+        });
+        let bytes = substrait_ir::encode(&ir);
+        g.bench_function("substrait_decode", |b| {
+            b.iter(|| substrait_ir::decode(&bytes).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_planning
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Figure 5: execution time and data movement as pushdown is applied
+//! progressively to the SQL operators of each workload, in execution
+//! order.
+//!
+//! ```sh
+//! cargo run --release -p ocs-bench --bin figure5 [laghos|deepwater|tpch|all]
+//! ```
+
+use lzcodec::CodecKind;
+use netsim::meter::human_bytes;
+use ocs_bench::{build_stack, run_as, DatasetSelection, Measurement, Scale};
+use workloads::queries;
+
+struct WorkloadSpec {
+    key: &'static str,
+    table: &'static str,
+    sql: &'static str,
+    title: &'static str,
+    paper: &'static str,
+}
+
+const WORKLOADS: [WorkloadSpec; 3] = [
+    WorkloadSpec {
+        key: "laghos",
+        table: "laghos",
+        sql: queries::LAGHOS,
+        title: "Figure 5(a) — Laghos",
+        paper: "paper: none 2710 s / filter 1015 s / +agg 828 s / all 450 s; \
+                movement 24 GB → 5.1 GB → 0.75 GB → 0.5 MB; all vs filter = 2.25x",
+    },
+    WorkloadSpec {
+        key: "deepwater",
+        table: "deepwater",
+        sql: queries::DEEPWATER,
+        title: "Figure 5(b) — Deep Water Impact",
+        paper: "paper: none 1033 s / filter 441 s / +proj 472 s (-7%) / +agg 335 s (1.32x); \
+                movement 30 GB → 5.37 GB → 5.37 GB → 1 MB",
+    },
+    WorkloadSpec {
+        key: "tpch",
+        table: "lineitem",
+        sql: queries::TPCH_Q1,
+        title: "Figure 5(c) — TPC-H Q1",
+        paper: "paper: none 11 s / filter 9 s (1.22x) / +proj 13.9 s (-55%) / +agg 2.21 s (4.07x); \
+                movement 194 MB → 192 MB → 192 MB → 0.5 MB",
+    },
+];
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let scale = Scale::from_env();
+    let mut full_report = String::new();
+
+    for w in WORKLOADS.iter() {
+        if which != "all" && which != w.key {
+            continue;
+        }
+        let stack = build_stack(
+            scale,
+            CodecKind::None,
+            DatasetSelection::only(w.table),
+            None,
+        );
+        let (_, stored, uncompressed, rows) = &stack.datasets[0];
+        let mut measurements = Vec::new();
+
+        // Progressive configurations, in the paper's order. "none" is the
+        // raw connector (whole objects over the wire); the rest are OCS
+        // pushdown depths.
+        let configs: Vec<(&str, &str)> = vec![
+            ("none (raw)", "raw"),
+            ("filter", "pd-filter"),
+            ("filter+proj", "pd-filter-proj"),
+            ("filter+proj+agg", "pd-filter-proj-agg"),
+            ("all operators", "pd-all"),
+        ];
+        let mut expect_rows = None;
+        for (label, connector) in configs {
+            let r = run_as(&stack, w.table, connector, w.sql);
+            match expect_rows {
+                None => expect_rows = Some(r.batch.num_rows()),
+                Some(n) => assert_eq!(r.batch.num_rows(), n, "results must agree"),
+            }
+            measurements.push(Measurement::of(label, &r));
+        }
+
+        let mut section = format!(
+            "{}\ndataset: {} rows, {} stored ({} uncompressed), scale {:?}\n",
+            w.title,
+            rows,
+            human_bytes(*stored),
+            human_bytes(*uncompressed),
+            scale
+        );
+        section.push_str(&ocs_bench::render_sweep(w.title, &measurements, "filter"));
+        section.push_str(&format!("{}\n\n", w.paper));
+        print!("{section}");
+        full_report.push_str(&section);
+    }
+    ocs_bench::emit_report("figure5", &full_report);
+}

@@ -1,0 +1,63 @@
+//! Table 2: the three queries, their measured selectivity (result bytes /
+//! input bytes) and their Presto logical execution plans.
+//!
+//! ```sh
+//! cargo run --release -p ocs-bench --bin table2
+//! ```
+
+use lzcodec::CodecKind;
+use ocs_bench::{build_stack, run_as, DatasetSelection, Scale};
+use std::fmt::Write;
+use workloads::queries;
+
+fn main() {
+    let scale = Scale::from_env();
+    let stack = build_stack(scale, CodecKind::None, DatasetSelection::all(), None);
+    let mut out = String::new();
+    writeln!(out, "## Table 2 — queries, selectivity, execution plans\n").unwrap();
+
+    let paper_selectivity = [0.002_384_2, 0.000_003_2, 0.000_066_7]; // percent
+    for (i, (name, sql, expected_chain)) in queries::TABLE2.iter().enumerate() {
+        let table = match *name {
+            "Laghos" => "laghos",
+            "Deep Water" => "deepwater",
+            _ => "lineitem",
+        };
+        // Plan shape from the engine's analyzer + global optimizer
+        // (pre-pushdown), matching the paper's Table 2 plans.
+        stack
+            .engine
+            .metastore()
+            .rebind_connector(table, "raw")
+            .unwrap();
+        let (_, plan) = stack.engine.plan(sql).expect(name);
+        assert_eq!(
+            plan.chain_description(),
+            *expected_chain,
+            "{name} plan shape"
+        );
+
+        // Selectivity: result payload bytes / dataset bytes.
+        let r = run_as(&stack, table, "pd-all", sql);
+        let input_bytes = stack
+            .datasets
+            .iter()
+            .find(|(t, ..)| t == table)
+            .map(|(_, _, unc, _)| *unc)
+            .unwrap();
+        let result_bytes = r.batch.byte_size() as u64;
+        let selectivity = result_bytes as f64 / input_bytes as f64 * 100.0;
+
+        writeln!(out, "### {name}").unwrap();
+        writeln!(out, "query: {sql}").unwrap();
+        writeln!(out, "plan : {}", plan.chain_description()).unwrap();
+        writeln!(
+            out,
+            "selectivity: {selectivity:.7} %  (result {} B of input {} B; paper: {:.7} %)",
+            result_bytes, input_bytes, paper_selectivity[i]
+        )
+        .unwrap();
+        writeln!(out, "result rows: {}\n", r.batch.num_rows()).unwrap();
+    }
+    ocs_bench::emit_report("table2", &out);
+}

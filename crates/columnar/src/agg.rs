@@ -1,0 +1,390 @@
+//! Aggregation accumulators: `COUNT`, `SUM`, `MIN`, `MAX`, `AVG`.
+//!
+//! Accumulators support the two-phase (partial → final) protocol a
+//! distributed engine needs: `update` consumes input rows, `merge` combines
+//! partial states (e.g. from different splits or storage nodes), and
+//! `finish` produces the SQL result. `AVG` carries (sum, count) state so the
+//! merge is exact.
+
+use crate::array::Array;
+use crate::datatype::{DataType, Scalar};
+use crate::error::{ColumnarError, Result};
+
+/// The aggregate functions supported for pushdown in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `COUNT(*)` / `COUNT(x)`.
+    Count,
+    /// `SUM(x)`.
+    Sum,
+    /// `MIN(x)`.
+    Min,
+    /// `MAX(x)`.
+    Max,
+    /// `AVG(x)`.
+    Avg,
+}
+
+impl AggFunc {
+    /// SQL name.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Avg => "avg",
+        }
+    }
+
+    /// Parse a SQL function name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        Some(match name.to_ascii_lowercase().as_str() {
+            "count" => AggFunc::Count,
+            "sum" => AggFunc::Sum,
+            "min" => AggFunc::Min,
+            "max" => AggFunc::Max,
+            "avg" => AggFunc::Avg,
+            _ => return None,
+        })
+    }
+
+    /// Result type given the input type.
+    pub fn result_type(&self, input: Option<DataType>) -> Result<DataType> {
+        Ok(match self {
+            AggFunc::Count => DataType::Int64,
+            AggFunc::Avg => DataType::Float64,
+            AggFunc::Sum => match input {
+                Some(DataType::Int64) => DataType::Int64,
+                Some(DataType::Float64) => DataType::Float64,
+                other => {
+                    return Err(ColumnarError::Invalid(format!(
+                        "SUM over {other:?} not supported"
+                    )))
+                }
+            },
+            AggFunc::Min | AggFunc::Max => input.ok_or_else(|| {
+                ColumnarError::Invalid(format!("{} requires an argument", self.sql()))
+            })?,
+        })
+    }
+}
+
+/// Running state for one (group, aggregate) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggState {
+    /// COUNT state.
+    Count(i64),
+    /// SUM over integers.
+    SumI64 {
+        /// Running total.
+        sum: i64,
+        /// Whether any non-null input was seen (SUM of no rows is NULL).
+        seen: bool,
+    },
+    /// SUM over floats.
+    SumF64 {
+        /// Running total.
+        sum: f64,
+        /// Whether any non-null input was seen.
+        seen: bool,
+    },
+    /// MIN/MAX state: current extremum, NULL until a value is seen.
+    Extremum {
+        /// Current best value.
+        value: Scalar,
+        /// True for MIN, false for MAX.
+        is_min: bool,
+    },
+    /// AVG state.
+    Avg {
+        /// Running sum.
+        sum: f64,
+        /// Count of non-null inputs.
+        count: i64,
+    },
+}
+
+impl AggState {
+    /// Fresh state for `func` over inputs of type `input`.
+    pub fn new(func: AggFunc, input: Option<DataType>) -> Result<AggState> {
+        Ok(match func {
+            AggFunc::Count => AggState::Count(0),
+            AggFunc::Sum => match input {
+                Some(DataType::Int64) => AggState::SumI64 { sum: 0, seen: false },
+                Some(DataType::Float64) => AggState::SumF64 { sum: 0.0, seen: false },
+                other => {
+                    return Err(ColumnarError::Invalid(format!(
+                        "SUM over {other:?} not supported"
+                    )))
+                }
+            },
+            AggFunc::Min => AggState::Extremum {
+                value: Scalar::Null,
+                is_min: true,
+            },
+            AggFunc::Max => AggState::Extremum {
+                value: Scalar::Null,
+                is_min: false,
+            },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, count: 0 },
+        })
+    }
+
+    /// Fold in row `row` of `input` (`None` input = `COUNT(*)`).
+    #[inline]
+    pub fn update(&mut self, input: Option<&Array>, row: usize) {
+        match self {
+            AggState::Count(c) => {
+                // COUNT(*) counts every row; COUNT(x) skips NULL x.
+                match input {
+                    None => *c += 1,
+                    Some(a) if a.is_valid(row) => *c += 1,
+                    Some(_) => {}
+                }
+            }
+            AggState::SumI64 { sum, seen } => {
+                if let Some(a) = input {
+                    if a.is_valid(row) {
+                        if let Scalar::Int64(v) = a.scalar_at(row) {
+                            *sum = sum.wrapping_add(v);
+                            *seen = true;
+                        }
+                    }
+                }
+            }
+            AggState::SumF64 { sum, seen } => {
+                if let Some(a) = input {
+                    if a.is_valid(row) {
+                        if let Some(v) = a.scalar_at(row).as_f64() {
+                            *sum += v;
+                            *seen = true;
+                        }
+                    }
+                }
+            }
+            AggState::Extremum { value, is_min } => {
+                if let Some(a) = input {
+                    if a.is_valid(row) {
+                        let v = a.scalar_at(row);
+                        let better = value.is_null()
+                            || if *is_min {
+                                v.total_cmp(value).is_lt()
+                            } else {
+                                v.total_cmp(value).is_gt()
+                            };
+                        if better {
+                            *value = v;
+                        }
+                    }
+                }
+            }
+            AggState::Avg { sum, count } => {
+                if let Some(a) = input {
+                    if a.is_valid(row) {
+                        if let Some(v) = a.scalar_at(row).as_f64() {
+                            *sum += v;
+                            *count += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merge another partial state of the same kind (distributed combine).
+    pub fn merge(&mut self, other: &AggState) -> Result<()> {
+        match (self, other) {
+            (AggState::Count(a), AggState::Count(b)) => *a += b,
+            (
+                AggState::SumI64 { sum: a, seen: sa },
+                AggState::SumI64 { sum: b, seen: sb },
+            ) => {
+                *a = a.wrapping_add(*b);
+                *sa |= sb;
+            }
+            (
+                AggState::SumF64 { sum: a, seen: sa },
+                AggState::SumF64 { sum: b, seen: sb },
+            ) => {
+                *a += b;
+                *sa |= sb;
+            }
+            (
+                AggState::Extremum { value: a, is_min },
+                AggState::Extremum { value: b, .. },
+            ) => {
+                if !b.is_null() {
+                    let better = a.is_null()
+                        || if *is_min {
+                            b.total_cmp(a).is_lt()
+                        } else {
+                            b.total_cmp(a).is_gt()
+                        };
+                    if better {
+                        *a = b.clone();
+                    }
+                }
+            }
+            (
+                AggState::Avg { sum: a, count: ca },
+                AggState::Avg { sum: b, count: cb },
+            ) => {
+                *a += b;
+                *ca += cb;
+            }
+            (me, other) => {
+                return Err(ColumnarError::Invalid(format!(
+                    "cannot merge aggregate states {me:?} and {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Produce the SQL result value.
+    pub fn finish(&self) -> Scalar {
+        match self {
+            AggState::Count(c) => Scalar::Int64(*c),
+            AggState::SumI64 { sum, seen } => {
+                if *seen {
+                    Scalar::Int64(*sum)
+                } else {
+                    Scalar::Null
+                }
+            }
+            AggState::SumF64 { sum, seen } => {
+                if *seen {
+                    Scalar::Float64(*sum)
+                } else {
+                    Scalar::Null
+                }
+            }
+            AggState::Extremum { value, .. } => value.clone(),
+            AggState::Avg { sum, count } => {
+                if *count == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float64(sum / *count as f64)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(func: AggFunc, arr: &Array) -> Scalar {
+        let mut st = AggState::new(func, Some(arr.data_type())).unwrap();
+        for i in 0..arr.len() {
+            st.update(Some(arr), i);
+        }
+        st.finish()
+    }
+
+    #[test]
+    fn basic_aggregates() {
+        let a = Array::from_i64(vec![3, 1, 4, 1, 5]);
+        assert_eq!(run(AggFunc::Sum, &a), Scalar::Int64(14));
+        assert_eq!(run(AggFunc::Min, &a), Scalar::Int64(1));
+        assert_eq!(run(AggFunc::Max, &a), Scalar::Int64(5));
+        assert_eq!(run(AggFunc::Count, &a), Scalar::Int64(5));
+        assert_eq!(run(AggFunc::Avg, &a), Scalar::Float64(14.0 / 5.0));
+    }
+
+    #[test]
+    fn float_aggregates() {
+        let a = Array::from_f64(vec![1.5, -0.5]);
+        assert_eq!(run(AggFunc::Sum, &a), Scalar::Float64(1.0));
+        assert_eq!(run(AggFunc::Avg, &a), Scalar::Float64(0.5));
+        assert_eq!(run(AggFunc::Min, &a), Scalar::Float64(-0.5));
+    }
+
+    #[test]
+    fn nulls_are_skipped() {
+        let mut b = crate::builder::ArrayBuilder::new(DataType::Int64);
+        b.push_i64(10);
+        b.push_null();
+        b.push_i64(20);
+        let a = b.finish();
+        assert_eq!(run(AggFunc::Sum, &a), Scalar::Int64(30));
+        assert_eq!(run(AggFunc::Count, &a), Scalar::Int64(2), "COUNT(x) skips NULL");
+        assert_eq!(run(AggFunc::Avg, &a), Scalar::Float64(15.0));
+    }
+
+    #[test]
+    fn count_star_counts_nulls() {
+        let mut b = crate::builder::ArrayBuilder::new(DataType::Int64);
+        b.push_null();
+        b.push_null();
+        let a = b.finish();
+        let mut st = AggState::new(AggFunc::Count, None).unwrap();
+        for i in 0..a.len() {
+            st.update(None, i);
+        }
+        assert_eq!(st.finish(), Scalar::Int64(2));
+    }
+
+    #[test]
+    fn empty_input_semantics() {
+        let a = Array::from_i64(vec![]);
+        assert_eq!(run(AggFunc::Sum, &a), Scalar::Null, "SUM of nothing is NULL");
+        assert_eq!(run(AggFunc::Count, &a), Scalar::Int64(0));
+        assert_eq!(run(AggFunc::Avg, &a), Scalar::Null);
+        assert_eq!(run(AggFunc::Min, &a), Scalar::Null);
+    }
+
+    #[test]
+    fn merge_equals_single_pass() {
+        // Split [1..10] into two halves, aggregate each, merge — must equal
+        // aggregating the whole thing. This is the distributed-correctness
+        // invariant the OCS partial-aggregation path relies on.
+        let all = Array::from_i64((1..=10).collect());
+        let left = Array::from_i64((1..=5).collect());
+        let right = Array::from_i64((6..=10).collect());
+        for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count, AggFunc::Avg] {
+            let whole = run(func, &all);
+            let mut a = AggState::new(func, Some(DataType::Int64)).unwrap();
+            for i in 0..left.len() {
+                a.update(Some(&left), i);
+            }
+            let mut b = AggState::new(func, Some(DataType::Int64)).unwrap();
+            for i in 0..right.len() {
+                b.update(Some(&right), i);
+            }
+            a.merge(&b).unwrap();
+            assert_eq!(a.finish(), whole, "{func:?}");
+        }
+    }
+
+    #[test]
+    fn merge_mismatched_states_errors() {
+        let mut a = AggState::new(AggFunc::Count, None).unwrap();
+        let b = AggState::new(AggFunc::Avg, Some(DataType::Float64)).unwrap();
+        assert!(a.merge(&b).is_err());
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(
+            AggFunc::Sum.result_type(Some(DataType::Int64)).unwrap(),
+            DataType::Int64
+        );
+        assert_eq!(
+            AggFunc::Avg.result_type(Some(DataType::Int64)).unwrap(),
+            DataType::Float64
+        );
+        assert_eq!(AggFunc::Count.result_type(None).unwrap(), DataType::Int64);
+        assert!(AggFunc::Sum.result_type(Some(DataType::Utf8)).is_err());
+        assert!(AggFunc::Min.result_type(None).is_err());
+    }
+
+    #[test]
+    fn from_name_parses() {
+        assert_eq!(AggFunc::from_name("SUM"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("avg"), Some(AggFunc::Avg));
+        assert_eq!(AggFunc::from_name("median"), None);
+    }
+}

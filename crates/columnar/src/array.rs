@@ -1,0 +1,442 @@
+//! Immutable typed arrays and the dynamically-typed [`Array`] enum.
+//!
+//! Arrays pair a dense value buffer with an optional validity [`Bitmap`];
+//! a missing bitmap means "no nulls", the common fast path.
+
+use std::sync::Arc;
+
+use crate::bitmap::Bitmap;
+use crate::datatype::{DataType, Scalar};
+use crate::error::{ColumnarError, Result};
+
+/// Shared, immutable handle to an [`Array`].
+pub type ArrayRef = Arc<Array>;
+
+/// A primitive array of `i64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Int64Array {
+    /// Dense values; slots under a null are unspecified but present.
+    pub values: Vec<i64>,
+    /// Validity bitmap; `None` means all valid.
+    pub validity: Option<Bitmap>,
+}
+
+/// A primitive array of `f64` values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Float64Array {
+    /// Dense values.
+    pub values: Vec<f64>,
+    /// Validity bitmap; `None` means all valid.
+    pub validity: Option<Bitmap>,
+}
+
+/// A bit-packed boolean array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BooleanArray {
+    /// Packed truth values.
+    pub values: Bitmap,
+    /// Validity bitmap; `None` means all valid.
+    pub validity: Option<Bitmap>,
+}
+
+/// A UTF-8 string array in offsets + data form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Utf8Array {
+    /// `offsets.len() == len + 1`; string `i` is `data[offsets[i]..offsets[i+1]]`.
+    pub offsets: Vec<u32>,
+    /// Concatenated UTF-8 bytes.
+    pub data: Vec<u8>,
+    /// Validity bitmap; `None` means all valid.
+    pub validity: Option<Bitmap>,
+}
+
+/// A date array as days since the UNIX epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Date32Array {
+    /// Dense values.
+    pub values: Vec<i32>,
+    /// Validity bitmap; `None` means all valid.
+    pub validity: Option<Bitmap>,
+}
+
+/// A dynamically-typed columnar array.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Array {
+    /// 64-bit integers.
+    Int64(Int64Array),
+    /// 64-bit floats.
+    Float64(Float64Array),
+    /// Booleans.
+    Boolean(BooleanArray),
+    /// UTF-8 strings.
+    Utf8(Utf8Array),
+    /// Dates.
+    Date32(Date32Array),
+}
+
+impl Utf8Array {
+    /// The string at `i`, ignoring validity.
+    #[inline]
+    pub fn value(&self, i: usize) -> &str {
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        // Data is validated UTF-8 at construction.
+        std::str::from_utf8(&self.data[start..end]).expect("utf8 invariant")
+    }
+
+    /// Number of strings.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the array holds no strings.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Build from an iterator of `&str`.
+    pub fn from_strs<'a>(items: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut offsets = vec![0u32];
+        let mut data = Vec::new();
+        for s in items {
+            data.extend_from_slice(s.as_bytes());
+            offsets.push(data.len() as u32);
+        }
+        Utf8Array {
+            offsets,
+            data,
+            validity: None,
+        }
+    }
+}
+
+impl Array {
+    /// The array's [`DataType`].
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Array::Int64(_) => DataType::Int64,
+            Array::Float64(_) => DataType::Float64,
+            Array::Boolean(_) => DataType::Boolean,
+            Array::Utf8(_) => DataType::Utf8,
+            Array::Date32(_) => DataType::Date32,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Array::Int64(a) => a.values.len(),
+            Array::Float64(a) => a.values.len(),
+            Array::Boolean(a) => a.values.len(),
+            Array::Utf8(a) => a.len(),
+            Array::Date32(a) => a.values.len(),
+        }
+    }
+
+    /// True when the array holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The validity bitmap, if any nulls are tracked.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Array::Int64(a) => a.validity.as_ref(),
+            Array::Float64(a) => a.validity.as_ref(),
+            Array::Boolean(a) => a.validity.as_ref(),
+            Array::Utf8(a) => a.validity.as_ref(),
+            Array::Date32(a) => a.validity.as_ref(),
+        }
+    }
+
+    /// Number of null slots.
+    pub fn null_count(&self) -> usize {
+        self.validity().map(|v| v.count_zeros()).unwrap_or(0)
+    }
+
+    /// True when row `i` is valid (non-null).
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity().map(|v| v.get(i)).unwrap_or(true)
+    }
+
+    /// The value at row `i` as a [`Scalar`] (NULL-aware).
+    pub fn scalar_at(&self, i: usize) -> Scalar {
+        if !self.is_valid(i) {
+            return Scalar::Null;
+        }
+        match self {
+            Array::Int64(a) => Scalar::Int64(a.values[i]),
+            Array::Float64(a) => Scalar::Float64(a.values[i]),
+            Array::Boolean(a) => Scalar::Boolean(a.values.get(i)),
+            Array::Utf8(a) => Scalar::Utf8(a.value(i).to_string()),
+            Array::Date32(a) => Scalar::Date32(a.values[i]),
+        }
+    }
+
+    /// Approximate in-memory footprint in bytes (value buffers + validity),
+    /// used by the cost model for data-movement accounting.
+    pub fn byte_size(&self) -> usize {
+        let validity = self
+            .validity()
+            .map(|v| v.len().div_ceil(8))
+            .unwrap_or(0);
+        validity
+            + match self {
+                Array::Int64(a) => a.values.len() * 8,
+                Array::Float64(a) => a.values.len() * 8,
+                Array::Boolean(a) => a.values.len().div_ceil(8),
+                Array::Utf8(a) => a.data.len() + a.offsets.len() * 4,
+                Array::Date32(a) => a.values.len() * 4,
+            }
+    }
+
+    /// Non-null construction helpers.
+    pub fn from_i64(values: Vec<i64>) -> Array {
+        Array::Int64(Int64Array {
+            values,
+            validity: None,
+        })
+    }
+
+    /// Build a non-null Float64 array.
+    pub fn from_f64(values: Vec<f64>) -> Array {
+        Array::Float64(Float64Array {
+            values,
+            validity: None,
+        })
+    }
+
+    /// Build a non-null Boolean array.
+    pub fn from_bools(values: Vec<bool>) -> Array {
+        Array::Boolean(BooleanArray {
+            values: Bitmap::from_bools(&values),
+            validity: None,
+        })
+    }
+
+    /// Build a non-null Utf8 array.
+    pub fn from_strs<'a>(items: impl IntoIterator<Item = &'a str>) -> Array {
+        Array::Utf8(Utf8Array::from_strs(items))
+    }
+
+    /// Build a non-null Date32 array.
+    pub fn from_dates(values: Vec<i32>) -> Array {
+        Array::Date32(Date32Array {
+            values,
+            validity: None,
+        })
+    }
+
+    /// Build an array of `len` copies of `scalar` of data type `dt`.
+    pub fn from_scalar(scalar: &Scalar, dt: DataType, len: usize) -> Result<Array> {
+        if !scalar.is_null() && scalar.data_type() != Some(dt) {
+            // Allow numeric widening via cast.
+            let cast = scalar.cast(dt)?;
+            return Array::from_scalar(&cast, dt, len);
+        }
+        let validity = if scalar.is_null() {
+            Some(Bitmap::with_value(len, false))
+        } else {
+            None
+        };
+        Ok(match dt {
+            DataType::Int64 => Array::Int64(Int64Array {
+                values: vec![scalar.as_i64().unwrap_or(0); len],
+                validity,
+            }),
+            DataType::Float64 => Array::Float64(Float64Array {
+                values: vec![scalar.as_f64().unwrap_or(0.0); len],
+                validity,
+            }),
+            DataType::Boolean => Array::Boolean(BooleanArray {
+                values: Bitmap::with_value(
+                    len,
+                    matches!(scalar, Scalar::Boolean(true)),
+                ),
+                validity,
+            }),
+            DataType::Utf8 => {
+                let s = match scalar {
+                    Scalar::Utf8(s) => s.as_str(),
+                    _ => "",
+                };
+                Array::Utf8(Utf8Array {
+                    validity,
+                    ..Utf8Array::from_strs(std::iter::repeat(s).take(len))
+                })
+            }
+            DataType::Date32 => Array::Date32(Date32Array {
+                values: vec![
+                    match scalar {
+                        Scalar::Date32(d) => *d,
+                        _ => 0,
+                    };
+                    len
+                ],
+                validity,
+            }),
+        })
+    }
+
+    /// Borrow as Int64 or error.
+    pub fn as_i64(&self) -> Result<&Int64Array> {
+        match self {
+            Array::Int64(a) => Ok(a),
+            other => Err(ColumnarError::type_mismatch("Int64", other.data_type())),
+        }
+    }
+
+    /// Borrow as Float64 or error.
+    pub fn as_f64(&self) -> Result<&Float64Array> {
+        match self {
+            Array::Float64(a) => Ok(a),
+            other => Err(ColumnarError::type_mismatch("Float64", other.data_type())),
+        }
+    }
+
+    /// Borrow as Boolean or error.
+    pub fn as_bool(&self) -> Result<&BooleanArray> {
+        match self {
+            Array::Boolean(a) => Ok(a),
+            other => Err(ColumnarError::type_mismatch("Boolean", other.data_type())),
+        }
+    }
+
+    /// Borrow as Utf8 or error.
+    pub fn as_utf8(&self) -> Result<&Utf8Array> {
+        match self {
+            Array::Utf8(a) => Ok(a),
+            other => Err(ColumnarError::type_mismatch("Utf8", other.data_type())),
+        }
+    }
+
+    /// Borrow as Date32 or error.
+    pub fn as_date32(&self) -> Result<&Date32Array> {
+        match self {
+            Array::Date32(a) => Ok(a),
+            other => Err(ColumnarError::type_mismatch("Date32", other.data_type())),
+        }
+    }
+
+    /// Concatenate same-typed arrays into one.
+    pub fn concat(arrays: &[&Array]) -> Result<Array> {
+        let Some(first) = arrays.first() else {
+            return Err(ColumnarError::Invalid("concat of zero arrays".into()));
+        };
+        let dt = first.data_type();
+        for a in arrays {
+            if a.data_type() != dt {
+                return Err(ColumnarError::type_mismatch(dt, a.data_type()));
+            }
+        }
+        let total: usize = arrays.iter().map(|a| a.len()).sum();
+        let mut builder = crate::builder::ArrayBuilder::new(dt);
+        builder.reserve(total);
+        for a in arrays {
+            for i in 0..a.len() {
+                builder.push(a.scalar_at(i))?;
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    /// Min and max non-null values, or `(Null, Null)` for an all-null/empty
+    /// array. Drives file-format statistics.
+    pub fn min_max(&self) -> (Scalar, Scalar) {
+        let mut min = Scalar::Null;
+        let mut max = Scalar::Null;
+        for i in 0..self.len() {
+            let v = self.scalar_at(i);
+            if v.is_null() {
+                continue;
+            }
+            if min.is_null() || v.total_cmp(&min).is_lt() {
+                min = v.clone();
+            }
+            if max.is_null() || v.total_cmp(&max).is_gt() {
+                max = v;
+            }
+        }
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_at_and_nulls() {
+        let arr = Array::Int64(Int64Array {
+            values: vec![1, 2, 3],
+            validity: Some(Bitmap::from_bools(&[true, false, true])),
+        });
+        assert_eq!(arr.scalar_at(0), Scalar::Int64(1));
+        assert_eq!(arr.scalar_at(1), Scalar::Null);
+        assert_eq!(arr.null_count(), 1);
+        assert_eq!(arr.len(), 3);
+    }
+
+    #[test]
+    fn utf8_layout() {
+        let arr = Utf8Array::from_strs(["hello", "", "world"]);
+        assert_eq!(arr.len(), 3);
+        assert_eq!(arr.value(0), "hello");
+        assert_eq!(arr.value(1), "");
+        assert_eq!(arr.value(2), "world");
+        assert_eq!(arr.offsets, vec![0, 5, 5, 10]);
+    }
+
+    #[test]
+    fn from_scalar_builds_constant_arrays() {
+        let a = Array::from_scalar(&Scalar::Int64(7), DataType::Int64, 4).unwrap();
+        assert_eq!(a.scalar_at(3), Scalar::Int64(7));
+        let a = Array::from_scalar(&Scalar::Null, DataType::Float64, 2).unwrap();
+        assert_eq!(a.null_count(), 2);
+        // Numeric widening.
+        let a = Array::from_scalar(&Scalar::Int64(2), DataType::Float64, 2).unwrap();
+        assert_eq!(a.scalar_at(0), Scalar::Float64(2.0));
+    }
+
+    #[test]
+    fn concat_arrays() {
+        let a = Array::from_i64(vec![1, 2]);
+        let b = Array::from_i64(vec![3]);
+        let c = Array::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.scalar_at(2), Scalar::Int64(3));
+        let bad = Array::from_f64(vec![1.0]);
+        assert!(Array::concat(&[&a, &bad]).is_err());
+    }
+
+    #[test]
+    fn min_max_skips_nulls() {
+        let arr = Array::Float64(Float64Array {
+            values: vec![5.0, -1.0, 9.0],
+            validity: Some(Bitmap::from_bools(&[true, true, false])),
+        });
+        let (min, max) = arr.min_max();
+        assert_eq!(min, Scalar::Float64(-1.0));
+        assert_eq!(max, Scalar::Float64(5.0));
+        let empty = Array::from_i64(vec![]);
+        assert_eq!(empty.min_max(), (Scalar::Null, Scalar::Null));
+    }
+
+    #[test]
+    fn byte_size_counts_buffers() {
+        let arr = Array::from_i64(vec![0; 10]);
+        assert_eq!(arr.byte_size(), 80);
+        let s = Array::from_strs(["ab", "cd"]);
+        assert_eq!(s.byte_size(), 4 + 3 * 4);
+    }
+
+    #[test]
+    fn typed_accessors() {
+        let arr = Array::from_i64(vec![1]);
+        assert!(arr.as_i64().is_ok());
+        assert!(arr.as_f64().is_err());
+        assert!(arr.as_bool().is_err());
+    }
+}

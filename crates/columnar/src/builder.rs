@@ -1,0 +1,242 @@
+//! Incremental array construction.
+
+use crate::array::{Array, BooleanArray, Date32Array, Float64Array, Int64Array, Utf8Array};
+use crate::bitmap::Bitmap;
+use crate::datatype::{DataType, Scalar};
+use crate::error::{ColumnarError, Result};
+
+/// Builds an [`Array`] of a fixed [`DataType`] one value at a time.
+///
+/// Nulls are tracked lazily: the validity bitmap is only materialized on the
+/// first `push(Scalar::Null)`, keeping the all-valid fast path allocation-free.
+#[derive(Debug)]
+pub struct ArrayBuilder {
+    dt: DataType,
+    ints: Vec<i64>,
+    floats: Vec<f64>,
+    bools: Bitmap,
+    str_offsets: Vec<u32>,
+    str_data: Vec<u8>,
+    dates: Vec<i32>,
+    validity: Option<Bitmap>,
+    len: usize,
+}
+
+impl ArrayBuilder {
+    /// New builder producing arrays of type `dt`.
+    pub fn new(dt: DataType) -> Self {
+        ArrayBuilder {
+            dt,
+            ints: Vec::new(),
+            floats: Vec::new(),
+            bools: Bitmap::new(),
+            str_offsets: vec![0],
+            str_data: Vec::new(),
+            dates: Vec::new(),
+            validity: None,
+            len: 0,
+        }
+    }
+
+    /// The type this builder produces.
+    pub fn data_type(&self) -> DataType {
+        self.dt
+    }
+
+    /// Rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pre-allocate room for `additional` more rows.
+    pub fn reserve(&mut self, additional: usize) {
+        match self.dt {
+            DataType::Int64 => self.ints.reserve(additional),
+            DataType::Float64 => self.floats.reserve(additional),
+            DataType::Boolean => {}
+            DataType::Utf8 => self.str_offsets.reserve(additional),
+            DataType::Date32 => self.dates.reserve(additional),
+        }
+    }
+
+    fn push_validity(&mut self, valid: bool) {
+        match (&mut self.validity, valid) {
+            (Some(v), _) => v.push(valid),
+            (None, true) => {}
+            (None, false) => {
+                let mut v = Bitmap::with_value(self.len, true);
+                v.push(false);
+                self.validity = Some(v);
+            }
+        }
+    }
+
+    /// Append a scalar; NULL appends a null slot, non-NULL values must match
+    /// the builder's type (numeric casts are applied).
+    pub fn push(&mut self, scalar: Scalar) -> Result<()> {
+        if scalar.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        let scalar = if scalar.data_type() == Some(self.dt) {
+            scalar
+        } else {
+            scalar.cast(self.dt)?
+        };
+        self.push_validity(true);
+        self.len += 1;
+        match (&scalar, self.dt) {
+            (Scalar::Int64(v), DataType::Int64) => self.ints.push(*v),
+            (Scalar::Float64(v), DataType::Float64) => self.floats.push(*v),
+            (Scalar::Boolean(v), DataType::Boolean) => self.bools.push(*v),
+            (Scalar::Utf8(s), DataType::Utf8) => {
+                self.str_data.extend_from_slice(s.as_bytes());
+                self.str_offsets.push(self.str_data.len() as u32);
+            }
+            (Scalar::Date32(v), DataType::Date32) => self.dates.push(*v),
+            (s, dt) => {
+                return Err(ColumnarError::type_mismatch(dt, format!("{s}")));
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a NULL slot.
+    pub fn push_null(&mut self) {
+        self.push_validity(false);
+        self.len += 1;
+        match self.dt {
+            DataType::Int64 => self.ints.push(0),
+            DataType::Float64 => self.floats.push(0.0),
+            DataType::Boolean => self.bools.push(false),
+            DataType::Utf8 => self.str_offsets.push(self.str_data.len() as u32),
+            DataType::Date32 => self.dates.push(0),
+        }
+    }
+
+    /// Append a raw i64 (Int64 builders only; no per-row branching).
+    #[inline]
+    pub fn push_i64(&mut self, v: i64) {
+        debug_assert_eq!(self.dt, DataType::Int64);
+        self.push_validity(true);
+        self.len += 1;
+        self.ints.push(v);
+    }
+
+    /// Append a raw f64 (Float64 builders only).
+    #[inline]
+    pub fn push_f64(&mut self, v: f64) {
+        debug_assert_eq!(self.dt, DataType::Float64);
+        self.push_validity(true);
+        self.len += 1;
+        self.floats.push(v);
+    }
+
+    /// Append a raw &str (Utf8 builders only).
+    #[inline]
+    pub fn push_str(&mut self, s: &str) {
+        debug_assert_eq!(self.dt, DataType::Utf8);
+        self.push_validity(true);
+        self.len += 1;
+        self.str_data.extend_from_slice(s.as_bytes());
+        self.str_offsets.push(self.str_data.len() as u32);
+    }
+
+    /// Consume the builder and produce the array.
+    pub fn finish(self) -> Array {
+        let validity = self.validity;
+        match self.dt {
+            DataType::Int64 => Array::Int64(Int64Array {
+                values: self.ints,
+                validity,
+            }),
+            DataType::Float64 => Array::Float64(Float64Array {
+                values: self.floats,
+                validity,
+            }),
+            DataType::Boolean => Array::Boolean(BooleanArray {
+                values: self.bools,
+                validity,
+            }),
+            DataType::Utf8 => Array::Utf8(Utf8Array {
+                offsets: self.str_offsets,
+                data: self.str_data,
+                validity,
+            }),
+            DataType::Date32 => Array::Date32(Date32Array {
+                values: self.dates,
+                validity,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_int_with_lazy_validity() {
+        let mut b = ArrayBuilder::new(DataType::Int64);
+        b.push(Scalar::Int64(1)).unwrap();
+        b.push(Scalar::Int64(2)).unwrap();
+        assert!(b.validity.is_none(), "no bitmap until first null");
+        b.push_null();
+        b.push(Scalar::Int64(4)).unwrap();
+        let arr = b.finish();
+        assert_eq!(arr.len(), 4);
+        assert_eq!(arr.null_count(), 1);
+        assert_eq!(arr.scalar_at(0), Scalar::Int64(1));
+        assert_eq!(arr.scalar_at(2), Scalar::Null);
+        assert_eq!(arr.scalar_at(3), Scalar::Int64(4));
+    }
+
+    #[test]
+    fn build_utf8_with_nulls() {
+        let mut b = ArrayBuilder::new(DataType::Utf8);
+        b.push_str("alpha");
+        b.push_null();
+        b.push_str("beta");
+        let arr = b.finish();
+        assert_eq!(arr.scalar_at(0), Scalar::Utf8("alpha".into()));
+        assert_eq!(arr.scalar_at(1), Scalar::Null);
+        assert_eq!(arr.scalar_at(2), Scalar::Utf8("beta".into()));
+    }
+
+    #[test]
+    fn push_casts_numerics() {
+        let mut b = ArrayBuilder::new(DataType::Float64);
+        b.push(Scalar::Int64(3)).unwrap();
+        let arr = b.finish();
+        assert_eq!(arr.scalar_at(0), Scalar::Float64(3.0));
+    }
+
+    #[test]
+    fn push_wrong_type_is_error() {
+        let mut b = ArrayBuilder::new(DataType::Boolean);
+        assert!(b.push(Scalar::Utf8("x".into())).is_err());
+    }
+
+    #[test]
+    fn build_all_types() {
+        for dt in [
+            DataType::Int64,
+            DataType::Float64,
+            DataType::Boolean,
+            DataType::Utf8,
+            DataType::Date32,
+        ] {
+            let mut b = ArrayBuilder::new(dt);
+            b.push_null();
+            let arr = b.finish();
+            assert_eq!(arr.data_type(), dt);
+            assert_eq!(arr.len(), 1);
+            assert_eq!(arr.null_count(), 1);
+        }
+    }
+}

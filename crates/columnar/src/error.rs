@@ -1,0 +1,87 @@
+//! Error type shared across the columnar crate.
+
+use std::fmt;
+
+/// Result alias used throughout `columnar`.
+pub type Result<T> = std::result::Result<T, ColumnarError>;
+
+/// Errors produced by columnar operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// Two inputs that must agree in length did not.
+    LengthMismatch {
+        /// Length of the first operand.
+        left: usize,
+        /// Length of the second operand.
+        right: usize,
+    },
+    /// An operation was applied to an array of the wrong [`crate::DataType`].
+    TypeMismatch {
+        /// What the operation expected.
+        expected: String,
+        /// What it actually received.
+        actual: String,
+    },
+    /// A schema and its column arrays disagree.
+    SchemaMismatch(String),
+    /// Index out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// Malformed bytes during IPC decoding.
+    Corrupt(String),
+    /// Arithmetic error such as division by zero on integers.
+    Arithmetic(String),
+    /// Anything else.
+    Invalid(String),
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            ColumnarError::TypeMismatch { expected, actual } => {
+                write!(f, "type mismatch: expected {expected}, got {actual}")
+            }
+            ColumnarError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            ColumnarError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            ColumnarError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            ColumnarError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            ColumnarError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+impl ColumnarError {
+    /// Build a [`ColumnarError::TypeMismatch`] from displayable pieces.
+    pub fn type_mismatch(expected: impl fmt::Display, actual: impl fmt::Display) -> Self {
+        ColumnarError::TypeMismatch {
+            expected: expected.to_string(),
+            actual: actual.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = ColumnarError::LengthMismatch { left: 1, right: 2 };
+        assert_eq!(e.to_string(), "length mismatch: 1 vs 2");
+        let e = ColumnarError::type_mismatch("Int64", "Float64");
+        assert_eq!(e.to_string(), "type mismatch: expected Int64, got Float64");
+        let e = ColumnarError::IndexOutOfBounds { index: 9, len: 3 };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+}

@@ -1,0 +1,384 @@
+//! IPC wire format for [`RecordBatch`]es — the role Apache Arrow IPC plays
+//! in the paper: a compact, columnar, self-describing binary encoding used
+//! to return OCS results to the engine.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic   : 4 bytes  b"CIP1"
+//! ncols   : u32
+//! nrows   : u64
+//! fields  : per column — name_len u32, name bytes, type tag u8, nullable u8
+//! columns : per column — has_validity u8, [validity bytes], value buffers
+//! crc     : u32 (FNV-1a over everything before it)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::sync::Arc;
+
+use crate::array::{Array, BooleanArray, Date32Array, Float64Array, Int64Array, Utf8Array};
+use crate::batch::RecordBatch;
+use crate::bitmap::Bitmap;
+use crate::datatype::DataType;
+use crate::error::{ColumnarError, Result};
+use crate::schema::{Field, Schema};
+
+const MAGIC: &[u8; 4] = b"CIP1";
+
+fn fnv1a(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+fn put_validity(buf: &mut BytesMut, validity: Option<&Bitmap>) {
+    match validity {
+        Some(v) => {
+            buf.put_u8(1);
+            buf.put_slice(&v.to_le_bytes());
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_array(buf: &mut BytesMut, array: &Array) {
+    put_validity(buf, array.validity());
+    match array {
+        Array::Int64(a) => {
+            for v in &a.values {
+                buf.put_i64_le(*v);
+            }
+        }
+        Array::Float64(a) => {
+            for v in &a.values {
+                buf.put_f64_le(*v);
+            }
+        }
+        Array::Date32(a) => {
+            for v in &a.values {
+                buf.put_i32_le(*v);
+            }
+        }
+        Array::Boolean(a) => {
+            buf.put_slice(&a.values.to_le_bytes());
+        }
+        Array::Utf8(a) => {
+            for o in &a.offsets {
+                buf.put_u32_le(*o);
+            }
+            buf.put_u32_le(a.data.len() as u32);
+            buf.put_slice(&a.data);
+        }
+    }
+}
+
+/// Serialize one batch.
+pub fn encode_batch(batch: &RecordBatch) -> Bytes {
+    let mut buf = BytesMut::with_capacity(batch.byte_size() + 256);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(batch.num_columns() as u32);
+    buf.put_u64_le(batch.num_rows() as u64);
+    for field in batch.schema().fields() {
+        buf.put_u32_le(field.name.len() as u32);
+        buf.put_slice(field.name.as_bytes());
+        buf.put_u8(field.data_type.tag());
+        buf.put_u8(field.nullable as u8);
+    }
+    for col in batch.columns() {
+        put_array(&mut buf, col);
+    }
+    let crc = fnv1a(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<()> {
+        if self.buf.remaining() < n {
+            Err(ColumnarError::Corrupt(format!(
+                "unexpected end of IPC stream: need {n}, have {}",
+                self.buf.remaining()
+            )))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.need(n)?;
+        let (head, tail) = self.buf.split_at(n);
+        self.buf = tail;
+        Ok(head)
+    }
+
+    fn validity(&mut self, nrows: usize) -> Result<Option<Bitmap>> {
+        if self.u8()? == 1 {
+            let nbytes = nrows.div_ceil(64) * 8;
+            Ok(Some(Bitmap::from_le_bytes(self.bytes(nbytes)?, nrows)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn array(&mut self, dt: DataType, nrows: usize) -> Result<Array> {
+        let validity = self.validity(nrows)?;
+        Ok(match dt {
+            DataType::Int64 => {
+                let raw = self.bytes(nrows * 8)?;
+                let values = raw
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("chunk")))
+                    .collect();
+                Array::Int64(Int64Array { values, validity })
+            }
+            DataType::Float64 => {
+                let raw = self.bytes(nrows * 8)?;
+                let values = raw
+                    .chunks_exact(8)
+                    .map(|c| f64::from_le_bytes(c.try_into().expect("chunk")))
+                    .collect();
+                Array::Float64(Float64Array { values, validity })
+            }
+            DataType::Date32 => {
+                let raw = self.bytes(nrows * 4)?;
+                let values = raw
+                    .chunks_exact(4)
+                    .map(|c| i32::from_le_bytes(c.try_into().expect("chunk")))
+                    .collect();
+                Array::Date32(Date32Array { values, validity })
+            }
+            DataType::Boolean => {
+                let nbytes = nrows.div_ceil(64) * 8;
+                let values = Bitmap::from_le_bytes(self.bytes(nbytes)?, nrows)?;
+                Array::Boolean(BooleanArray { values, validity })
+            }
+            DataType::Utf8 => {
+                let raw = self.bytes((nrows + 1) * 4)?;
+                let offsets: Vec<u32> = raw
+                    .chunks_exact(4)
+                    .map(|c| u32::from_le_bytes(c.try_into().expect("chunk")))
+                    .collect();
+                let data_len = self.u32()? as usize;
+                if let Some(&last) = offsets.last() {
+                    if last as usize != data_len {
+                        return Err(ColumnarError::Corrupt(
+                            "utf8 offsets do not terminate at data length".into(),
+                        ));
+                    }
+                }
+                let data = self.bytes(data_len)?.to_vec();
+                std::str::from_utf8(&data)
+                    .map_err(|e| ColumnarError::Corrupt(format!("invalid utf8: {e}")))?;
+                // Offsets must be monotone and in range.
+                for w in offsets.windows(2) {
+                    if w[0] > w[1] {
+                        return Err(ColumnarError::Corrupt("non-monotone utf8 offsets".into()));
+                    }
+                }
+                Array::Utf8(Utf8Array {
+                    offsets,
+                    data,
+                    validity,
+                })
+            }
+        })
+    }
+}
+
+/// Deserialize one batch (with CRC verification).
+pub fn decode_batch(bytes: &[u8]) -> Result<RecordBatch> {
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(ColumnarError::Corrupt("IPC message too short".into()));
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let expect = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    if fnv1a(body) != expect {
+        return Err(ColumnarError::Corrupt("IPC checksum mismatch".into()));
+    }
+    let mut r = Reader { buf: body };
+    if r.bytes(4)? != MAGIC {
+        return Err(ColumnarError::Corrupt("bad IPC magic".into()));
+    }
+    let ncols = r.u32()? as usize;
+    let nrows = r.u64()? as usize;
+    if ncols > 65_536 {
+        return Err(ColumnarError::Corrupt(format!("implausible column count {ncols}")));
+    }
+    let mut fields = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name_len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.bytes(name_len)?)
+            .map_err(|e| ColumnarError::Corrupt(format!("field name not utf8: {e}")))?
+            .to_string();
+        let dt = DataType::from_tag(r.u8()?)?;
+        let nullable = r.u8()? == 1;
+        fields.push(Field::new(name, dt, nullable));
+    }
+    let schema = Arc::new(Schema::new(fields));
+    let mut columns = Vec::with_capacity(ncols);
+    for i in 0..ncols {
+        let dt = schema.field(i).data_type;
+        columns.push(Arc::new(r.array(dt, nrows)?));
+    }
+    if !r.buf.is_empty() {
+        return Err(ColumnarError::Corrupt(format!(
+            "{} trailing bytes after IPC payload",
+            r.buf.len()
+        )));
+    }
+    RecordBatch::try_new(schema, columns)
+}
+
+/// Serialize a stream of batches (u32 count, then length-prefixed batches).
+pub fn encode_batches(batches: &[RecordBatch]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(batches.len() as u32);
+    for b in batches {
+        let enc = encode_batch(b);
+        buf.put_u32_le(enc.len() as u32);
+        buf.put_slice(&enc);
+    }
+    buf.freeze()
+}
+
+/// Deserialize a stream written by [`encode_batches`].
+pub fn decode_batches(bytes: &[u8]) -> Result<Vec<RecordBatch>> {
+    let mut r = Reader { buf: bytes };
+    let n = r.u32()? as usize;
+    if n > 1_000_000 {
+        return Err(ColumnarError::Corrupt(format!("implausible batch count {n}")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = r.u32()? as usize;
+        out.push(decode_batch(r.bytes(len)?)?);
+    }
+    if !r.buf.is_empty() {
+        return Err(ColumnarError::Corrupt("trailing bytes after batch stream".into()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ArrayBuilder;
+    use crate::datatype::Scalar;
+
+    fn mixed_batch() -> RecordBatch {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("i", DataType::Int64, true),
+            Field::new("f", DataType::Float64, false),
+            Field::new("b", DataType::Boolean, false),
+            Field::new("s", DataType::Utf8, true),
+            Field::new("d", DataType::Date32, false),
+        ]));
+        let mut i = ArrayBuilder::new(DataType::Int64);
+        i.push_i64(1);
+        i.push_null();
+        i.push_i64(-7);
+        let mut s = ArrayBuilder::new(DataType::Utf8);
+        s.push_str("hello");
+        s.push_null();
+        s.push_str("");
+        RecordBatch::try_new(
+            schema,
+            vec![
+                Arc::new(i.finish()),
+                Arc::new(Array::from_f64(vec![0.5, f64::NAN, -1.0])),
+                Arc::new(Array::from_bools(vec![true, false, true])),
+                Arc::new(s.finish()),
+                Arc::new(Array::from_dates(vec![0, 10561, -365])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_mixed_batch() {
+        let b = mixed_batch();
+        let enc = encode_batch(&b);
+        let back = decode_batch(&enc).unwrap();
+        assert_eq!(back.schema(), b.schema());
+        assert_eq!(back.num_rows(), b.num_rows());
+        for r in 0..b.num_rows() {
+            for c in 0..b.num_columns() {
+                let (x, y) = (b.column(c).scalar_at(r), back.column(c).scalar_at(r));
+                match (&x, &y) {
+                    (Scalar::Float64(a), Scalar::Float64(b)) if a.is_nan() => {
+                        assert!(b.is_nan())
+                    }
+                    _ => assert_eq!(x, y, "row {r} col {c}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_empty_batch() {
+        let b = RecordBatch::empty(mixed_batch().schema().clone());
+        let back = decode_batch(&encode_batch(&b)).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(back.num_columns(), 5);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let b = mixed_batch();
+        let mut enc = encode_batch(&b).to_vec();
+        let mid = enc.len() / 2;
+        enc[mid] ^= 0xff;
+        assert!(matches!(decode_batch(&enc), Err(ColumnarError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let b = mixed_batch();
+        let enc = encode_batch(&b);
+        assert!(decode_batch(&enc[..enc.len() - 8]).is_err());
+        assert!(decode_batch(&[]).is_err());
+    }
+
+    #[test]
+    fn batch_stream_roundtrip() {
+        let b = mixed_batch();
+        let enc = encode_batches(&[b.clone(), b.clone(), b.clone()]);
+        let back = decode_batches(&enc).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[2].num_rows(), 3);
+        // Empty stream.
+        let enc = encode_batches(&[]);
+        assert!(decode_batches(&enc).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wire_size_tracks_byte_size() {
+        let b = mixed_batch();
+        let enc = encode_batch(&b);
+        // Wire size should be within a small constant + buffer sizes.
+        assert!(enc.len() >= b.byte_size());
+        assert!(enc.len() <= b.byte_size() + 512);
+    }
+}

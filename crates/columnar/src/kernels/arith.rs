@@ -1,0 +1,308 @@
+//! Arithmetic kernels (`+ - * / %`) over numeric arrays.
+//!
+//! Int64 ⊕ Int64 stays Int64 (with `%` and `/` defined as in SQL integer
+//! arithmetic); any Float64 operand promotes the result to Float64. Integer
+//! division or modulo by zero yields a NULL slot rather than an error, which
+//! matches how the engine's expression evaluator surfaces row-level faults.
+
+use crate::array::{Array, Float64Array, Int64Array};
+use crate::bitmap::Bitmap;
+use crate::datatype::{DataType, Scalar};
+use crate::error::{ColumnarError, Result};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl ArithOp {
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+            ArithOp::Mod => "%",
+        }
+    }
+
+    /// Result type for operand types `a` and `b`.
+    pub fn result_type(&self, a: DataType, b: DataType) -> Result<DataType> {
+        match (a, b) {
+            (DataType::Int64, DataType::Int64) => Ok(DataType::Int64),
+            (DataType::Float64, DataType::Float64)
+            | (DataType::Int64, DataType::Float64)
+            | (DataType::Float64, DataType::Int64) => Ok(DataType::Float64),
+            // Date arithmetic: date ± int = date (day granularity).
+            (DataType::Date32, DataType::Int64) if matches!(self, ArithOp::Add | ArithOp::Sub) => {
+                Ok(DataType::Date32)
+            }
+            (x, y) => Err(ColumnarError::Invalid(format!(
+                "arithmetic {} not defined for {x} and {y}",
+                self.sql()
+            ))),
+        }
+    }
+
+    #[inline]
+    fn eval_i64(&self, a: i64, b: i64) -> Option<i64> {
+        match self {
+            ArithOp::Add => Some(a.wrapping_add(b)),
+            ArithOp::Sub => Some(a.wrapping_sub(b)),
+            ArithOp::Mul => Some(a.wrapping_mul(b)),
+            ArithOp::Div => {
+                if b == 0 {
+                    None
+                } else {
+                    Some(a.wrapping_div(b))
+                }
+            }
+            ArithOp::Mod => {
+                if b == 0 {
+                    None
+                } else {
+                    Some(a.wrapping_rem(b))
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn eval_f64(&self, a: f64, b: f64) -> f64 {
+        match self {
+            ArithOp::Add => a + b,
+            ArithOp::Sub => a - b,
+            ArithOp::Mul => a * b,
+            ArithOp::Div => a / b,
+            ArithOp::Mod => a % b,
+        }
+    }
+}
+
+fn merge_validity(a: Option<&Bitmap>, b: Option<&Bitmap>) -> Option<Bitmap> {
+    match (a, b) {
+        (None, None) => None,
+        (Some(v), None) | (None, Some(v)) => Some(v.clone()),
+        (Some(x), Some(y)) => Some(x.and(y).expect("caller checked lengths")),
+    }
+}
+
+fn to_f64_values(a: &Array) -> Result<Vec<f64>> {
+    Ok(match a {
+        Array::Float64(x) => x.values.clone(),
+        Array::Int64(x) => x.values.iter().map(|&v| v as f64).collect(),
+        Array::Date32(x) => x.values.iter().map(|&v| v as f64).collect(),
+        other => {
+            return Err(ColumnarError::type_mismatch(
+                "numeric array",
+                other.data_type(),
+            ))
+        }
+    })
+}
+
+/// Element-wise `a ⊕ b` on equal-length arrays.
+pub fn arith(a: &Array, b: &Array, op: ArithOp) -> Result<Array> {
+    if a.len() != b.len() {
+        return Err(ColumnarError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let out_dt = op.result_type(a.data_type(), b.data_type())?;
+    match out_dt {
+        DataType::Int64 => {
+            let (x, y) = (a.as_i64()?, b.as_i64()?);
+            let mut values = Vec::with_capacity(x.values.len());
+            let mut fault_validity: Option<Bitmap> = None;
+            for (i, (&p, &q)) in x.values.iter().zip(&y.values).enumerate() {
+                match op.eval_i64(p, q) {
+                    Some(v) => values.push(v),
+                    None => {
+                        values.push(0);
+                        fault_validity
+                            .get_or_insert_with(|| Bitmap::with_value(x.values.len(), true))
+                            .set(i, false);
+                    }
+                }
+            }
+            let mut validity = merge_validity(x.validity.as_ref(), y.validity.as_ref());
+            if let Some(f) = fault_validity {
+                validity = Some(match validity {
+                    Some(v) => v.and(&f)?,
+                    None => f,
+                });
+            }
+            Ok(Array::Int64(Int64Array { values, validity }))
+        }
+        DataType::Float64 => {
+            let xs = to_f64_values(a)?;
+            let ys = to_f64_values(b)?;
+            let values: Vec<f64> = xs
+                .iter()
+                .zip(&ys)
+                .map(|(&p, &q)| op.eval_f64(p, q))
+                .collect();
+            Ok(Array::Float64(Float64Array {
+                values,
+                validity: merge_validity(a.validity(), b.validity()),
+            }))
+        }
+        DataType::Date32 => {
+            let x = a.as_date32()?;
+            let y = b.as_i64()?;
+            let values: Vec<i32> = x
+                .values
+                .iter()
+                .zip(&y.values)
+                .map(|(&d, &n)| match op {
+                    ArithOp::Add => d.wrapping_add(n as i32),
+                    _ => d.wrapping_sub(n as i32),
+                })
+                .collect();
+            Ok(Array::Date32(crate::array::Date32Array {
+                values,
+                validity: merge_validity(x.validity.as_ref(), y.validity.as_ref()),
+            }))
+        }
+        _ => unreachable!("result_type only returns numeric types"),
+    }
+}
+
+/// Element-wise `a ⊕ scalar`.
+pub fn arith_scalar(a: &Array, s: &Scalar, op: ArithOp) -> Result<Array> {
+    if s.is_null() {
+        let dt = op.result_type(
+            a.data_type(),
+            s.data_type().unwrap_or(DataType::Int64),
+        )
+        .unwrap_or(a.data_type());
+        return Array::from_scalar(&Scalar::Null, dt, a.len());
+    }
+    let b = Array::from_scalar(s, s.data_type().expect("non-null"), a.len())?;
+    arith(a, &b, op)
+}
+
+/// Unary negation.
+pub fn negate(a: &Array) -> Result<Array> {
+    match a {
+        Array::Int64(x) => Ok(Array::Int64(Int64Array {
+            values: x.values.iter().map(|v| v.wrapping_neg()).collect(),
+            validity: x.validity.clone(),
+        })),
+        Array::Float64(x) => Ok(Array::Float64(Float64Array {
+            values: x.values.iter().map(|v| -v).collect(),
+            validity: x.validity.clone(),
+        })),
+        other => Err(ColumnarError::Invalid(format!(
+            "negate not defined for {}",
+            other.data_type()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_arith() {
+        let a = Array::from_i64(vec![10, 20, 30]);
+        let b = Array::from_i64(vec![3, 4, 5]);
+        let sum = arith(&a, &b, ArithOp::Add).unwrap();
+        assert_eq!(sum.scalar_at(0), Scalar::Int64(13));
+        let rem = arith(&a, &b, ArithOp::Mod).unwrap();
+        assert_eq!(rem.scalar_at(1), Scalar::Int64(0));
+        let div = arith(&a, &b, ArithOp::Div).unwrap();
+        assert_eq!(div.scalar_at(2), Scalar::Int64(6));
+    }
+
+    #[test]
+    fn int_div_by_zero_yields_null() {
+        let a = Array::from_i64(vec![10, 20]);
+        let b = Array::from_i64(vec![2, 0]);
+        let div = arith(&a, &b, ArithOp::Div).unwrap();
+        assert_eq!(div.scalar_at(0), Scalar::Int64(5));
+        assert_eq!(div.scalar_at(1), Scalar::Null);
+        let rem = arith(&a, &b, ArithOp::Mod).unwrap();
+        assert_eq!(rem.scalar_at(1), Scalar::Null);
+    }
+
+    #[test]
+    fn mixed_promotes_to_float() {
+        let a = Array::from_i64(vec![1, 2]);
+        let b = Array::from_f64(vec![0.5, 0.5]);
+        let out = arith(&a, &b, ArithOp::Mul).unwrap();
+        assert_eq!(out.data_type(), DataType::Float64);
+        assert_eq!(out.scalar_at(1), Scalar::Float64(1.0));
+    }
+
+    #[test]
+    fn scalar_arith_deep_water_projection() {
+        // The paper's Deep Water projection: (rowid % (500*500)) / 500.
+        let rowid = Array::from_i64(vec![0, 499, 500, 250_000, 250_500]);
+        let m = arith_scalar(&rowid, &Scalar::Int64(500 * 500), ArithOp::Mod).unwrap();
+        let out = arith_scalar(&m, &Scalar::Int64(500), ArithOp::Div).unwrap();
+        let got: Vec<Scalar> = (0..5).map(|i| out.scalar_at(i)).collect();
+        assert_eq!(
+            got,
+            vec![
+                Scalar::Int64(0),
+                Scalar::Int64(0),
+                Scalar::Int64(1),
+                Scalar::Int64(0),
+                Scalar::Int64(1),
+            ]
+        );
+    }
+
+    #[test]
+    fn tpch_q1_expression() {
+        // extendedprice * (1 - discount) * (1 + tax)
+        let price = Array::from_f64(vec![100.0]);
+        let discount = Array::from_f64(vec![0.05]);
+        let tax = Array::from_f64(vec![0.07]);
+        let one_minus = arith_scalar(&negate(&discount).unwrap(), &Scalar::Float64(1.0), ArithOp::Add).unwrap();
+        let one_plus = arith_scalar(&tax, &Scalar::Float64(1.0), ArithOp::Add).unwrap();
+        let out = arith(&arith(&price, &one_minus, ArithOp::Mul).unwrap(), &one_plus, ArithOp::Mul).unwrap();
+        let v = out.scalar_at(0).as_f64().unwrap();
+        assert!((v - 100.0 * 0.95 * 1.07).abs() < 1e-9);
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let d = Array::from_dates(vec![10561]);
+        let out = arith_scalar(&d, &Scalar::Int64(90), ArithOp::Sub).unwrap();
+        assert_eq!(out.scalar_at(0), Scalar::Date32(10561 - 90));
+        assert_eq!(out.data_type(), DataType::Date32);
+    }
+
+    #[test]
+    fn invalid_types_error() {
+        let a = Array::from_strs(["x"]);
+        let b = Array::from_i64(vec![1]);
+        assert!(arith(&a, &b, ArithOp::Add).is_err());
+    }
+
+    #[test]
+    fn null_propagates() {
+        let mut builder = crate::builder::ArrayBuilder::new(DataType::Int64);
+        builder.push_i64(1);
+        builder.push_null();
+        let a = builder.finish();
+        let out = arith_scalar(&a, &Scalar::Int64(1), ArithOp::Add).unwrap();
+        assert_eq!(out.scalar_at(0), Scalar::Int64(2));
+        assert_eq!(out.scalar_at(1), Scalar::Null);
+    }
+}

@@ -1,0 +1,165 @@
+//! SQL three-valued boolean logic on [`BooleanArray`] masks.
+//!
+//! `AND`/`OR` follow Kleene semantics: `FALSE AND NULL = FALSE`,
+//! `TRUE OR NULL = TRUE`, otherwise NULL propagates.
+
+use crate::array::BooleanArray;
+use crate::bitmap::Bitmap;
+use crate::error::{ColumnarError, Result};
+
+fn check_len(a: &BooleanArray, b: &BooleanArray) -> Result<()> {
+    if a.values.len() != b.values.len() {
+        return Err(ColumnarError::LengthMismatch {
+            left: a.values.len(),
+            right: b.values.len(),
+        });
+    }
+    Ok(())
+}
+
+fn validity_bits(a: &BooleanArray) -> Bitmap {
+    a.validity
+        .clone()
+        .unwrap_or_else(|| Bitmap::with_value(a.values.len(), true))
+}
+
+/// Kleene `AND`.
+pub fn and(a: &BooleanArray, b: &BooleanArray) -> Result<BooleanArray> {
+    check_len(a, b)?;
+    let av = validity_bits(a);
+    let bv = validity_bits(b);
+    // value: known-true only when both valid-and-true.
+    let at = a.values.and(&av)?;
+    let bt = b.values.and(&bv)?;
+    let values = at.and(&bt)?;
+    // valid: (both valid) OR (a valid and a false) OR (b valid and b false)
+    let a_false = av.and(&a.values.not())?;
+    let b_false = bv.and(&b.values.not())?;
+    let validity = av.and(&bv)?.or(&a_false)?.or(&b_false)?;
+    Ok(BooleanArray {
+        values,
+        validity: (!validity.all_set()).then_some(validity),
+    })
+}
+
+/// Kleene `OR`.
+pub fn or(a: &BooleanArray, b: &BooleanArray) -> Result<BooleanArray> {
+    check_len(a, b)?;
+    let av = validity_bits(a);
+    let bv = validity_bits(b);
+    let at = a.values.and(&av)?;
+    let bt = b.values.and(&bv)?;
+    let values = at.or(&bt)?;
+    // valid: (both valid) OR (a valid and a true) OR (b valid and b true)
+    let validity = av.and(&bv)?.or(&at)?.or(&bt)?;
+    Ok(BooleanArray {
+        values,
+        validity: (!validity.all_set()).then_some(validity),
+    })
+}
+
+/// Logical `NOT` (NULL stays NULL).
+pub fn not(a: &BooleanArray) -> BooleanArray {
+    let mut values = a.values.not();
+    if let Some(v) = &a.validity {
+        // Keep value bits of invalid slots at 0 for canonical form.
+        values = values.and(v).expect("same length");
+    }
+    BooleanArray {
+        values,
+        validity: a.validity.clone(),
+    }
+}
+
+/// Rows where the mask is valid **and** true — i.e. rows a SQL `WHERE`
+/// clause keeps.
+pub fn true_bits(mask: &BooleanArray) -> Bitmap {
+    match &mask.validity {
+        Some(v) => mask.values.and(v).expect("same length"),
+        None => mask.values.clone(),
+    }
+}
+
+/// Count of kept rows.
+pub fn true_count(mask: &BooleanArray) -> usize {
+    true_bits(mask).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a mask from Option<bool> slots (None = NULL).
+    fn mask(slots: &[Option<bool>]) -> BooleanArray {
+        let values = Bitmap::from_bools(
+            &slots.iter().map(|s| s.unwrap_or(false)).collect::<Vec<_>>(),
+        );
+        let validity = Bitmap::from_bools(&slots.iter().map(|s| s.is_some()).collect::<Vec<_>>());
+        BooleanArray {
+            values,
+            validity: (!validity.all_set()).then_some(validity),
+        }
+    }
+
+    fn slots(mask: &BooleanArray) -> Vec<Option<bool>> {
+        (0..mask.values.len())
+            .map(|i| {
+                if mask.validity.as_ref().map(|v| v.get(i)).unwrap_or(true) {
+                    Some(mask.values.get(i))
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    const T: Option<bool> = Some(true);
+    const F: Option<bool> = Some(false);
+    const N: Option<bool> = None;
+
+    #[test]
+    fn kleene_and_truth_table() {
+        let a = mask(&[T, T, T, F, F, F, N, N, N]);
+        let b = mask(&[T, F, N, T, F, N, T, F, N]);
+        let out = and(&a, &b).unwrap();
+        assert_eq!(slots(&out), vec![T, F, N, F, F, F, N, F, N]);
+    }
+
+    #[test]
+    fn kleene_or_truth_table() {
+        let a = mask(&[T, T, T, F, F, F, N, N, N]);
+        let b = mask(&[T, F, N, T, F, N, T, F, N]);
+        let out = or(&a, &b).unwrap();
+        assert_eq!(slots(&out), vec![T, T, T, T, F, N, T, N, N]);
+    }
+
+    #[test]
+    fn not_preserves_nulls() {
+        let a = mask(&[T, F, N]);
+        assert_eq!(slots(&not(&a)), vec![F, T, N]);
+    }
+
+    #[test]
+    fn true_bits_ignores_nulls() {
+        let a = mask(&[T, F, N, T]);
+        assert_eq!(true_bits(&a).set_indices(), vec![0, 3]);
+        assert_eq!(true_count(&a), 2);
+    }
+
+    #[test]
+    fn no_null_fast_path() {
+        let a = mask(&[T, F, T]);
+        let b = mask(&[T, T, F]);
+        let out = and(&a, &b).unwrap();
+        assert!(out.validity.is_none(), "no nulls in, no bitmap out");
+        assert_eq!(out.values.set_indices(), vec![0]);
+    }
+
+    #[test]
+    fn length_mismatch() {
+        let a = mask(&[T]);
+        let b = mask(&[T, F]);
+        assert!(and(&a, &b).is_err());
+        assert!(or(&a, &b).is_err());
+    }
+}

@@ -1,0 +1,200 @@
+//! Selection kernels: `filter` (keep masked rows) and `take` (gather by
+//! index). These are the work-horses of predicate evaluation and sorting.
+
+use std::sync::Arc;
+
+use crate::array::{Array, BooleanArray, Date32Array, Float64Array, Int64Array, Utf8Array};
+use crate::batch::RecordBatch;
+use crate::bitmap::Bitmap;
+use crate::error::{ColumnarError, Result};
+use crate::kernels::boolean::true_bits;
+
+fn filtered_validity(validity: Option<&Bitmap>, keep: &[usize]) -> Option<Bitmap> {
+    validity.map(|v| keep.iter().map(|&i| v.get(i)).collect())
+}
+
+/// Keep the rows of `a` where `mask` is valid-and-true.
+pub fn filter(a: &Array, mask: &BooleanArray) -> Result<Array> {
+    if a.len() != mask.values.len() {
+        return Err(ColumnarError::LengthMismatch {
+            left: a.len(),
+            right: mask.values.len(),
+        });
+    }
+    let keep = true_bits(mask).set_indices();
+    take_indices(a, &keep)
+}
+
+/// Gather rows of `a` at `indices` (may repeat / reorder).
+pub fn take_indices(a: &Array, indices: &[usize]) -> Result<Array> {
+    let len = a.len();
+    if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
+        return Err(ColumnarError::IndexOutOfBounds {
+            index: bad,
+            len,
+        });
+    }
+    Ok(match a {
+        Array::Int64(x) => Array::Int64(Int64Array {
+            values: indices.iter().map(|&i| x.values[i]).collect(),
+            validity: filtered_validity(x.validity.as_ref(), indices),
+        }),
+        Array::Float64(x) => Array::Float64(Float64Array {
+            values: indices.iter().map(|&i| x.values[i]).collect(),
+            validity: filtered_validity(x.validity.as_ref(), indices),
+        }),
+        Array::Date32(x) => Array::Date32(Date32Array {
+            values: indices.iter().map(|&i| x.values[i]).collect(),
+            validity: filtered_validity(x.validity.as_ref(), indices),
+        }),
+        Array::Boolean(x) => Array::Boolean(BooleanArray {
+            values: indices.iter().map(|&i| x.values.get(i)).collect(),
+            validity: filtered_validity(x.validity.as_ref(), indices),
+        }),
+        Array::Utf8(x) => {
+            let mut offsets = Vec::with_capacity(indices.len() + 1);
+            offsets.push(0u32);
+            let mut data = Vec::new();
+            for &i in indices {
+                data.extend_from_slice(x.value(i).as_bytes());
+                offsets.push(data.len() as u32);
+            }
+            Array::Utf8(Utf8Array {
+                offsets,
+                data,
+                validity: filtered_validity(x.validity.as_ref(), indices),
+            })
+        }
+    })
+}
+
+/// Keep the rows of every column of `batch` where `mask` is valid-and-true.
+pub fn filter_batch(batch: &RecordBatch, mask: &BooleanArray) -> Result<RecordBatch> {
+    if batch.num_rows() != mask.values.len() {
+        return Err(ColumnarError::LengthMismatch {
+            left: batch.num_rows(),
+            right: mask.values.len(),
+        });
+    }
+    let keep = true_bits(mask).set_indices();
+    take_batch(batch, &keep)
+}
+
+/// Gather the rows of every column of `batch` at `indices`.
+pub fn take_batch(batch: &RecordBatch, indices: &[usize]) -> Result<RecordBatch> {
+    let columns = batch
+        .columns()
+        .iter()
+        .map(|c| take_indices(c, indices).map(Arc::new))
+        .collect::<Result<Vec<_>>>()?;
+    RecordBatch::try_new(batch.schema().clone(), columns)
+}
+
+/// The first `n` rows of `batch` (SQL `LIMIT`).
+pub fn limit_batch(batch: &RecordBatch, n: usize) -> Result<RecordBatch> {
+    if n >= batch.num_rows() {
+        return Ok(batch.clone());
+    }
+    let indices: Vec<usize> = (0..n).collect();
+    take_batch(batch, &indices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::{DataType, Scalar};
+    use crate::schema::{Field, Schema};
+
+    fn mask(bools: &[bool]) -> BooleanArray {
+        BooleanArray {
+            values: Bitmap::from_bools(bools),
+            validity: None,
+        }
+    }
+
+    #[test]
+    fn filter_all_types() {
+        let m = mask(&[true, false, true]);
+        let a = Array::from_i64(vec![1, 2, 3]);
+        assert_eq!(filter(&a, &m).unwrap().rows_i64(), vec![1, 3]);
+        let a = Array::from_f64(vec![1.0, 2.0, 3.0]);
+        assert_eq!(filter(&a, &m).unwrap().len(), 2);
+        let a = Array::from_strs(["a", "bb", "ccc"]);
+        let f = filter(&a, &m).unwrap();
+        assert_eq!(f.scalar_at(1), Scalar::Utf8("ccc".into()));
+        let a = Array::from_bools(vec![true, true, false]);
+        let f = filter(&a, &m).unwrap();
+        assert_eq!(f.scalar_at(1), Scalar::Boolean(false));
+        let a = Array::from_dates(vec![10, 20, 30]);
+        let f = filter(&a, &m).unwrap();
+        assert_eq!(f.scalar_at(1), Scalar::Date32(30));
+    }
+
+    // Small helper on Array for test readability.
+    trait RowsI64 {
+        fn rows_i64(&self) -> Vec<i64>;
+    }
+    impl RowsI64 for Array {
+        fn rows_i64(&self) -> Vec<i64> {
+            self.as_i64().unwrap().values.clone()
+        }
+    }
+
+    #[test]
+    fn filter_respects_mask_nulls() {
+        // mask: [T, NULL, T] -> keep rows 0, 2 only.
+        let m = BooleanArray {
+            values: Bitmap::from_bools(&[true, true, true]),
+            validity: Some(Bitmap::from_bools(&[true, false, true])),
+        };
+        let a = Array::from_i64(vec![1, 2, 3]);
+        assert_eq!(filter(&a, &m).unwrap().rows_i64(), vec![1, 3]);
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let a = Array::from_strs(["x", "y", "z"]);
+        let t = take_indices(&a, &[2, 0, 2]).unwrap();
+        assert_eq!(t.scalar_at(0), Scalar::Utf8("z".into()));
+        assert_eq!(t.scalar_at(2), Scalar::Utf8("z".into()));
+        assert!(take_indices(&a, &[5]).is_err());
+    }
+
+    #[test]
+    fn take_preserves_validity() {
+        let mut b = crate::builder::ArrayBuilder::new(DataType::Int64);
+        b.push_i64(1);
+        b.push_null();
+        b.push_i64(3);
+        let a = b.finish();
+        let t = take_indices(&a, &[1, 2, 1]).unwrap();
+        assert_eq!(t.scalar_at(0), Scalar::Null);
+        assert_eq!(t.scalar_at(1), Scalar::Int64(3));
+        assert_eq!(t.scalar_at(2), Scalar::Null);
+    }
+
+    #[test]
+    fn batch_filter_and_limit() {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("a", DataType::Int64, false),
+            Field::new("s", DataType::Utf8, false),
+        ]));
+        let batch = RecordBatch::try_new(
+            schema,
+            vec![
+                Arc::new(Array::from_i64(vec![1, 2, 3, 4])),
+                Arc::new(Array::from_strs(["p", "q", "r", "s"])),
+            ],
+        )
+        .unwrap();
+        let m = mask(&[false, true, true, false]);
+        let f = filter_batch(&batch, &m).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.row(0), vec![Scalar::Int64(2), Scalar::Utf8("q".into())]);
+        let l = limit_batch(&f, 1).unwrap();
+        assert_eq!(l.num_rows(), 1);
+        // Limit beyond the row count is identity.
+        let l = limit_batch(&f, 100).unwrap();
+        assert_eq!(l.num_rows(), 2);
+    }
+}

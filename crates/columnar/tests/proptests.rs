@@ -1,0 +1,162 @@
+//! Property tests for the columnar substrate: IPC round-trips, kernel
+//! algebraic identities, sort invariants, and aggregation merge laws.
+
+use std::sync::Arc;
+
+use columnar::agg::{AggFunc, AggState};
+use columnar::builder::ArrayBuilder;
+use columnar::ipc::{decode_batch, encode_batch};
+use columnar::kernels::{boolean, cmp, selection};
+use columnar::prelude::*;
+use columnar::sort::{sort_batch, top_n, SortKey};
+use proptest::prelude::*;
+
+/// Strategy: an optional-i64 column (None = NULL).
+fn int_col(max_len: usize) -> impl Strategy<Value = Vec<Option<i64>>> {
+    proptest::collection::vec(proptest::option::weighted(0.9, -1000i64..1000), 0..max_len)
+}
+
+fn build_int(values: &[Option<i64>]) -> Array {
+    let mut b = ArrayBuilder::new(DataType::Int64);
+    for v in values {
+        match v {
+            Some(x) => b.push_i64(*x),
+            None => b.push_null(),
+        }
+    }
+    b.finish()
+}
+
+fn build_f64(values: &[f64]) -> Array {
+    Array::from_f64(values.to_vec())
+}
+
+fn scalars_eq(a: &Scalar, b: &Scalar) -> bool {
+    match (a, b) {
+        (Scalar::Float64(x), Scalar::Float64(y)) if x.is_nan() && y.is_nan() => true,
+        _ => a == b,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ipc_roundtrip_int_and_string(
+        ints in int_col(200),
+        strs in proptest::collection::vec(".{0,12}", 0..50),
+    ) {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("i", DataType::Int64, true),
+            Field::new("f", DataType::Float64, false),
+        ]));
+        let floats: Vec<f64> = (0..ints.len()).map(|i| i as f64 * 0.37).collect();
+        let batch = RecordBatch::try_new(
+            schema,
+            vec![Arc::new(build_int(&ints)), Arc::new(build_f64(&floats))],
+        ).unwrap();
+        let back = decode_batch(&encode_batch(&batch)).unwrap();
+        prop_assert_eq!(&back, &batch);
+
+        // Strings separately (nullable).
+        let schema = Arc::new(Schema::new(vec![Field::new("s", DataType::Utf8, true)]));
+        let mut b = ArrayBuilder::new(DataType::Utf8);
+        for (i, s) in strs.iter().enumerate() {
+            if i % 7 == 3 { b.push_null(); } else { b.push_str(s); }
+        }
+        let batch = RecordBatch::try_new(schema, vec![Arc::new(b.finish())]).unwrap();
+        let back = decode_batch(&encode_batch(&batch)).unwrap();
+        prop_assert_eq!(back, batch);
+    }
+
+    #[test]
+    fn filter_matches_scalar_semantics(ints in int_col(300), threshold in -1000i64..1000) {
+        let arr = build_int(&ints);
+        let mask = cmp::gt_scalar(&arr, &Scalar::Int64(threshold)).unwrap();
+        let filtered = selection::filter(&arr, &mask).unwrap();
+        let expected: Vec<i64> = ints.iter().flatten().copied().filter(|&v| v > threshold).collect();
+        let got: Vec<i64> = (0..filtered.len()).map(|i| filtered.scalar_at(i).as_i64().unwrap()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn demorgan_holds_without_nulls(
+        a in proptest::collection::vec(any::<bool>(), 0..200),
+    ) {
+        let b: Vec<bool> = a.iter().map(|x| !x).collect();
+        let ba = Array::from_bools(a.clone());
+        let bb = Array::from_bools(b);
+        let (ma, mb) = (ba.as_bool().unwrap(), bb.as_bool().unwrap());
+        // !(a AND b) == !a OR !b
+        let lhs = boolean::not(&boolean::and(ma, mb).unwrap());
+        let rhs = boolean::or(&boolean::not(ma), &boolean::not(mb)).unwrap();
+        prop_assert_eq!(lhs.values, rhs.values);
+    }
+
+    #[test]
+    fn sort_is_permutation_and_ordered(vals in proptest::collection::vec(-500i64..500, 0..300)) {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64, false)]));
+        let batch = RecordBatch::try_new(schema, vec![Arc::new(Array::from_i64(vals.clone()))]).unwrap();
+        let sorted = sort_batch(&batch, &[SortKey::asc(0)]).unwrap();
+        let got: Vec<i64> = sorted.column(0).as_i64().unwrap().values.clone();
+        let mut expect = vals.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn topn_equals_sort_then_limit(
+        vals in proptest::collection::vec(-500i64..500, 0..300),
+        n in 0usize..50,
+    ) {
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64, false)]));
+        let batch = RecordBatch::try_new(schema, vec![Arc::new(Array::from_i64(vals))]).unwrap();
+        let keys = [SortKey::asc(0)];
+        let top = top_n(&batch, &keys, n).unwrap();
+        let full = sort_batch(&batch, &keys).unwrap();
+        let lim = selection::limit_batch(&full, n).unwrap();
+        prop_assert_eq!(top.rows(), lim.rows());
+    }
+
+    #[test]
+    fn agg_merge_associative(
+        chunks in proptest::collection::vec(int_col(60), 1..6),
+    ) {
+        // Aggregating chunk-wise then merging == aggregating the concatenation.
+        for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count, AggFunc::Avg] {
+            let mut merged = AggState::new(func, Some(DataType::Int64)).unwrap();
+            let mut flat: Vec<Option<i64>> = Vec::new();
+            for ch in &chunks {
+                let arr = build_int(ch);
+                let mut st = AggState::new(func, Some(DataType::Int64)).unwrap();
+                for i in 0..arr.len() {
+                    st.update(Some(&arr), i);
+                }
+                merged.merge(&st).unwrap();
+                flat.extend_from_slice(ch);
+            }
+            let all = build_int(&flat);
+            let mut whole = AggState::new(func, Some(DataType::Int64)).unwrap();
+            for i in 0..all.len() {
+                whole.update(Some(&all), i);
+            }
+            let (m, w) = (merged.finish(), whole.finish());
+            // AVG accumulates floats in a different association order; allow tiny eps.
+            let ok = match (&m, &w) {
+                (Scalar::Float64(x), Scalar::Float64(y)) => (x - y).abs() < 1e-9,
+                _ => scalars_eq(&m, &w),
+            };
+            prop_assert!(ok, "{func:?}: merged {m:?} vs whole {w:?}");
+        }
+    }
+
+    #[test]
+    fn take_then_take_composes(vals in proptest::collection::vec(any::<i64>(), 1..100)) {
+        let arr = Array::from_i64(vals.clone());
+        let idx1: Vec<usize> = (0..vals.len()).rev().collect();
+        let once = selection::take_indices(&arr, &idx1).unwrap();
+        let idx2: Vec<usize> = (0..vals.len()).rev().collect();
+        let twice = selection::take_indices(&once, &idx2).unwrap();
+        prop_assert_eq!(twice.as_i64().unwrap().values.clone(), vals);
+    }
+}

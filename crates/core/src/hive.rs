@@ -1,0 +1,365 @@
+//! The Hive-connector baseline: filter + column-projection pushdown only,
+//! at the S3-Select/MinIO-Select capability level (paper §2.4).
+//!
+//! Its plan optimizer converts *simple conjunctive* predicates
+//! (`col op literal`, `col BETWEEN a AND b`) into the object store's
+//! restricted `select()` API. Anything richer — expression projection,
+//! aggregation, top-N — stays at the compute layer, which is exactly the
+//! limitation the paper's OCS connector removes.
+
+use std::any::Any;
+use std::sync::Arc;
+
+use columnar::{Scalar, SchemaRef};
+use dsq::error::{EngineError, EResult};
+use dsq::expr::ScalarExpr;
+use dsq::plan::{LogicalPlan, TableScanNode};
+use dsq::spi::{
+    Connector, ConnectorPlanOptimizer, DefaultSplitManager, DefaultTableHandle,
+    OptimizerContext, PageSourceProvider, PageSourceResult, Split, SplitManager, TableHandle,
+};
+use lzcodec::CodecKind;
+use netsim::{ClusterSpec, CostParams, Work};
+use objstore::{ObjectStore, SelectPredicate, SelectRequest};
+
+/// Scan handle carrying the select-API request.
+#[derive(Debug, Clone)]
+pub struct HiveTableHandle {
+    /// Projected column names (select API takes names).
+    pub projection_names: Vec<String>,
+    /// File-column ordinals of the projection (for stats lookups).
+    pub projection: Vec<usize>,
+    /// Converted predicates (complete conjunction).
+    pub predicates: Vec<SelectPredicate>,
+    /// Schema the scan emits.
+    pub output_schema: SchemaRef,
+}
+
+impl TableHandle for HiveTableHandle {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "hive columns={:?} filters={}",
+            self.projection,
+            self.predicates.len()
+        )
+    }
+}
+
+/// Convert a predicate into select-API conjuncts. Returns `None` when any
+/// part of the conjunction is inexpressible (the S3-Select ceiling).
+pub fn to_select_predicates(
+    e: &ScalarExpr,
+    schema: &SchemaRef,
+    out: &mut Vec<SelectPredicate>,
+) -> Option<()> {
+    match e {
+        ScalarExpr::And(a, b) => {
+            to_select_predicates(a, schema, out)?;
+            to_select_predicates(b, schema, out)
+        }
+        ScalarExpr::Between { expr, lo, hi } => {
+            if let (
+                ScalarExpr::Column { index, .. },
+                ScalarExpr::Literal(l),
+                ScalarExpr::Literal(h),
+            ) = (expr.as_ref(), lo.as_ref(), hi.as_ref())
+            {
+                out.push(SelectPredicate::Between {
+                    column: schema.field(*index).name.clone(),
+                    lo: l.clone(),
+                    hi: h.clone(),
+                });
+                Some(())
+            } else {
+                None
+            }
+        }
+        ScalarExpr::Cmp { op, left, right } => match (left.as_ref(), right.as_ref()) {
+            (ScalarExpr::Column { index, .. }, ScalarExpr::Literal(v)) => {
+                out.push(SelectPredicate::Compare {
+                    column: schema.field(*index).name.clone(),
+                    op: *op,
+                    value: v.clone(),
+                });
+                Some(())
+            }
+            (ScalarExpr::Literal(v), ScalarExpr::Column { index, .. }) => {
+                out.push(SelectPredicate::Compare {
+                    column: schema.field(*index).name.clone(),
+                    op: op.flip(),
+                    value: v.clone(),
+                });
+                Some(())
+            }
+            _ => None,
+        },
+        ScalarExpr::Literal(Scalar::Boolean(true)) => Some(()),
+        _ => None,
+    }
+}
+
+struct HivePlanOptimizer {
+    connector: String,
+}
+
+impl ConnectorPlanOptimizer for HivePlanOptimizer {
+    fn optimize(&self, plan: LogicalPlan, ctx: &OptimizerContext<'_>) -> EResult<LogicalPlan> {
+        let scan = plan.scan().clone();
+        if scan.connector != self.connector
+            || scan
+                .handle
+                .as_any()
+                .downcast_ref::<HiveTableHandle>()
+                .is_some()
+        {
+            return Ok(plan);
+        }
+        let table = ctx.metastore.table(&scan.table)?;
+        let projection: Vec<usize> = scan
+            .handle
+            .as_any()
+            .downcast_ref::<DefaultTableHandle>()
+            .and_then(|h| h.projection.clone())
+            .unwrap_or_else(|| (0..table.schema.len()).collect());
+        let projection_names: Vec<String> = projection
+            .iter()
+            .map(|&i| table.schema.field(i).name.clone())
+            .collect();
+
+        // The node directly above the scan must be the filter (if any).
+        let mut chain: Vec<LogicalPlan> = Vec::new();
+        {
+            let mut cur = &plan;
+            while let Some(next) = cur.input() {
+                chain.push(cur.clone());
+                cur = next;
+            }
+            chain.reverse();
+        }
+        let mut predicates = Vec::new();
+        let mut drop_first_filter = false;
+        if let Some(LogicalPlan::Filter { predicate, .. }) = chain.first() {
+            let mut converted = Vec::new();
+            if to_select_predicates(predicate, &scan.output_schema, &mut converted).is_some() {
+                predicates = converted;
+                drop_first_filter = true;
+            }
+        }
+
+        let handle = HiveTableHandle {
+            projection_names,
+            projection,
+            predicates,
+            output_schema: scan.output_schema.clone(),
+        };
+        let mut rebuilt = LogicalPlan::TableScan(TableScanNode {
+            table: scan.table,
+            connector: scan.connector,
+            output_schema: scan.output_schema,
+            handle: Arc::new(handle),
+        });
+        for (i, node) in chain.iter().enumerate() {
+            if i == 0 && drop_first_filter {
+                continue;
+            }
+            rebuilt = node.with_input(rebuilt);
+        }
+        rebuilt.validate()?;
+        Ok(rebuilt)
+    }
+}
+
+struct HivePageSourceProvider {
+    store: Arc<ObjectStore>,
+    cluster: ClusterSpec,
+    cost: CostParams,
+}
+
+impl PageSourceProvider for HivePageSourceProvider {
+    fn create(&self, split: &Split) -> EResult<PageSourceResult> {
+        let handle = split
+            .handle
+            .as_any()
+            .downcast_ref::<HiveTableHandle>()
+            .ok_or_else(|| {
+                EngineError::Connector(format!(
+                    "hive connector received an unknown handle: {}",
+                    split.handle.describe()
+                ))
+            })?;
+        let request = SelectRequest {
+            projection: Some(handle.projection_names.clone()),
+            predicates: handle.predicates.clone(),
+        };
+        let resp = objstore::select(&self.store, &split.bucket, &split.key, &request)
+            .map_err(|e| EngineError::Connector(e.to_string()))?;
+
+        // Codec of the object (for decompression billing).
+        let codec = self
+            .store
+            .get_object(&split.bucket, &split.key)
+            .ok()
+            .and_then(|b| parq::ParqReader::open(b).ok())
+            .map(|r| r.codec())
+            .unwrap_or(CodecKind::None);
+
+        // Storage side: decode + filter evaluation (that is the "Select"
+        // compute the storage layer performs).
+        let filter_weight: f64 = handle
+            .predicates
+            .iter()
+            .map(|p| match p {
+                SelectPredicate::Between { .. } => 2.0,
+                SelectPredicate::Compare { .. } => 1.0,
+            })
+            .sum();
+        let storage_work = Work {
+            decode: resp.stats.uncompressed_bytes as f64 * self.cost.byte_decode
+                + resp.stats.returned_bytes as f64 * self.cost.byte_ser,
+            vector: resp.stats.rows_scanned as f64 * (self.cost.row_overhead + filter_weight),
+            expr: 0.0,
+        };
+        let storage_cpu_s = self.cluster.storage.core_seconds_for(storage_work);
+        let storage_decompress_s = match codec {
+            CodecKind::None => 0.0,
+            other => {
+                resp.stats.uncompressed_bytes as f64 / (other.spec().decompress_gbps * 1e9)
+            }
+        };
+        let compute_deser_s = self
+            .cluster
+            .compute
+            .core_seconds_for(Work::decode(resp.stats.returned_bytes as f64 * self.cost.byte_deser));
+
+        Ok(PageSourceResult {
+            batches: resp.batches,
+            storage_cpu_s,
+            storage_decompress_s,
+            disk_bytes: resp.stats.disk_bytes,
+            network_bytes: resp.stats.returned_bytes,
+            network_requests: 1,
+            frontend_cpu_s: 0.0,
+            substrait_gen_s: 0.0,
+            compute_deser_s,
+        })
+    }
+}
+
+/// The Hive/S3-Select-level connector.
+pub struct HiveConnector {
+    name: String,
+    optimizer: Arc<HivePlanOptimizer>,
+    splits: Arc<DefaultSplitManager>,
+    pages: Arc<HivePageSourceProvider>,
+}
+
+impl HiveConnector {
+    /// Build a Hive connector over `store`.
+    pub fn new(
+        name: impl Into<String>,
+        store: Arc<ObjectStore>,
+        cluster: ClusterSpec,
+        cost: CostParams,
+    ) -> Self {
+        let name = name.into();
+        HiveConnector {
+            optimizer: Arc::new(HivePlanOptimizer {
+                connector: name.clone(),
+            }),
+            splits: Arc::new(DefaultSplitManager),
+            pages: Arc::new(HivePageSourceProvider {
+                store,
+                cluster,
+                cost,
+            }),
+            name,
+        }
+    }
+}
+
+impl Connector for HiveConnector {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn plan_optimizer(&self) -> Option<Arc<dyn ConnectorPlanOptimizer>> {
+        Some(self.optimizer.clone())
+    }
+
+    fn split_manager(&self) -> Arc<dyn SplitManager> {
+        self.splits.clone()
+    }
+
+    fn page_source_provider(&self) -> Arc<dyn PageSourceProvider> {
+        self.pages.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::kernels::cmp::CmpOp;
+    use columnar::{DataType, Field, Schema};
+
+    fn schema() -> SchemaRef {
+        Arc::new(Schema::new(vec![
+            Field::new("x", DataType::Float64, false),
+            Field::new("tag", DataType::Utf8, false),
+        ]))
+    }
+
+    #[test]
+    fn converts_simple_conjunctions() {
+        let s = schema();
+        let pred = ScalarExpr::And(
+            Arc::new(ScalarExpr::Between {
+                expr: Arc::new(ScalarExpr::col(0, "x", DataType::Float64)),
+                lo: Arc::new(ScalarExpr::lit(Scalar::Float64(0.8))),
+                hi: Arc::new(ScalarExpr::lit(Scalar::Float64(3.2))),
+            }),
+            Arc::new(ScalarExpr::Cmp {
+                op: CmpOp::Eq,
+                left: Arc::new(ScalarExpr::col(1, "tag", DataType::Utf8)),
+                right: Arc::new(ScalarExpr::lit(Scalar::Utf8("a".into()))),
+            }),
+        );
+        let mut out = Vec::new();
+        assert!(to_select_predicates(&pred, &s, &mut out).is_some());
+        assert_eq!(out.len(), 2);
+        assert!(matches!(&out[0], SelectPredicate::Between { column, .. } if column == "x"));
+        assert!(matches!(&out[1], SelectPredicate::Compare { op: CmpOp::Eq, .. }));
+    }
+
+    #[test]
+    fn rejects_inexpressible_predicates() {
+        let s = schema();
+        // OR is beyond the restricted API.
+        let pred = ScalarExpr::Or(
+            Arc::new(ScalarExpr::lit(Scalar::Boolean(true))),
+            Arc::new(ScalarExpr::lit(Scalar::Boolean(false))),
+        );
+        let mut out = Vec::new();
+        assert!(to_select_predicates(&pred, &s, &mut out).is_none());
+        // Column-to-column comparison too.
+        let pred = ScalarExpr::Cmp {
+            op: CmpOp::Lt,
+            left: Arc::new(ScalarExpr::col(0, "x", DataType::Float64)),
+            right: Arc::new(ScalarExpr::col(0, "x", DataType::Float64)),
+        };
+        let mut out = Vec::new();
+        assert!(to_select_predicates(&pred, &s, &mut out).is_none());
+        // Flipped literal-first comparison is fine.
+        let pred = ScalarExpr::Cmp {
+            op: CmpOp::Gt,
+            left: Arc::new(ScalarExpr::lit(Scalar::Float64(0.1))),
+            right: Arc::new(ScalarExpr::col(0, "x", DataType::Float64)),
+        };
+        let mut out = Vec::new();
+        assert!(to_select_predicates(&pred, &s, &mut out).is_some());
+        assert!(matches!(&out[0], SelectPredicate::Compare { op: CmpOp::Lt, .. }));
+    }
+}

@@ -1,0 +1,175 @@
+//! Pushdown monitoring (paper §4, "Pushdown Monitoring and Auxiliary
+//! Components"): an `EventListener` collecting runtime statistics into a
+//! sliding window of recent executions — operator chains, data volumes,
+//! pushdown success rates — to inform future optimization decisions.
+
+use std::collections::VecDeque;
+
+use dsq::session::{EventListener, QueryEvent};
+use parking_lot::Mutex;
+
+/// One remembered execution.
+#[derive(Debug, Clone)]
+pub struct HistoryEntry {
+    /// The operator chain that ran.
+    pub chain: String,
+    /// What the scan handle says was pushed down.
+    pub scan_handle: String,
+    /// Simulated seconds.
+    pub seconds: f64,
+    /// Bytes moved storage → compute.
+    pub moved_bytes: u64,
+    /// Rows returned.
+    pub result_rows: u64,
+    /// Whether anything beyond column projection was pushed.
+    pub pushed: bool,
+}
+
+/// Sliding window of recent executions.
+#[derive(Debug)]
+pub struct PushdownHistory {
+    window: usize,
+    entries: VecDeque<HistoryEntry>,
+}
+
+impl PushdownHistory {
+    fn new(window: usize) -> Self {
+        PushdownHistory {
+            window: window.max(1),
+            entries: VecDeque::new(),
+        }
+    }
+
+    fn push(&mut self, e: HistoryEntry) {
+        if self.entries.len() == self.window {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(e);
+    }
+
+    /// Entries currently in the window, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &HistoryEntry> {
+        self.entries.iter()
+    }
+
+    /// Number of remembered executions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no executions are remembered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Fraction of recent queries where pushdown engaged.
+    pub fn pushdown_rate(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().filter(|e| e.pushed).count() as f64 / self.entries.len() as f64
+    }
+
+    /// Mean data movement over the window.
+    pub fn mean_moved_bytes(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.moved_bytes as f64).sum::<f64>()
+            / self.entries.len() as f64
+    }
+
+    /// Mean simulated latency over the window.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.seconds).sum::<f64>() / self.entries.len() as f64
+    }
+}
+
+/// The `EventListener` feeding the history.
+#[derive(Debug)]
+pub struct PushdownMonitor {
+    history: Mutex<PushdownHistory>,
+}
+
+impl PushdownMonitor {
+    /// Monitor keeping the last `window` executions.
+    pub fn new(window: usize) -> Self {
+        PushdownMonitor {
+            history: Mutex::new(PushdownHistory::new(window)),
+        }
+    }
+
+    /// Run `f` against the current history.
+    pub fn with_history<R>(&self, f: impl FnOnce(&PushdownHistory) -> R) -> R {
+        f(&self.history.lock())
+    }
+}
+
+impl EventListener for PushdownMonitor {
+    fn query_completed(&self, event: &QueryEvent) {
+        let pushed = event.scan_handle.contains("pushed=");
+        self.history.lock().push(HistoryEntry {
+            chain: event.chain.clone(),
+            scan_handle: event.scan_handle.clone(),
+            seconds: event.simulated_seconds,
+            moved_bytes: event.moved_bytes,
+            result_rows: event.result_rows,
+            pushed,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(pushed: bool, bytes: u64, secs: f64) -> QueryEvent {
+        QueryEvent {
+            sql: "SELECT 1".into(),
+            chain: "TableScan".into(),
+            simulated_seconds: secs,
+            moved_bytes: bytes,
+            result_rows: 1,
+            scan_handle: if pushed {
+                "ocs columns=[0] pushed=[Filter]".into()
+            } else {
+                "ocs columns=[0]".into()
+            },
+            breakdown: vec![],
+        }
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let m = PushdownMonitor::new(3);
+        for i in 0..5 {
+            m.query_completed(&event(i % 2 == 0, i, i as f64));
+        }
+        m.with_history(|h| {
+            assert_eq!(h.len(), 3);
+            let bytes: Vec<u64> = h.entries().map(|e| e.moved_bytes).collect();
+            assert_eq!(bytes, vec![2, 3, 4], "oldest entries evicted");
+        });
+    }
+
+    #[test]
+    fn rates_and_means() {
+        let m = PushdownMonitor::new(10);
+        m.query_completed(&event(true, 100, 2.0));
+        m.query_completed(&event(false, 300, 4.0));
+        m.with_history(|h| {
+            assert!(!h.is_empty());
+            assert_eq!(h.pushdown_rate(), 0.5);
+            assert_eq!(h.mean_moved_bytes(), 200.0);
+            assert_eq!(h.mean_seconds(), 3.0);
+        });
+        let empty = PushdownMonitor::new(5);
+        empty.with_history(|h| {
+            assert_eq!(h.pushdown_rate(), 0.0);
+            assert_eq!(h.mean_moved_bytes(), 0.0);
+        });
+    }
+}

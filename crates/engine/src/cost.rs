@@ -1,0 +1,8 @@
+//! Re-export of the shared cost model.
+//!
+//! [`CostParams`] lives in `netsim` so the OCS embedded engine and this
+//! engine bill identical work for identical operators — the paper's
+//! premise that pushdown moves *where* work runs, not *how much* of it
+//! there is.
+
+pub use netsim::cost::CostParams;

@@ -1,0 +1,495 @@
+//! The engine's internal scalar expression representation and its
+//! vectorized evaluator.
+//!
+//! This is deliberately a *separate* type from `substrait_ir::Expr`: Presto
+//! evaluates its own `RowExpression`s, and the Presto-OCS connector's job
+//! (implemented in the `ocs-connector` crate) is to *translate* these into
+//! Substrait IR — the translation whose overhead the paper's Table 3
+//! quantifies.
+
+use std::fmt;
+use std::sync::Arc;
+
+use columnar::kernels::arith::{arith, negate, ArithOp};
+use columnar::kernels::boolean;
+use columnar::kernels::cast::cast;
+use columnar::kernels::cmp::{self, CmpOp};
+use columnar::prelude::*;
+
+use crate::error::{EngineError, EResult};
+
+/// A typed, resolved scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScalarExpr {
+    /// Reference to input column `index` (name and type kept for display
+    /// and translation).
+    Column {
+        /// Ordinal in the input schema.
+        index: usize,
+        /// Resolved column name.
+        name: String,
+        /// Resolved type.
+        dtype: DataType,
+    },
+    /// A literal.
+    Literal(Scalar),
+    /// Comparison.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Arc<ScalarExpr>,
+        /// Right operand.
+        right: Arc<ScalarExpr>,
+    },
+    /// Arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Arc<ScalarExpr>,
+        /// Right operand.
+        right: Arc<ScalarExpr>,
+    },
+    /// Kleene AND.
+    And(Arc<ScalarExpr>, Arc<ScalarExpr>),
+    /// Kleene OR.
+    Or(Arc<ScalarExpr>, Arc<ScalarExpr>),
+    /// NOT.
+    Not(Arc<ScalarExpr>),
+    /// Inclusive range test.
+    Between {
+        /// Tested expression.
+        expr: Arc<ScalarExpr>,
+        /// Lower bound.
+        lo: Arc<ScalarExpr>,
+        /// Upper bound.
+        hi: Arc<ScalarExpr>,
+    },
+    /// Cast.
+    Cast {
+        /// Input.
+        expr: Arc<ScalarExpr>,
+        /// Target type.
+        to: DataType,
+    },
+    /// Unary minus.
+    Negate(Arc<ScalarExpr>),
+    /// IS NULL.
+    IsNull(Arc<ScalarExpr>),
+    /// IS NOT NULL.
+    IsNotNull(Arc<ScalarExpr>),
+}
+
+impl ScalarExpr {
+    /// Shorthand column reference.
+    pub fn col(index: usize, name: impl Into<String>, dtype: DataType) -> ScalarExpr {
+        ScalarExpr::Column {
+            index,
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// Shorthand literal.
+    pub fn lit(s: Scalar) -> ScalarExpr {
+        ScalarExpr::Literal(s)
+    }
+
+    /// The expression's output type (inputs were resolved at analysis).
+    pub fn data_type(&self) -> DataType {
+        match self {
+            ScalarExpr::Column { dtype, .. } => *dtype,
+            ScalarExpr::Literal(s) => s.data_type().unwrap_or(DataType::Boolean),
+            ScalarExpr::Cmp { .. }
+            | ScalarExpr::And(..)
+            | ScalarExpr::Or(..)
+            | ScalarExpr::Not(..)
+            | ScalarExpr::Between { .. }
+            | ScalarExpr::IsNull(..)
+            | ScalarExpr::IsNotNull(..) => DataType::Boolean,
+            ScalarExpr::Arith { op, left, right } => op
+                .result_type(left.data_type(), right.data_type())
+                .unwrap_or(DataType::Float64),
+            ScalarExpr::Cast { to, .. } => *to,
+            ScalarExpr::Negate(e) => e.data_type(),
+        }
+    }
+
+    /// Evaluate over a batch, producing one array of `batch.num_rows()`.
+    pub fn eval(&self, batch: &RecordBatch) -> EResult<Array> {
+        match self {
+            ScalarExpr::Column { index, name, .. } => {
+                if *index >= batch.num_columns() {
+                    return Err(EngineError::Execution(format!(
+                        "column {name} (#{index}) out of range"
+                    )));
+                }
+                Ok(batch.column(*index).as_ref().clone())
+            }
+            ScalarExpr::Literal(s) => {
+                let dt = s.data_type().unwrap_or(DataType::Boolean);
+                Array::from_scalar(s, dt, batch.num_rows()).map_err(EngineError::Columnar)
+            }
+            ScalarExpr::Cmp { op, left, right } => {
+                // Scalar fast path: column vs literal.
+                if let ScalarExpr::Literal(s) = right.as_ref() {
+                    let l = left.eval(batch)?;
+                    return Ok(Array::Boolean(
+                        cmp::compare_scalar(&l, s, *op).map_err(EngineError::Columnar)?,
+                    ));
+                }
+                if let ScalarExpr::Literal(s) = left.as_ref() {
+                    let r = right.eval(batch)?;
+                    return Ok(Array::Boolean(
+                        cmp::compare_scalar(&r, s, op.flip()).map_err(EngineError::Columnar)?,
+                    ));
+                }
+                let (l, r) = (left.eval(batch)?, right.eval(batch)?);
+                Ok(Array::Boolean(
+                    cmp::compare(&l, &r, *op).map_err(EngineError::Columnar)?,
+                ))
+            }
+            ScalarExpr::Arith { op, left, right } => {
+                if let ScalarExpr::Literal(s) = right.as_ref() {
+                    let l = left.eval(batch)?;
+                    return columnar::kernels::arith::arith_scalar(&l, s, *op)
+                        .map_err(EngineError::Columnar);
+                }
+                let (l, r) = (left.eval(batch)?, right.eval(batch)?);
+                arith(&l, &r, *op).map_err(EngineError::Columnar)
+            }
+            ScalarExpr::And(a, b) => {
+                let (x, y) = (a.eval(batch)?, b.eval(batch)?);
+                Ok(Array::Boolean(
+                    boolean::and(x.as_bool()?, y.as_bool()?).map_err(EngineError::Columnar)?,
+                ))
+            }
+            ScalarExpr::Or(a, b) => {
+                let (x, y) = (a.eval(batch)?, b.eval(batch)?);
+                Ok(Array::Boolean(
+                    boolean::or(x.as_bool()?, y.as_bool()?).map_err(EngineError::Columnar)?,
+                ))
+            }
+            ScalarExpr::Not(e) => {
+                let x = e.eval(batch)?;
+                Ok(Array::Boolean(boolean::not(x.as_bool()?)))
+            }
+            ScalarExpr::Between { expr, lo, hi } => {
+                // Common fast path: literal bounds.
+                if let (ScalarExpr::Literal(l), ScalarExpr::Literal(h)) =
+                    (lo.as_ref(), hi.as_ref())
+                {
+                    let x = expr.eval(batch)?;
+                    return Ok(Array::Boolean(
+                        cmp::between_scalar(&x, l, h).map_err(EngineError::Columnar)?,
+                    ));
+                }
+                let x = expr.eval(batch)?;
+                let l = lo.eval(batch)?;
+                let h = hi.eval(batch)?;
+                let ge = cmp::compare(&x, &l, CmpOp::GtEq).map_err(EngineError::Columnar)?;
+                let le = cmp::compare(&x, &h, CmpOp::LtEq).map_err(EngineError::Columnar)?;
+                Ok(Array::Boolean(
+                    boolean::and(&ge, &le).map_err(EngineError::Columnar)?,
+                ))
+            }
+            ScalarExpr::Cast { expr, to } => {
+                let x = expr.eval(batch)?;
+                cast(&x, *to).map_err(EngineError::Columnar)
+            }
+            ScalarExpr::Negate(e) => {
+                let x = e.eval(batch)?;
+                negate(&x).map_err(EngineError::Columnar)
+            }
+            ScalarExpr::IsNull(e) => {
+                let x = e.eval(batch)?;
+                Ok(Array::Boolean(cmp::is_null(&x)))
+            }
+            ScalarExpr::IsNotNull(e) => {
+                let x = e.eval(batch)?;
+                Ok(Array::Boolean(cmp::is_not_null(&x)))
+            }
+        }
+    }
+
+    /// Column indices this expression reads.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            ScalarExpr::Column { index, .. } => {
+                if !out.contains(index) {
+                    out.push(*index);
+                }
+            }
+            ScalarExpr::Literal(_) => {}
+            ScalarExpr::Cmp { left, right, .. } | ScalarExpr::Arith { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) => {
+                a.referenced_columns(out);
+                b.referenced_columns(out);
+            }
+            ScalarExpr::Not(e)
+            | ScalarExpr::Cast { expr: e, .. }
+            | ScalarExpr::Negate(e)
+            | ScalarExpr::IsNull(e)
+            | ScalarExpr::IsNotNull(e) => e.referenced_columns(out),
+            ScalarExpr::Between { expr, lo, hi } => {
+                expr.referenced_columns(out);
+                lo.referenced_columns(out);
+                hi.referenced_columns(out);
+            }
+        }
+    }
+
+    /// Rewrite column indices through `map` (old → new).
+    pub fn remap_columns(&self, map: &dyn Fn(usize) -> usize) -> ScalarExpr {
+        match self {
+            ScalarExpr::Column { index, name, dtype } => ScalarExpr::Column {
+                index: map(*index),
+                name: name.clone(),
+                dtype: *dtype,
+            },
+            ScalarExpr::Literal(s) => ScalarExpr::Literal(s.clone()),
+            ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+                op: *op,
+                left: Arc::new(left.remap_columns(map)),
+                right: Arc::new(right.remap_columns(map)),
+            },
+            ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+                op: *op,
+                left: Arc::new(left.remap_columns(map)),
+                right: Arc::new(right.remap_columns(map)),
+            },
+            ScalarExpr::And(a, b) => ScalarExpr::And(
+                Arc::new(a.remap_columns(map)),
+                Arc::new(b.remap_columns(map)),
+            ),
+            ScalarExpr::Or(a, b) => ScalarExpr::Or(
+                Arc::new(a.remap_columns(map)),
+                Arc::new(b.remap_columns(map)),
+            ),
+            ScalarExpr::Not(e) => ScalarExpr::Not(Arc::new(e.remap_columns(map))),
+            ScalarExpr::Between { expr, lo, hi } => ScalarExpr::Between {
+                expr: Arc::new(expr.remap_columns(map)),
+                lo: Arc::new(lo.remap_columns(map)),
+                hi: Arc::new(hi.remap_columns(map)),
+            },
+            ScalarExpr::Cast { expr, to } => ScalarExpr::Cast {
+                expr: Arc::new(expr.remap_columns(map)),
+                to: *to,
+            },
+            ScalarExpr::Negate(e) => ScalarExpr::Negate(Arc::new(e.remap_columns(map))),
+            ScalarExpr::IsNull(e) => ScalarExpr::IsNull(Arc::new(e.remap_columns(map))),
+            ScalarExpr::IsNotNull(e) => ScalarExpr::IsNotNull(Arc::new(e.remap_columns(map))),
+        }
+    }
+
+    /// Complexity weight per row (mirrors `substrait_ir::Expr::op_weight`).
+    pub fn weight(&self) -> u32 {
+        match self {
+            ScalarExpr::Column { .. } | ScalarExpr::Literal(_) => 0,
+            ScalarExpr::Cmp { left, right, .. } => 1 + left.weight() + right.weight(),
+            ScalarExpr::Arith { op, left, right } => {
+                let base = match op {
+                    ArithOp::Div | ArithOp::Mod => 4,
+                    _ => 1,
+                };
+                base + left.weight() + right.weight()
+            }
+            ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) => 1 + a.weight() + b.weight(),
+            ScalarExpr::Not(e) | ScalarExpr::Negate(e) => 1 + e.weight(),
+            ScalarExpr::Between { expr, lo, hi } => {
+                2 + expr.weight() + lo.weight() + hi.weight()
+            }
+            ScalarExpr::Cast { expr, .. } => 1 + expr.weight(),
+            ScalarExpr::IsNull(e) | ScalarExpr::IsNotNull(e) => 1 + e.weight(),
+        }
+    }
+
+    /// True if the expression contains no column references (foldable).
+    pub fn is_constant(&self) -> bool {
+        let mut refs = Vec::new();
+        self.referenced_columns(&mut refs);
+        refs.is_empty()
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Column { name, .. } => write!(f, "{name}"),
+            ScalarExpr::Literal(s) => write!(f, "{s}"),
+            ScalarExpr::Cmp { op, left, right } => {
+                write!(f, "({left} {} {right})", op.sql())
+            }
+            ScalarExpr::Arith { op, left, right } => {
+                write!(f, "({left} {} {right})", op.sql())
+            }
+            ScalarExpr::And(a, b) => write!(f, "({a} AND {b})"),
+            ScalarExpr::Or(a, b) => write!(f, "({a} OR {b})"),
+            ScalarExpr::Not(e) => write!(f, "(NOT {e})"),
+            ScalarExpr::Between { expr, lo, hi } => {
+                write!(f, "({expr} BETWEEN {lo} AND {hi})")
+            }
+            ScalarExpr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+            ScalarExpr::Negate(e) => write!(f, "(-{e})"),
+            ScalarExpr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            ScalarExpr::IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
+        }
+    }
+}
+
+/// One aggregate call in an `Aggregate` plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateCall {
+    /// The function.
+    pub func: columnar::agg::AggFunc,
+    /// Argument expression (None = `COUNT(*)`).
+    pub arg: Option<ScalarExpr>,
+    /// Output column name.
+    pub output_name: String,
+}
+
+impl AggregateCall {
+    /// Output type of this call.
+    pub fn output_type(&self) -> EResult<DataType> {
+        self.func
+            .result_type(self.arg.as_ref().map(|a| a.data_type()))
+            .map_err(EngineError::Columnar)
+    }
+}
+
+impl fmt::Display for AggregateCall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}({})",
+            self.func.sql(),
+            self.arg
+                .as_ref()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|| "*".into())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc as StdArc;
+
+    fn batch() -> RecordBatch {
+        let schema = StdArc::new(Schema::new(vec![
+            Field::new("a", DataType::Int64, false),
+            Field::new("x", DataType::Float64, false),
+        ]));
+        RecordBatch::try_new(
+            schema,
+            vec![
+                StdArc::new(Array::from_i64(vec![1, 2, 3, 4])),
+                StdArc::new(Array::from_f64(vec![0.5, 1.5, 2.5, 3.5])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn eval_comparison_and_boolean() {
+        let b = batch();
+        let e = ScalarExpr::And(
+            Arc::new(ScalarExpr::Cmp {
+                op: CmpOp::Gt,
+                left: Arc::new(ScalarExpr::col(0, "a", DataType::Int64)),
+                right: Arc::new(ScalarExpr::lit(Scalar::Int64(1))),
+            }),
+            Arc::new(ScalarExpr::Cmp {
+                op: CmpOp::Lt,
+                left: Arc::new(ScalarExpr::col(1, "x", DataType::Float64)),
+                right: Arc::new(ScalarExpr::lit(Scalar::Float64(3.0))),
+            }),
+        );
+        let out = e.eval(&b).unwrap();
+        let mask = out.as_bool().unwrap();
+        assert_eq!(mask.values.set_indices(), vec![1, 2]);
+        assert_eq!(e.data_type(), DataType::Boolean);
+    }
+
+    #[test]
+    fn eval_arithmetic_expression() {
+        let b = batch();
+        // (a % 3) / 2 over ints.
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Div,
+            left: Arc::new(ScalarExpr::Arith {
+                op: ArithOp::Mod,
+                left: Arc::new(ScalarExpr::col(0, "a", DataType::Int64)),
+                right: Arc::new(ScalarExpr::lit(Scalar::Int64(3))),
+            }),
+            right: Arc::new(ScalarExpr::lit(Scalar::Int64(2))),
+        };
+        let out = e.eval(&b).unwrap();
+        assert_eq!(out.as_i64().unwrap().values, vec![0, 1, 0, 0]);
+        assert_eq!(e.data_type(), DataType::Int64);
+        assert!(e.weight() >= 8, "division-heavy expr weight {}", e.weight());
+    }
+
+    #[test]
+    fn eval_literal_flipped_comparison() {
+        let b = batch();
+        // 2 < a  ==  a > 2.
+        let e = ScalarExpr::Cmp {
+            op: CmpOp::Lt,
+            left: Arc::new(ScalarExpr::lit(Scalar::Int64(2))),
+            right: Arc::new(ScalarExpr::col(0, "a", DataType::Int64)),
+        };
+        let out = e.eval(&b).unwrap();
+        assert_eq!(out.as_bool().unwrap().values.set_indices(), vec![2, 3]);
+    }
+
+    #[test]
+    fn eval_between_and_cast() {
+        let b = batch();
+        let e = ScalarExpr::Between {
+            expr: Arc::new(ScalarExpr::col(1, "x", DataType::Float64)),
+            lo: Arc::new(ScalarExpr::lit(Scalar::Float64(1.0))),
+            hi: Arc::new(ScalarExpr::lit(Scalar::Float64(3.0))),
+        };
+        let out = e.eval(&b).unwrap();
+        assert_eq!(out.as_bool().unwrap().values.set_indices(), vec![1, 2]);
+        let c = ScalarExpr::Cast {
+            expr: Arc::new(ScalarExpr::col(0, "a", DataType::Int64)),
+            to: DataType::Float64,
+        };
+        assert_eq!(c.eval(&b).unwrap().data_type(), DataType::Float64);
+    }
+
+    #[test]
+    fn referenced_and_remap() {
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Add,
+            left: Arc::new(ScalarExpr::col(3, "p", DataType::Int64)),
+            right: Arc::new(ScalarExpr::col(1, "q", DataType::Int64)),
+        };
+        let mut refs = Vec::new();
+        e.referenced_columns(&mut refs);
+        assert_eq!(refs, vec![3, 1]);
+        let r = e.remap_columns(&|i| i * 10);
+        let mut refs = Vec::new();
+        r.referenced_columns(&mut refs);
+        assert_eq!(refs, vec![30, 10]);
+    }
+
+    #[test]
+    fn constant_detection() {
+        assert!(ScalarExpr::lit(Scalar::Int64(5)).is_constant());
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Mul,
+            left: Arc::new(ScalarExpr::lit(Scalar::Int64(500))),
+            right: Arc::new(ScalarExpr::lit(Scalar::Int64(500))),
+        };
+        assert!(e.is_constant());
+        assert!(!ScalarExpr::col(0, "a", DataType::Int64).is_constant());
+    }
+}

@@ -1,0 +1,265 @@
+//! Constant folding: evaluate literal-only subexpressions at plan time.
+
+use std::sync::Arc;
+
+use columnar::kernels::arith::ArithOp;
+use columnar::{DataType, Scalar};
+
+use crate::error::EResult;
+use crate::expr::{AggregateCall, ScalarExpr};
+use crate::plan::LogicalPlan;
+
+/// Evaluate a literal-only expression to a scalar, if possible.
+fn const_eval(e: &ScalarExpr) -> Option<Scalar> {
+    match e {
+        ScalarExpr::Literal(s) => Some(s.clone()),
+        ScalarExpr::Arith { op, left, right } => {
+            let l = const_eval(left)?;
+            let r = const_eval(right)?;
+            if l.is_null() || r.is_null() {
+                return Some(Scalar::Null);
+            }
+            // Date ± days keeps Date32.
+            if let (Scalar::Date32(d), Some(n)) = (&l, r.as_i64()) {
+                return match op {
+                    ArithOp::Add => Some(Scalar::Date32(d.wrapping_add(n as i32))),
+                    ArithOp::Sub => Some(Scalar::Date32(d.wrapping_sub(n as i32))),
+                    _ => None,
+                };
+            }
+            match (l.data_type()?, r.data_type()?) {
+                (DataType::Int64, DataType::Int64) => {
+                    let (a, b) = (l.as_i64()?, r.as_i64()?);
+                    Some(match op {
+                        ArithOp::Add => Scalar::Int64(a.wrapping_add(b)),
+                        ArithOp::Sub => Scalar::Int64(a.wrapping_sub(b)),
+                        ArithOp::Mul => Scalar::Int64(a.wrapping_mul(b)),
+                        ArithOp::Div => {
+                            if b == 0 {
+                                Scalar::Null
+                            } else {
+                                Scalar::Int64(a.wrapping_div(b))
+                            }
+                        }
+                        ArithOp::Mod => {
+                            if b == 0 {
+                                Scalar::Null
+                            } else {
+                                Scalar::Int64(a.wrapping_rem(b))
+                            }
+                        }
+                    })
+                }
+                _ => {
+                    let (a, b) = (l.as_f64()?, r.as_f64()?);
+                    Some(Scalar::Float64(match op {
+                        ArithOp::Add => a + b,
+                        ArithOp::Sub => a - b,
+                        ArithOp::Mul => a * b,
+                        ArithOp::Div => a / b,
+                        ArithOp::Mod => a % b,
+                    }))
+                }
+            }
+        }
+        ScalarExpr::Cmp { op, left, right } => {
+            let l = const_eval(left)?;
+            let r = const_eval(right)?;
+            if l.is_null() || r.is_null() {
+                return Some(Scalar::Null);
+            }
+            use columnar::kernels::cmp::CmpOp::*;
+            let ord = l.total_cmp(&r);
+            Some(Scalar::Boolean(match op {
+                Eq => ord.is_eq(),
+                NotEq => ord.is_ne(),
+                Lt => ord.is_lt(),
+                LtEq => ord.is_le(),
+                Gt => ord.is_gt(),
+                GtEq => ord.is_ge(),
+            }))
+        }
+        ScalarExpr::Negate(inner) => match const_eval(inner)? {
+            Scalar::Int64(v) => Some(Scalar::Int64(v.wrapping_neg())),
+            Scalar::Float64(v) => Some(Scalar::Float64(-v)),
+            Scalar::Null => Some(Scalar::Null),
+            _ => None,
+        },
+        ScalarExpr::Not(inner) => match const_eval(inner)? {
+            Scalar::Boolean(b) => Some(Scalar::Boolean(!b)),
+            Scalar::Null => Some(Scalar::Null),
+            _ => None,
+        },
+        ScalarExpr::Cast { expr, to } => const_eval(expr)?.cast(*to).ok(),
+        _ => None,
+    }
+}
+
+/// Fold an expression tree (post-order).
+pub fn fold_expr(e: &ScalarExpr) -> ScalarExpr {
+    // Fold this node wholesale if possible.
+    if !matches!(e, ScalarExpr::Literal(_)) {
+        if let Some(s) = const_eval(e) {
+            return ScalarExpr::Literal(s);
+        }
+    }
+    match e {
+        ScalarExpr::Cmp { op, left, right } => ScalarExpr::Cmp {
+            op: *op,
+            left: Arc::new(fold_expr(left)),
+            right: Arc::new(fold_expr(right)),
+        },
+        ScalarExpr::Arith { op, left, right } => ScalarExpr::Arith {
+            op: *op,
+            left: Arc::new(fold_expr(left)),
+            right: Arc::new(fold_expr(right)),
+        },
+        ScalarExpr::And(a, b) => {
+            ScalarExpr::And(Arc::new(fold_expr(a)), Arc::new(fold_expr(b)))
+        }
+        ScalarExpr::Or(a, b) => ScalarExpr::Or(Arc::new(fold_expr(a)), Arc::new(fold_expr(b))),
+        ScalarExpr::Not(x) => ScalarExpr::Not(Arc::new(fold_expr(x))),
+        ScalarExpr::Between { expr, lo, hi } => ScalarExpr::Between {
+            expr: Arc::new(fold_expr(expr)),
+            lo: Arc::new(fold_expr(lo)),
+            hi: Arc::new(fold_expr(hi)),
+        },
+        ScalarExpr::Cast { expr, to } => ScalarExpr::Cast {
+            expr: Arc::new(fold_expr(expr)),
+            to: *to,
+        },
+        ScalarExpr::Negate(x) => ScalarExpr::Negate(Arc::new(fold_expr(x))),
+        ScalarExpr::IsNull(x) => ScalarExpr::IsNull(Arc::new(fold_expr(x))),
+        ScalarExpr::IsNotNull(x) => ScalarExpr::IsNotNull(Arc::new(fold_expr(x))),
+        other => other.clone(),
+    }
+}
+
+/// Fold every expression in the plan.
+pub fn fold_constants(plan: LogicalPlan) -> EResult<LogicalPlan> {
+    Ok(match plan {
+        LogicalPlan::TableScan(s) => LogicalPlan::TableScan(s),
+        LogicalPlan::Filter { input, predicate } => LogicalPlan::Filter {
+            input: Box::new(fold_constants(*input)?),
+            predicate: fold_expr(&predicate),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(fold_constants(*input)?),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (fold_expr(&e), n))
+                .collect(),
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(fold_constants(*input)?),
+            group_by: group_by
+                .into_iter()
+                .map(|(e, n)| (fold_expr(&e), n))
+                .collect(),
+            aggs: aggs
+                .into_iter()
+                .map(|a| AggregateCall {
+                    func: a.func,
+                    arg: a.arg.as_ref().map(fold_expr),
+                    output_name: a.output_name,
+                })
+                .collect(),
+        },
+        LogicalPlan::Sort { input, keys } => LogicalPlan::Sort {
+            input: Box::new(fold_constants(*input)?),
+            keys,
+        },
+        LogicalPlan::TopN { input, keys, limit } => LogicalPlan::TopN {
+            input: Box::new(fold_constants(*input)?),
+            keys,
+            limit,
+        },
+        LogicalPlan::Limit { input, limit } => LogicalPlan::Limit {
+            input: Box::new(fold_constants(*input)?),
+            limit,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::kernels::cmp::CmpOp;
+
+    fn lit_i(v: i64) -> ScalarExpr {
+        ScalarExpr::lit(Scalar::Int64(v))
+    }
+
+    #[test]
+    fn folds_tpch_date_arithmetic() {
+        // DATE '1998-12-01' - INTERVAL '90' DAY (interval resolved to Int64).
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Sub,
+            left: Arc::new(ScalarExpr::lit(Scalar::Date32(10561))),
+            right: Arc::new(lit_i(90)),
+        };
+        assert_eq!(fold_expr(&e), ScalarExpr::lit(Scalar::Date32(10471)));
+    }
+
+    #[test]
+    fn folds_deepwater_modulus_constant() {
+        // 500 * 500.
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Mul,
+            left: Arc::new(lit_i(500)),
+            right: Arc::new(lit_i(500)),
+        };
+        assert_eq!(fold_expr(&e), lit_i(250_000));
+    }
+
+    #[test]
+    fn folds_inside_non_constant_parent() {
+        // (a % (500*500)) stays an Arith but its right side folds.
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Mod,
+            left: Arc::new(ScalarExpr::col(0, "a", DataType::Int64)),
+            right: Arc::new(ScalarExpr::Arith {
+                op: ArithOp::Mul,
+                left: Arc::new(lit_i(500)),
+                right: Arc::new(lit_i(500)),
+            }),
+        };
+        match fold_expr(&e) {
+            ScalarExpr::Arith { right, .. } => {
+                assert_eq!(right.as_ref(), &lit_i(250_000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folds_comparisons_and_division_by_zero() {
+        let e = ScalarExpr::Cmp {
+            op: CmpOp::Lt,
+            left: Arc::new(lit_i(1)),
+            right: Arc::new(lit_i(2)),
+        };
+        assert_eq!(fold_expr(&e), ScalarExpr::lit(Scalar::Boolean(true)));
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Div,
+            left: Arc::new(lit_i(1)),
+            right: Arc::new(lit_i(0)),
+        };
+        assert_eq!(fold_expr(&e), ScalarExpr::lit(Scalar::Null));
+    }
+
+    #[test]
+    fn float_folding() {
+        // 1 - 0.05 -> 0.95.
+        let e = ScalarExpr::Arith {
+            op: ArithOp::Sub,
+            left: Arc::new(lit_i(1)),
+            right: Arc::new(ScalarExpr::lit(Scalar::Float64(0.05))),
+        };
+        assert_eq!(fold_expr(&e), ScalarExpr::lit(Scalar::Float64(0.95)));
+    }
+}

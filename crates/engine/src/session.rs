@@ -1,0 +1,255 @@
+//! The engine façade: connector registry, query lifecycle, event listeners.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use columnar::prelude::*;
+use netsim::{ClusterSpec, Ledger, Phase};
+use parking_lot::RwLock;
+
+use crate::analyzer::{analyze, AnalyzedQuery};
+use crate::catalog::Metastore;
+use crate::cost::CostParams;
+use crate::error::{EngineError, EResult};
+use crate::exec::execute_plan;
+use crate::optimizer;
+use crate::plan::LogicalPlan;
+use crate::spi::{Connector, OptimizerContext};
+
+/// Event emitted after every query (Presto's `EventListener` mechanism,
+/// which the paper's connector uses for pushdown monitoring).
+#[derive(Debug, Clone)]
+pub struct QueryEvent {
+    /// The SQL text.
+    pub sql: String,
+    /// Operator chain of the *optimized* plan.
+    pub chain: String,
+    /// Total simulated seconds.
+    pub simulated_seconds: f64,
+    /// Bytes moved storage → compute.
+    pub moved_bytes: u64,
+    /// Rows returned to the client.
+    pub result_rows: u64,
+    /// Description of the scan handle (reveals what was pushed down).
+    pub scan_handle: String,
+    /// Per-phase breakdown `(label, seconds, share %)`.
+    pub breakdown: Vec<(String, f64, f64)>,
+}
+
+/// Observer of query completion.
+pub trait EventListener: Send + Sync {
+    /// Called once per successfully executed query.
+    fn query_completed(&self, event: &QueryEvent);
+}
+
+/// A finished query.
+#[derive(Debug)]
+pub struct QueryResult {
+    /// Client-visible rows (output projection and names applied).
+    pub batch: RecordBatch,
+    /// Simulated-time ledger.
+    pub ledger: Ledger,
+    /// Total simulated seconds.
+    pub simulated_seconds: f64,
+    /// Bytes moved storage → compute.
+    pub moved_bytes: u64,
+    /// Link round trips.
+    pub moved_requests: u64,
+    /// Splits executed.
+    pub splits: usize,
+    /// Pretty-printed logical plan (pre-optimization).
+    pub logical_plan: String,
+    /// Pretty-printed optimized plan (post connector pushdown).
+    pub optimized_plan: String,
+    /// Operator chain string (Table 2 style).
+    pub chain: String,
+}
+
+/// Builder for [`Engine`].
+pub struct EngineBuilder {
+    cluster: ClusterSpec,
+    cost: CostParams,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        EngineBuilder {
+            cluster: ClusterSpec::paper_testbed(),
+            cost: CostParams::default(),
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Start from defaults (the paper's testbed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Override the cluster model.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cluster = cluster;
+        self
+    }
+
+    /// Override cost parameters.
+    pub fn cost(mut self, cost: CostParams) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Build the engine.
+    pub fn build(self) -> Engine {
+        Engine {
+            metastore: Arc::new(Metastore::new()),
+            connectors: RwLock::new(HashMap::new()),
+            listeners: RwLock::new(Vec::new()),
+            cluster: self.cluster,
+            cost: self.cost,
+        }
+    }
+}
+
+/// The query engine (coordinator + in-process workers).
+pub struct Engine {
+    metastore: Arc<Metastore>,
+    connectors: RwLock<HashMap<String, Arc<dyn Connector>>>,
+    listeners: RwLock<Vec<Arc<dyn EventListener>>>,
+    cluster: ClusterSpec,
+    cost: CostParams,
+}
+
+impl Engine {
+    /// The metastore, for dataset registration.
+    pub fn metastore(&self) -> &Arc<Metastore> {
+        &self.metastore
+    }
+
+    /// The cluster model in force.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The cost parameters in force.
+    pub fn cost_params(&self) -> &CostParams {
+        &self.cost
+    }
+
+    /// Register a connector under its own name.
+    pub fn register_connector(&self, connector: Arc<dyn Connector>) {
+        self.connectors
+            .write()
+            .insert(connector.name().to_string(), connector);
+    }
+
+    /// Attach an event listener.
+    pub fn add_listener(&self, listener: Arc<dyn EventListener>) {
+        self.listeners.write().push(listener);
+    }
+
+    /// Parse + analyze + optimize, without executing. Returns the analyzed
+    /// query and the optimized plan.
+    pub fn plan(&self, sql: &str) -> EResult<(AnalyzedQuery, LogicalPlan)> {
+        let query = sqlparse::parse(sql)?;
+        let analyzed = analyze(&query, &self.metastore)?;
+        let plan = optimizer::optimize(analyzed.plan.clone())?;
+        // Connector-specific local optimization (the paper's hook).
+        let scan_connector = plan.scan().connector.clone();
+        let plan = match self
+            .connectors
+            .read()
+            .get(&scan_connector)
+            .and_then(|c| c.plan_optimizer())
+        {
+            Some(opt) => {
+                let ctx = OptimizerContext {
+                    metastore: &self.metastore,
+                    cost: &self.cost,
+                };
+                opt.optimize(plan, &ctx)?
+            }
+            None => plan,
+        };
+        plan.validate()?;
+        Ok((analyzed, plan))
+    }
+
+    /// Execute a SQL query end to end.
+    pub fn execute(&self, sql: &str) -> EResult<QueryResult> {
+        let query = sqlparse::parse(sql)?;
+        let analyzed = analyze(&query, &self.metastore)?;
+        let logical_plan = analyzed.plan.to_string();
+
+        let pre = optimizer::optimize(analyzed.plan.clone())?;
+        // Bill the connector plan traversal (Table 3 "Logical Plan
+        // Analysis") even when no connector hook is present, since the
+        // traversal itself always happens.
+        let analysis_work = self.cost.plan_node_analyze * pre.node_count() as f64;
+
+        let scan_connector = pre.scan().connector.clone();
+        let connectors = self.connectors.read().clone();
+        let plan = match connectors
+            .get(&scan_connector)
+            .and_then(|c| c.plan_optimizer())
+        {
+            Some(opt) => {
+                let ctx = OptimizerContext {
+                    metastore: &self.metastore,
+                    cost: &self.cost,
+                };
+                opt.optimize(pre, &ctx)?
+            }
+            None => pre,
+        };
+        plan.validate()?;
+        let optimized_plan = plan.to_string();
+        let chain = plan.chain_description();
+
+        let outcome = execute_plan(&plan, &self.metastore, &connectors, &self.cluster, &self.cost)?;
+        outcome.ledger.add(
+            Phase::PlanAnalysis,
+            self.cluster.compute.core_seconds(analysis_work),
+        );
+
+        // Apply the client output projection (names + order).
+        let projected = outcome.batch.project(&analyzed.output_columns)?;
+        let fields = projected
+            .schema()
+            .fields()
+            .iter()
+            .zip(&analyzed.output_names)
+            .map(|(f, name)| Field::new(name.clone(), f.data_type, f.nullable))
+            .collect::<Vec<_>>();
+        let batch = RecordBatch::try_new(
+            Arc::new(Schema::new(fields)),
+            projected.columns().to_vec(),
+        )
+        .map_err(EngineError::Columnar)?;
+
+        let simulated_seconds = outcome.ledger.total();
+        let event = QueryEvent {
+            sql: sql.to_string(),
+            chain: chain.clone(),
+            simulated_seconds,
+            moved_bytes: outcome.moved_bytes,
+            result_rows: batch.num_rows() as u64,
+            scan_handle: plan.scan().handle.describe(),
+            breakdown: outcome.ledger.breakdown(),
+        };
+        for l in self.listeners.read().iter() {
+            l.query_completed(&event);
+        }
+
+        Ok(QueryResult {
+            batch,
+            simulated_seconds,
+            moved_bytes: outcome.moved_bytes,
+            moved_requests: outcome.moved_requests,
+            splits: outcome.splits,
+            ledger: outcome.ledger,
+            logical_plan,
+            optimized_plan,
+            chain,
+        })
+    }
+}

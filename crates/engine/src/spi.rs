@@ -1,0 +1,212 @@
+//! The Connector Service Provider Interface (SPI) — the seam the paper's
+//! connector plugs into, mirroring Presto's `ConnectorPlanOptimizer`,
+//! `ConnectorSplitManager` and `ConnectorPageSourceProvider`.
+
+use std::any::Any;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+use columnar::RecordBatch;
+
+use crate::catalog::{Metastore, TableMeta};
+use crate::cost::CostParams;
+use crate::error::EResult;
+use crate::plan::{LogicalPlan, TableScanNode};
+
+/// Connector-private scan state attached to a [`TableScanNode`]. The OCS
+/// connector stores the whole pushed-down operator chain in its handle —
+/// the paper's "modified TableScan operator [that] encapsulates the
+/// pushdown operators".
+pub trait TableHandle: Send + Sync + Debug {
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// One-line description for plan display.
+    fn describe(&self) -> String;
+}
+
+/// The default handle: a plain scan, optionally with a column projection
+/// (ordinals into the table schema).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DefaultTableHandle {
+    /// Columns the scan should emit (None = all).
+    pub projection: Option<Vec<usize>>,
+}
+
+impl DefaultTableHandle {
+    /// A handle emitting every column.
+    pub fn all_columns() -> Self {
+        DefaultTableHandle { projection: None }
+    }
+
+    /// A handle emitting the given column ordinals.
+    pub fn projected(projection: Vec<usize>) -> Self {
+        DefaultTableHandle {
+            projection: Some(projection),
+        }
+    }
+}
+
+impl TableHandle for DefaultTableHandle {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn describe(&self) -> String {
+        match &self.projection {
+            None => "columns=*".into(),
+            Some(p) => format!("columns={p:?}"),
+        }
+    }
+}
+
+/// A unit of parallel scan work: one storage object.
+#[derive(Debug, Clone)]
+pub struct Split {
+    /// Serving connector.
+    pub connector: String,
+    /// Table name.
+    pub table: String,
+    /// Object bucket.
+    pub bucket: String,
+    /// Object key.
+    pub key: String,
+    /// Scan handle (shared with the scan node).
+    pub handle: Arc<dyn TableHandle>,
+    /// Sequence number for deterministic ordering.
+    pub seq: usize,
+}
+
+/// What a page source returns for one split: the data plus the simulated
+/// resource consumption needed to produce and move it.
+#[derive(Debug, Clone, Default)]
+pub struct PageSourceResult {
+    /// The scan output (post any connector-side pushdown).
+    pub batches: Vec<RecordBatch>,
+    /// Core-seconds of operator work on the storage node.
+    pub storage_cpu_s: f64,
+    /// Core-seconds of decompression on the storage node.
+    pub storage_decompress_s: f64,
+    /// Compressed bytes read from the storage node's disk.
+    pub disk_bytes: u64,
+    /// Bytes that crossed the storage→compute link for this split.
+    pub network_bytes: u64,
+    /// Request/response exchanges on the link.
+    pub network_requests: u64,
+    /// Core-seconds on the OCS frontend node.
+    pub frontend_cpu_s: f64,
+    /// Core-seconds of Substrait IR generation (billed to the compute
+    /// node, Table 3's "Substrait IR Generation" row).
+    pub substrait_gen_s: f64,
+    /// Core-seconds of result deserialization on the compute node.
+    pub compute_deser_s: f64,
+}
+
+/// Creates page sources for splits (Presto's `ConnectorPageSourceProvider`).
+pub trait PageSourceProvider: Send + Sync {
+    /// Fetch (and possibly storage-side execute) one split.
+    fn create(&self, split: &Split) -> EResult<PageSourceResult>;
+}
+
+/// Enumerates splits for a scan (Presto's `ConnectorSplitManager`).
+pub trait SplitManager: Send + Sync {
+    /// One split per storage object by default.
+    fn splits(&self, table: &TableMeta, scan: &TableScanNode) -> EResult<Vec<Split>> {
+        Ok(table
+            .objects
+            .iter()
+            .enumerate()
+            .map(|(seq, obj)| Split {
+                connector: scan.connector.clone(),
+                table: table.name.clone(),
+                bucket: obj.bucket.clone(),
+                key: obj.key.clone(),
+                handle: scan.handle.clone(),
+                seq,
+            })
+            .collect())
+    }
+}
+
+/// Context handed to connector plan optimizers.
+pub struct OptimizerContext<'a> {
+    /// The metastore (for statistics).
+    pub metastore: &'a Metastore,
+    /// Cost parameters in force.
+    pub cost: &'a CostParams,
+}
+
+/// The connector-specific local-optimizer hook (Presto's
+/// `ConnectorPlanOptimizer`): inspect the plan after global optimization
+/// and rewrite the subtree it owns.
+pub trait ConnectorPlanOptimizer: Send + Sync {
+    /// Return the (possibly rewritten) plan.
+    fn optimize(&self, plan: LogicalPlan, ctx: &OptimizerContext<'_>) -> EResult<LogicalPlan>;
+}
+
+/// A storage connector: the unit of pluggability.
+pub trait Connector: Send + Sync {
+    /// Registry name (matched against `TableMeta::connector`).
+    fn name(&self) -> &str;
+    /// Optional plan-optimizer hook.
+    fn plan_optimizer(&self) -> Option<Arc<dyn ConnectorPlanOptimizer>> {
+        None
+    }
+    /// Split enumeration.
+    fn split_manager(&self) -> Arc<dyn SplitManager>;
+    /// Page sources.
+    fn page_source_provider(&self) -> Arc<dyn PageSourceProvider>;
+}
+
+/// Pass-through split manager usable by simple connectors.
+#[derive(Debug, Default)]
+pub struct DefaultSplitManager;
+
+impl SplitManager for DefaultSplitManager {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{ObjectLocation, TableStats};
+    use columnar::{DataType, Field, Schema};
+
+    #[test]
+    fn default_split_manager_one_split_per_object() {
+        let schema = Arc::new(Schema::new(vec![Field::new("a", DataType::Int64, false)]));
+        let meta = TableMeta {
+            name: "t".into(),
+            connector: "raw".into(),
+            schema: schema.clone(),
+            objects: (0..3)
+                .map(|i| ObjectLocation {
+                    bucket: "b".into(),
+                    key: format!("t/{i}"),
+                    rows: 10,
+                    bytes: 100,
+                    ..Default::default()
+                })
+                .collect(),
+            stats: TableStats::default(),
+        };
+        let scan = TableScanNode {
+            table: "t".into(),
+            connector: "raw".into(),
+            output_schema: schema,
+            handle: Arc::new(DefaultTableHandle::all_columns()),
+        };
+        let splits = DefaultSplitManager.splits(&meta, &scan).unwrap();
+        assert_eq!(splits.len(), 3);
+        assert_eq!(splits[2].key, "t/2");
+        assert_eq!(splits[2].seq, 2);
+    }
+
+    #[test]
+    fn handle_downcast() {
+        let h: Arc<dyn TableHandle> = Arc::new(DefaultTableHandle::projected(vec![1, 3]));
+        let back = h
+            .as_any()
+            .downcast_ref::<DefaultTableHandle>()
+            .expect("downcast");
+        assert_eq!(back.projection, Some(vec![1, 3]));
+        assert!(h.describe().contains("[1, 3]"));
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based round-trip tests: every codec must be lossless on
+//! arbitrary byte strings, including highly structured and adversarial
+//! inputs.
+
+use lzcodec::{compress, decompress, CodecKind};
+use proptest::prelude::*;
+
+fn roundtrip(kind: CodecKind, data: &[u8]) {
+    let packed = compress(kind, data);
+    let back = decompress(kind, &packed).expect("decompress own output");
+    assert_eq!(back.as_slice(), data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snap_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..20_000)) {
+        roundtrip(CodecKind::Snap, &data);
+    }
+
+    #[test]
+    fn gz_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
+        roundtrip(CodecKind::Gz, &data);
+    }
+
+    #[test]
+    fn zst_roundtrip_arbitrary(data in proptest::collection::vec(any::<u8>(), 0..8_000)) {
+        roundtrip(CodecKind::Zst, &data);
+    }
+
+    #[test]
+    fn roundtrip_structured(
+        seed in any::<u8>(),
+        period in 1usize..300,
+        reps in 1usize..200,
+    ) {
+        // Periodic data with every period, stressing match distances.
+        let data: Vec<u8> = (0..period * reps)
+            .map(|i| seed.wrapping_add((i % period) as u8))
+            .collect();
+        for kind in CodecKind::ALL {
+            roundtrip(kind, &data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_low_entropy(
+        byte in any::<u8>(),
+        len in 0usize..50_000,
+    ) {
+        let data = vec![byte; len];
+        for kind in CodecKind::ALL {
+            roundtrip(kind, &data);
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(
+        kind_tag in 1u8..4,
+        data in proptest::collection::vec(any::<u8>(), 0..2_000),
+    ) {
+        let kind = CodecKind::from_tag(kind_tag).unwrap();
+        // Must return Ok or Err, never panic or hang.
+        let _ = decompress(kind, &data);
+    }
+
+    #[test]
+    fn compressed_of_compressed_still_roundtrips(
+        data in proptest::collection::vec(any::<u8>(), 0..4_000),
+    ) {
+        // Double compression is a classic corruption amplifier.
+        let once = compress(CodecKind::Zst, &data);
+        let twice = compress(CodecKind::Gz, &once);
+        let back1 = decompress(CodecKind::Gz, &twice).unwrap();
+        prop_assert_eq!(&back1, &once);
+        let back0 = decompress(CodecKind::Zst, &back1).unwrap();
+        prop_assert_eq!(back0, data);
+    }
+}

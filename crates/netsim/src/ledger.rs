@@ -1,0 +1,203 @@
+//! The [`Ledger`]: a thread-safe accumulator of simulated seconds, bucketed
+//! by execution phase. One ledger per query run; the bench harness reads it
+//! to print Figure-5/6 bars and the Table-3 breakdown.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Execution phases mirroring the paper's Table 3 breakdown (plus the
+/// storage-internal phases our simulation makes visible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Logical-plan traversal / pushdown analysis on the coordinator.
+    PlanAnalysis,
+    /// Substrait IR generation and serialization.
+    SubstraitGen,
+    /// Disk reads on the storage node.
+    StorageDisk,
+    /// Decompression on the storage node.
+    StorageDecompress,
+    /// In-storage operator execution (OCS embedded engine).
+    StorageCpu,
+    /// OCS frontend work (plan parse, dispatch, result relay).
+    FrontendCpu,
+    /// Network transfer storage → compute (the paper's "result transfer").
+    NetworkTransfer,
+    /// Post-scan operator execution on the Presto compute node.
+    ComputeCpu,
+    /// Everything else (scheduling, split generation, fixed per-query cost).
+    Other,
+}
+
+impl Phase {
+    /// All phases in presentation order.
+    pub const ALL: [Phase; 9] = [
+        Phase::PlanAnalysis,
+        Phase::SubstraitGen,
+        Phase::StorageDisk,
+        Phase::StorageDecompress,
+        Phase::StorageCpu,
+        Phase::FrontendCpu,
+        Phase::NetworkTransfer,
+        Phase::ComputeCpu,
+        Phase::Other,
+    ];
+
+    /// Display label matching the paper's Table 3 rows where applicable.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Phase::PlanAnalysis => "Logical Plan Analysis",
+            Phase::SubstraitGen => "Substrait IR Generation",
+            Phase::StorageDisk => "Storage Disk Read",
+            Phase::StorageDecompress => "Storage Decompression",
+            Phase::StorageCpu => "In-Storage Execution",
+            Phase::FrontendCpu => "OCS Frontend",
+            Phase::NetworkTransfer => "Pushdown & Result Transfer",
+            Phase::ComputeCpu => "Presto Execution (Post-Scan)",
+            Phase::Other => "Others",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Thread-safe bucketed accumulator of simulated seconds.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    buckets: Mutex<BTreeMap<Phase, f64>>,
+}
+
+impl Ledger {
+    /// New empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `seconds` of simulated time to `phase`.
+    pub fn add(&self, phase: Phase, seconds: f64) {
+        debug_assert!(seconds.is_finite() && seconds >= 0.0, "bad time {seconds}");
+        let mut b = self.buckets.lock();
+        *b.entry(phase).or_insert(0.0) += seconds;
+    }
+
+    /// Simulated seconds accumulated in `phase`.
+    pub fn get(&self, phase: Phase) -> f64 {
+        self.buckets.lock().get(&phase).copied().unwrap_or(0.0)
+    }
+
+    /// Total simulated seconds across all phases.
+    pub fn total(&self) -> f64 {
+        self.buckets.lock().values().sum()
+    }
+
+    /// Snapshot of all non-zero buckets in presentation order.
+    pub fn snapshot(&self) -> Vec<(Phase, f64)> {
+        let b = self.buckets.lock();
+        Phase::ALL
+            .iter()
+            .filter_map(|p| b.get(p).map(|&v| (*p, v)))
+            .filter(|(_, v)| *v > 0.0)
+            .collect()
+    }
+
+    /// Zero every bucket.
+    pub fn reset(&self) {
+        self.buckets.lock().clear();
+    }
+
+    /// Merge another ledger into this one.
+    pub fn merge(&self, other: &Ledger) {
+        let other_snapshot = other.snapshot();
+        let mut b = self.buckets.lock();
+        for (p, v) in other_snapshot {
+            *b.entry(p).or_insert(0.0) += v;
+        }
+    }
+
+    /// Render a Table-3-style breakdown (label, seconds, share%).
+    pub fn breakdown(&self) -> Vec<(String, f64, f64)> {
+        let total = self.total();
+        self.snapshot()
+            .into_iter()
+            .map(|(p, v)| {
+                (
+                    p.label().to_string(),
+                    v,
+                    if total > 0.0 { v / total * 100.0 } else { 0.0 },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_phase() {
+        let l = Ledger::new();
+        l.add(Phase::ComputeCpu, 1.5);
+        l.add(Phase::ComputeCpu, 0.5);
+        l.add(Phase::NetworkTransfer, 3.0);
+        assert_eq!(l.get(Phase::ComputeCpu), 2.0);
+        assert_eq!(l.get(Phase::NetworkTransfer), 3.0);
+        assert_eq!(l.get(Phase::Other), 0.0);
+        assert_eq!(l.total(), 5.0);
+    }
+
+    #[test]
+    fn snapshot_in_presentation_order() {
+        let l = Ledger::new();
+        l.add(Phase::ComputeCpu, 1.0);
+        l.add(Phase::PlanAnalysis, 0.1);
+        let s = l.snapshot();
+        assert_eq!(s[0].0, Phase::PlanAnalysis);
+        assert_eq!(s[1].0, Phase::ComputeCpu);
+    }
+
+    #[test]
+    fn breakdown_shares_sum_to_100() {
+        let l = Ledger::new();
+        l.add(Phase::PlanAnalysis, 1.0);
+        l.add(Phase::SubstraitGen, 1.0);
+        l.add(Phase::ComputeCpu, 2.0);
+        let shares: f64 = l.breakdown().iter().map(|(_, _, s)| s).sum();
+        assert!((shares - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_and_reset() {
+        let a = Ledger::new();
+        a.add(Phase::Other, 1.0);
+        let b = Ledger::new();
+        b.add(Phase::Other, 2.0);
+        b.add(Phase::StorageCpu, 4.0);
+        a.merge(&b);
+        assert_eq!(a.get(Phase::Other), 3.0);
+        assert_eq!(a.get(Phase::StorageCpu), 4.0);
+        a.reset();
+        assert_eq!(a.total(), 0.0);
+    }
+
+    #[test]
+    fn concurrent_adds_are_safe() {
+        let l = std::sync::Arc::new(Ledger::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = l.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        l.add(Phase::StorageCpu, 0.001);
+                    }
+                });
+            }
+        });
+        assert!((l.get(Phase::StorageCpu) - 8.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,787 @@
+//! The embedded SQL executor: interprets Substrait plans over parq objects
+//! with vectorized columnar kernels.
+//!
+//! This is OCS's own engine, independent of the `dsq` query engine (as in
+//! the paper, where OCS embeds its own SQL engine and Presto merely ships
+//! plans to it). It shares the low-level kernels of the `columnar` crate
+//! and the work-unit cost vocabulary of `netsim::CostParams`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use columnar::agg::AggState;
+use columnar::builder::ArrayBuilder;
+use columnar::kernels::{arith, boolean, cast, cmp, selection};
+use columnar::prelude::*;
+use columnar::sort::{self, SortKey};
+use netsim::{CostParams, Work};
+use parq::{ParqReader, RangePredicate};
+use substrait_ir::{Expr, Measure, Plan, Rel};
+
+use crate::{OcsError, OcsResult};
+
+/// Resource consumption of one in-storage execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Operator work, by efficiency channel.
+    pub work: Work,
+    /// Compressed bytes read from disk.
+    pub disk_bytes: u64,
+    /// Uncompressed bytes decoded.
+    pub uncompressed_bytes: u64,
+    /// Rows scanned (after row-group pruning).
+    pub rows_scanned: u64,
+    /// Rows emitted.
+    pub rows_emitted: u64,
+}
+
+/// Evaluate a Substrait expression against a batch.
+pub fn eval_expr(e: &Expr, batch: &RecordBatch) -> OcsResult<Array> {
+    let err = |m: String| OcsError::Exec(m);
+    Ok(match e {
+        Expr::FieldRef(i) => {
+            if *i >= batch.num_columns() {
+                return Err(err(format!("field #{i} out of range")));
+            }
+            batch.column(*i).as_ref().clone()
+        }
+        Expr::Literal(s) => {
+            let dt = s.data_type().unwrap_or(DataType::Boolean);
+            Array::from_scalar(s, dt, batch.num_rows()).map_err(|e| err(e.to_string()))?
+        }
+        Expr::Cmp { op, left, right } => {
+            if let Expr::Literal(s) = right.as_ref() {
+                let l = eval_expr(left, batch)?;
+                return Ok(Array::Boolean(
+                    cmp::compare_scalar(&l, s, *op).map_err(|e| err(e.to_string()))?,
+                ));
+            }
+            let (l, r) = (eval_expr(left, batch)?, eval_expr(right, batch)?);
+            Array::Boolean(cmp::compare(&l, &r, *op).map_err(|e| err(e.to_string()))?)
+        }
+        Expr::Arith { op, left, right } => {
+            if let Expr::Literal(s) = right.as_ref() {
+                let l = eval_expr(left, batch)?;
+                return arith::arith_scalar(&l, s, *op).map_err(|e| err(e.to_string()));
+            }
+            let (l, r) = (eval_expr(left, batch)?, eval_expr(right, batch)?);
+            arith::arith(&l, &r, *op).map_err(|e| err(e.to_string()))?
+        }
+        Expr::And(a, b) => {
+            let (x, y) = (eval_expr(a, batch)?, eval_expr(b, batch)?);
+            Array::Boolean(
+                boolean::and(
+                    x.as_bool().map_err(|e| err(e.to_string()))?,
+                    y.as_bool().map_err(|e| err(e.to_string()))?,
+                )
+                .map_err(|e| err(e.to_string()))?,
+            )
+        }
+        Expr::Or(a, b) => {
+            let (x, y) = (eval_expr(a, batch)?, eval_expr(b, batch)?);
+            Array::Boolean(
+                boolean::or(
+                    x.as_bool().map_err(|e| err(e.to_string()))?,
+                    y.as_bool().map_err(|e| err(e.to_string()))?,
+                )
+                .map_err(|e| err(e.to_string()))?,
+            )
+        }
+        Expr::Not(x) => {
+            let v = eval_expr(x, batch)?;
+            Array::Boolean(boolean::not(v.as_bool().map_err(|e| err(e.to_string()))?))
+        }
+        Expr::Between { expr, lo, hi } => {
+            if let (Expr::Literal(l), Expr::Literal(h)) = (lo.as_ref(), hi.as_ref()) {
+                let x = eval_expr(expr, batch)?;
+                return Ok(Array::Boolean(
+                    cmp::between_scalar(&x, l, h).map_err(|e| err(e.to_string()))?,
+                ));
+            }
+            let x = eval_expr(expr, batch)?;
+            let l = eval_expr(lo, batch)?;
+            let h = eval_expr(hi, batch)?;
+            let ge = cmp::compare(&x, &l, cmp::CmpOp::GtEq).map_err(|e| err(e.to_string()))?;
+            let le = cmp::compare(&x, &h, cmp::CmpOp::LtEq).map_err(|e| err(e.to_string()))?;
+            Array::Boolean(boolean::and(&ge, &le).map_err(|e| err(e.to_string()))?)
+        }
+        Expr::Cast { expr, to } => {
+            let x = eval_expr(expr, batch)?;
+            cast::cast(&x, *to).map_err(|e| err(e.to_string()))?
+        }
+        Expr::Negate(x) => {
+            let v = eval_expr(x, batch)?;
+            arith::negate(&v).map_err(|e| err(e.to_string()))?
+        }
+        Expr::IsNull(x) => {
+            let v = eval_expr(x, batch)?;
+            Array::Boolean(cmp::is_null(&v))
+        }
+        Expr::IsNotNull(x) => {
+            let v = eval_expr(x, batch)?;
+            Array::Boolean(cmp::is_not_null(&v))
+        }
+    })
+}
+
+/// Extract row-group-prunable range predicates from a filter expression
+/// (top-level conjunction of `field op literal` / `field BETWEEN a AND b`).
+fn prunable(e: &Expr, out: &mut Vec<RangePredicate>) {
+    match e {
+        Expr::And(a, b) => {
+            prunable(a, out);
+            prunable(b, out);
+        }
+        Expr::Cmp { op, left, right } => {
+            if let (Expr::FieldRef(col), Expr::Literal(v)) = (left.as_ref(), right.as_ref()) {
+                out.push(RangePredicate {
+                    column: *col,
+                    op: *op,
+                    value: v.clone(),
+                });
+            } else if let (Expr::Literal(v), Expr::FieldRef(col)) =
+                (left.as_ref(), right.as_ref())
+            {
+                out.push(RangePredicate {
+                    column: *col,
+                    op: op.flip(),
+                    value: v.clone(),
+                });
+            }
+        }
+        Expr::Between { expr, lo, hi } => {
+            if let (Expr::FieldRef(col), Expr::Literal(l), Expr::Literal(h)) =
+                (expr.as_ref(), lo.as_ref(), hi.as_ref())
+            {
+                out.push(RangePredicate {
+                    column: *col,
+                    op: cmp::CmpOp::GtEq,
+                    value: l.clone(),
+                });
+                out.push(RangePredicate {
+                    column: *col,
+                    op: cmp::CmpOp::LtEq,
+                    value: h.clone(),
+                });
+            }
+        }
+        _ => {}
+    }
+}
+
+fn key_bytes(out: &mut Vec<u8>, s: &Scalar) {
+    match s {
+        Scalar::Null => out.push(0),
+        Scalar::Int64(v) => {
+            out.push(1);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        Scalar::Float64(v) => {
+            out.push(2);
+            let v = if *v == 0.0 { 0.0 } else { *v };
+            out.extend_from_slice(&v.to_bits().to_le_bytes());
+        }
+        Scalar::Boolean(v) => out.extend_from_slice(&[3, *v as u8]),
+        Scalar::Utf8(v) => {
+            out.push(4);
+            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            out.extend_from_slice(v.as_bytes());
+        }
+        Scalar::Date32(v) => {
+            out.push(5);
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// The embedded executor over one parq object.
+pub struct Executor<'a> {
+    reader: &'a ParqReader,
+    cost: &'a CostParams,
+    stats: ExecStats,
+}
+
+impl<'a> Executor<'a> {
+    /// New executor over an open object.
+    pub fn new(reader: &'a ParqReader, cost: &'a CostParams) -> Self {
+        Executor {
+            reader,
+            cost,
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// Execute `plan`, returning result batches and resource stats.
+    pub fn run(mut self, plan: &Plan) -> OcsResult<(Vec<RecordBatch>, ExecStats)> {
+        plan.validate().map_err(|e| OcsError::Plan(e.to_string()))?;
+        let batches = self.run_rel(&plan.root)?;
+        self.stats.rows_emitted = batches.iter().map(|b| b.num_rows() as u64).sum();
+        Ok((batches, self.stats))
+    }
+
+    fn run_rel(&mut self, rel: &Rel) -> OcsResult<Vec<RecordBatch>> {
+        match rel {
+            Rel::Read { projection, .. } => self.run_read(projection.as_deref(), &[]),
+            Rel::Filter { input, predicate } => {
+                // Scan-adjacent filters benefit from row-group pruning.
+                if let Rel::Read { projection, .. } = input.as_ref() {
+                    let mut preds = Vec::new();
+                    // Pruning predicates are in terms of the *read output*
+                    // (post-projection) — remap to file columns.
+                    prunable(predicate, &mut preds);
+                    let remapped: Vec<RangePredicate> = match projection {
+                        None => preds,
+                        Some(p) => preds
+                            .into_iter()
+                            .filter_map(|rp| {
+                                p.get(rp.column).map(|&file_col| RangePredicate {
+                                    column: file_col,
+                                    ..rp
+                                })
+                            })
+                            .collect(),
+                    };
+                    let batches = self.run_read(projection.as_deref(), &remapped)?;
+                    return self.apply_filter(batches, predicate);
+                }
+                let batches = self.run_rel(input)?;
+                self.apply_filter(batches, predicate)
+            }
+            Rel::Project { input, exprs } => {
+                let batches = self.run_rel(input)?;
+                let weight: u32 = exprs.iter().map(|(e, _)| e.op_weight()).sum();
+                let mut out = Vec::with_capacity(batches.len());
+                for b in &batches {
+                    self.stats.work.add(Work::expr(self.cost.eval_work(b.num_rows() as u64, weight.max(1))));
+                    let fields: Vec<Field> = {
+                        let input_schema = b.schema();
+                        exprs
+                            .iter()
+                            .map(|(e, n)| {
+                                let dt = e
+                                    .output_type(input_schema)
+                                    .map_err(|e| OcsError::Plan(e.to_string()))?;
+                                Ok(Field::new(n.clone(), dt, true))
+                            })
+                            .collect::<OcsResult<_>>()?
+                    };
+                    let columns = exprs
+                        .iter()
+                        .map(|(e, _)| eval_expr(e, b).map(Arc::new))
+                        .collect::<OcsResult<Vec<_>>>()?;
+                    out.push(
+                        RecordBatch::try_new(Arc::new(Schema::new(fields)), columns)
+                            .map_err(|e| OcsError::Exec(e.to_string()))?,
+                    );
+                }
+                Ok(out)
+            }
+            Rel::Aggregate {
+                input,
+                group_by,
+                measures,
+            } => {
+                let input_schema = input
+                    .output_schema()
+                    .map_err(|e| OcsError::Plan(e.to_string()))?;
+                let batches = self.run_rel(input)?;
+                self.aggregate(&input_schema, &batches, group_by, measures)
+            }
+            Rel::Sort { input, keys } => {
+                let batches = self.run_rel(input)?;
+                if batches.is_empty() {
+                    return Ok(batches);
+                }
+                let (all, cols) = self.sortable(&batches, keys)?;
+                self.stats.work.add(Work::vector(self.cost.sort_work(all.num_rows() as u64, keys.len())));
+                let sorted =
+                    sort::sort_batch(&all, &cols).map_err(|e| OcsError::Exec(e.to_string()))?;
+                Ok(vec![sorted])
+            }
+            Rel::Fetch {
+                input,
+                offset,
+                limit,
+            } => {
+                // Fetch directly over Sort is the top-N operator.
+                if let Rel::Sort { input: si, keys } = input.as_ref() {
+                    let batches = self.run_rel(si)?;
+                    if batches.is_empty() {
+                        return Ok(batches);
+                    }
+                    let (all, cols) = self.sortable(&batches, keys)?;
+                    let n = (*offset + *limit) as usize;
+                    self.stats.work.add(Work::vector(self.cost.topn_work(
+                        all.num_rows() as u64,
+                        keys.len(),
+                        *offset + *limit,
+                    )));
+                    let top = sort::top_n(&all, &cols, n)
+                        .map_err(|e| OcsError::Exec(e.to_string()))?;
+                    return self.apply_offset_limit(vec![top], *offset, *limit);
+                }
+                let batches = self.run_rel(input)?;
+                self.apply_offset_limit(batches, *offset, *limit)
+            }
+        }
+    }
+
+    fn run_read(
+        &mut self,
+        projection: Option<&[usize]>,
+        prune: &[RangePredicate],
+    ) -> OcsResult<Vec<RecordBatch>> {
+        let groups = self.reader.prune_row_groups(prune);
+        let indices: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.reader.schema().len()).collect(),
+        };
+        let mut out = Vec::with_capacity(groups.len());
+        for rg in groups {
+            self.stats.disk_bytes += self
+                .reader
+                .projected_compressed_bytes(rg, &indices)
+                .map_err(|e| OcsError::Exec(e.to_string()))?;
+            let batch = self
+                .reader
+                .read_row_group(rg, Some(&indices))
+                .map_err(|e| OcsError::Exec(e.to_string()))?;
+            self.stats.uncompressed_bytes += batch.byte_size() as u64;
+            self.stats.rows_scanned += batch.num_rows() as u64;
+            self.stats.work.add(Work::decode(batch.byte_size() as f64 * self.cost.byte_decode));
+            out.push(batch);
+        }
+        Ok(out)
+    }
+
+    fn apply_filter(
+        &mut self,
+        batches: Vec<RecordBatch>,
+        predicate: &Expr,
+    ) -> OcsResult<Vec<RecordBatch>> {
+        let weight = predicate.op_weight();
+        let mut out = Vec::with_capacity(batches.len());
+        for b in &batches {
+            self.stats.work.add(Work::vector(self.cost.eval_work(b.num_rows() as u64, weight)));
+            let mask = eval_expr(predicate, b)?;
+            let mask = mask.as_bool().map_err(|e| OcsError::Exec(e.to_string()))?;
+            let f = selection::filter_batch(b, mask).map_err(|e| OcsError::Exec(e.to_string()))?;
+            if f.num_rows() > 0 {
+                out.push(f);
+            }
+        }
+        Ok(out)
+    }
+
+    fn sortable(
+        &self,
+        batches: &[RecordBatch],
+        keys: &[substrait_ir::SortField],
+    ) -> OcsResult<(RecordBatch, Vec<SortKey>)> {
+        let all = RecordBatch::concat(batches).map_err(|e| OcsError::Exec(e.to_string()))?;
+        let cols = keys
+            .iter()
+            .map(|k| match &k.expr {
+                Expr::FieldRef(i) => Ok(SortKey {
+                    column: *i,
+                    ascending: k.ascending,
+                    nulls_first: k.nulls_first,
+                }),
+                other => Err(OcsError::Plan(format!(
+                    "sort keys must be field references, got {other}"
+                ))),
+            })
+            .collect::<OcsResult<Vec<_>>>()?;
+        Ok((all, cols))
+    }
+
+    fn apply_offset_limit(
+        &mut self,
+        batches: Vec<RecordBatch>,
+        offset: u64,
+        limit: u64,
+    ) -> OcsResult<Vec<RecordBatch>> {
+        if batches.is_empty() {
+            return Ok(batches);
+        }
+        let all = RecordBatch::concat(&batches).map_err(|e| OcsError::Exec(e.to_string()))?;
+        let start = (offset as usize).min(all.num_rows());
+        let end = (start + limit as usize).min(all.num_rows());
+        let idx: Vec<usize> = (start..end).collect();
+        let out =
+            selection::take_batch(&all, &idx).map_err(|e| OcsError::Exec(e.to_string()))?;
+        Ok(vec![out])
+    }
+
+    fn aggregate(
+        &mut self,
+        input_schema: &Schema,
+        batches: &[RecordBatch],
+        group_by: &[(Expr, String)],
+        measures: &[Measure],
+    ) -> OcsResult<Vec<RecordBatch>> {
+        let err = |e: columnar::ColumnarError| OcsError::Exec(e.to_string());
+        let plan_err = |e: substrait_ir::IrError| OcsError::Plan(e.to_string());
+        let mut groups: HashMap<Vec<u8>, (Vec<Scalar>, Vec<AggState>)> = HashMap::new();
+        let mut order: Vec<Vec<u8>> = Vec::new();
+
+        // Output schema and per-measure state types, from the *plan*
+        // (usable even when the filtered input is empty).
+        let mut fields = Vec::with_capacity(group_by.len() + measures.len());
+        for (e, n) in group_by {
+            fields.push(Field::new(
+                n.clone(),
+                e.output_type(input_schema).map_err(plan_err)?,
+                true,
+            ));
+        }
+        let mut arg_types = Vec::with_capacity(measures.len());
+        for m in measures {
+            let t = m
+                .arg
+                .as_ref()
+                .map(|e| e.output_type(input_schema))
+                .transpose()
+                .map_err(plan_err)?;
+            fields.push(Field::new(
+                m.name.clone(),
+                m.func.result_type(t).map_err(err)?,
+                true,
+            ));
+            arg_types.push(t);
+        }
+
+        for b in batches {
+            self.stats.work.add(Work::vector(self.cost.agg_work(
+                b.num_rows() as u64,
+                group_by.len(),
+                measures.len(),
+            )));
+            let keys = group_by
+                .iter()
+                .map(|(e, _)| eval_expr(e, b))
+                .collect::<OcsResult<Vec<_>>>()?;
+            let args = measures
+                .iter()
+                .map(|m| m.arg.as_ref().map(|e| eval_expr(e, b)).transpose())
+                .collect::<OcsResult<Vec<_>>>()?;
+            let mut key_buf = Vec::with_capacity(32);
+            for row in 0..b.num_rows() {
+                key_buf.clear();
+                for k in &keys {
+                    key_bytes(&mut key_buf, &k.scalar_at(row));
+                }
+                if !groups.contains_key(key_buf.as_slice()) {
+                    let scalars = keys.iter().map(|k| k.scalar_at(row)).collect();
+                    let states = measures
+                        .iter()
+                        .zip(&arg_types)
+                        .map(|(m, t)| AggState::new(m.func, *t).map_err(err))
+                        .collect::<OcsResult<Vec<_>>>()?;
+                    order.push(key_buf.clone());
+                    groups.insert(key_buf.clone(), (scalars, states));
+                }
+                let entry = groups.get_mut(key_buf.as_slice()).expect("inserted");
+                for (state, arg) in entry.1.iter_mut().zip(&args) {
+                    state.update(arg.as_ref(), row);
+                }
+            }
+        }
+
+        // A GLOBAL aggregate (no keys) over zero rows still emits one row
+        // of initial states (COUNT = 0, SUM = NULL) so the engine's final
+        // aggregation combines object totals correctly.
+        if group_by.is_empty() && groups.is_empty() {
+            let states = measures
+                .iter()
+                .zip(&arg_types)
+                .map(|(m, t)| AggState::new(m.func, *t).map_err(err))
+                .collect::<OcsResult<Vec<_>>>()?;
+            order.push(Vec::new());
+            groups.insert(Vec::new(), (Vec::new(), states));
+        }
+        if groups.is_empty() {
+            // Keyed aggregate over an empty object: nothing to contribute.
+            return Ok(vec![]);
+        }
+        let schema = Arc::new(Schema::new(fields));
+        let mut builders: Vec<ArrayBuilder> = schema
+            .fields()
+            .iter()
+            .map(|f| ArrayBuilder::new(f.data_type))
+            .collect();
+        for key in &order {
+            let (scalars, states) = &groups[key];
+            for (i, s) in scalars.iter().enumerate() {
+                builders[i].push(s.clone()).map_err(err)?;
+            }
+            for (j, st) in states.iter().enumerate() {
+                builders[group_by.len() + j].push(st.finish()).map_err(err)?;
+            }
+        }
+        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
+        Ok(vec![
+            RecordBatch::try_new(schema, columns).map_err(err)?,
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::agg::AggFunc;
+    use columnar::kernels::arith::ArithOp;
+    use columnar::kernels::cmp::CmpOp;
+    use substrait_ir::SortField;
+
+    fn test_reader() -> ParqReader {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("v", DataType::Float64, false),
+            Field::new("g", DataType::Int64, false),
+        ]));
+        let ids: Vec<i64> = (0..1000).collect();
+        let vs: Vec<f64> = ids.iter().map(|&i| (i % 100) as f64).collect();
+        let gs: Vec<i64> = ids.iter().map(|&i| i % 4).collect();
+        let batch = RecordBatch::try_new(
+            schema.clone(),
+            vec![
+                Arc::new(Array::from_i64(ids)),
+                Arc::new(Array::from_f64(vs)),
+                Arc::new(Array::from_i64(gs)),
+            ],
+        )
+        .unwrap();
+        let bytes = parq::writer::write_file(
+            schema,
+            &[batch],
+            parq::WriteOptions {
+                row_group_rows: 100,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        ParqReader::open(bytes.into()).unwrap()
+    }
+
+    fn base_schema() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("v", DataType::Float64, false),
+            Field::new("g", DataType::Int64, false),
+        ])
+    }
+
+    fn run(plan: Plan) -> (Vec<RecordBatch>, ExecStats) {
+        let reader = test_reader();
+        let cost = CostParams::default();
+        Executor::new(&reader, &cost).run(&plan).unwrap()
+    }
+
+    #[test]
+    fn plain_read_with_projection() {
+        let plan = Plan::new(Rel::read("t", base_schema(), Some(vec![2, 0])));
+        let (batches, stats) = run(plan);
+        let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(batches[0].schema().names(), vec!["g", "id"]);
+        assert_eq!(stats.rows_scanned, 1000);
+        assert!(stats.disk_bytes > 0);
+        assert!(stats.work.total_units() > 0.0);
+    }
+
+    #[test]
+    fn filter_prunes_row_groups() {
+        let plan = Plan::new(Rel::Filter {
+            input: Box::new(Rel::read("t", base_schema(), None)),
+            predicate: Expr::cmp(
+                CmpOp::GtEq,
+                Expr::field(0),
+                Expr::lit(Scalar::Int64(950)),
+            ),
+        });
+        let (batches, stats) = run(plan);
+        let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, 50);
+        // Only the last of 10 row groups was scanned.
+        assert_eq!(stats.rows_scanned, 100);
+    }
+
+    #[test]
+    fn filter_pruning_respects_read_projection() {
+        // Filter on `id` while reading only (v, id): the pruning predicate
+        // must map output column 1 back to file column 0.
+        let plan = Plan::new(Rel::Filter {
+            input: Box::new(Rel::read("t", base_schema(), Some(vec![1, 0]))),
+            predicate: Expr::cmp(CmpOp::Lt, Expr::field(1), Expr::lit(Scalar::Int64(100))),
+        });
+        let (batches, stats) = run(plan);
+        let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, 100);
+        assert_eq!(stats.rows_scanned, 100, "9 of 10 groups pruned");
+    }
+
+    #[test]
+    fn aggregate_groups() {
+        let plan = Plan::new(Rel::Aggregate {
+            input: Box::new(Rel::read("t", base_schema(), None)),
+            group_by: vec![(Expr::field(2), "g".into())],
+            measures: vec![
+                Measure {
+                    func: AggFunc::Count,
+                    arg: None,
+                    name: "n".into(),
+                },
+                Measure {
+                    func: AggFunc::Sum,
+                    arg: Some(Expr::field(1)),
+                    name: "s".into(),
+                },
+            ],
+        });
+        let (batches, _) = run(plan);
+        assert_eq!(batches.len(), 1);
+        let b = &batches[0];
+        assert_eq!(b.num_rows(), 4);
+        // Each group has 250 rows.
+        for r in 0..4 {
+            assert_eq!(b.column(1).scalar_at(r), Scalar::Int64(250));
+        }
+    }
+
+    #[test]
+    fn aggregate_over_expression() {
+        // MAX((id % 10)) == 9.
+        let plan = Plan::new(Rel::Aggregate {
+            input: Box::new(Rel::read("t", base_schema(), None)),
+            group_by: vec![],
+            measures: vec![Measure {
+                func: AggFunc::Max,
+                arg: Some(Expr::arith(
+                    ArithOp::Mod,
+                    Expr::field(0),
+                    Expr::lit(Scalar::Int64(10)),
+                )),
+                name: "m".into(),
+            }],
+        });
+        let (batches, _) = run(plan);
+        assert_eq!(batches[0].row(0), vec![Scalar::Int64(9)]);
+    }
+
+    #[test]
+    fn topn_fetch_over_sort() {
+        let plan = Plan::new(Rel::Fetch {
+            offset: 0,
+            limit: 5,
+            input: Box::new(Rel::Sort {
+                input: Box::new(Rel::read("t", base_schema(), None)),
+                keys: vec![SortField {
+                    expr: Expr::field(0),
+                    ascending: false,
+                    nulls_first: false,
+                }],
+            }),
+        });
+        let (batches, stats) = run(plan);
+        assert_eq!(batches[0].num_rows(), 5);
+        assert_eq!(batches[0].column(0).as_i64().unwrap().values, vec![999, 998, 997, 996, 995]);
+        assert_eq!(stats.rows_emitted, 5);
+    }
+
+    #[test]
+    fn fetch_with_offset() {
+        let plan = Plan::new(Rel::Fetch {
+            offset: 2,
+            limit: 3,
+            input: Box::new(Rel::Sort {
+                input: Box::new(Rel::read("t", base_schema(), None)),
+                keys: vec![SortField {
+                    expr: Expr::field(0),
+                    ascending: true,
+                    nulls_first: true,
+                }],
+            }),
+        });
+        let (batches, _) = run(plan);
+        assert_eq!(batches[0].column(0).as_i64().unwrap().values, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn project_computes_expressions() {
+        let plan = Plan::new(Rel::Project {
+            input: Box::new(Rel::read("t", base_schema(), None)),
+            exprs: vec![(
+                Expr::arith(
+                    ArithOp::Div,
+                    Expr::arith(ArithOp::Mod, Expr::field(0), Expr::lit(Scalar::Int64(100))),
+                    Expr::lit(Scalar::Int64(10)),
+                ),
+                "bucket".into(),
+            )],
+        });
+        let (batches, _) = run(plan);
+        let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, 1000);
+        assert_eq!(batches[0].schema().names(), vec!["bucket"]);
+        assert_eq!(batches[0].column(0).scalar_at(55), Scalar::Int64(5));
+    }
+
+    #[test]
+    fn full_chain_filter_agg_topn() {
+        // The Laghos shape in miniature.
+        let plan = Plan::new(Rel::Fetch {
+            offset: 0,
+            limit: 3,
+            input: Box::new(Rel::Sort {
+                keys: vec![SortField {
+                    expr: Expr::field(1),
+                    ascending: false,
+                    nulls_first: false,
+                }],
+                input: Box::new(Rel::Aggregate {
+                    group_by: vec![(Expr::field(0), "g".into())],
+                    measures: vec![Measure {
+                        func: AggFunc::Avg,
+                        arg: Some(Expr::field(1)),
+                        name: "avg_v".into(),
+                    }],
+                    input: Box::new(Rel::Filter {
+                        predicate: Expr::Between {
+                            expr: Box::new(Expr::field(1)),
+                            lo: Box::new(Expr::lit(Scalar::Float64(10.0))),
+                            hi: Box::new(Expr::lit(Scalar::Float64(90.0))),
+                        },
+                        input: Box::new(Rel::read("t", base_schema(), Some(vec![2, 1]))),
+                    }),
+                }),
+            }),
+        });
+        let (batches, stats) = run(plan);
+        assert_eq!(batches[0].num_rows(), 3);
+        assert!(stats.rows_emitted == 3);
+        assert!(stats.work.total_units() > 0.0);
+    }
+
+    #[test]
+    fn invalid_plans_rejected() {
+        // Sort key not a field ref.
+        let plan = Plan::new(Rel::Sort {
+            input: Box::new(Rel::read("t", base_schema(), None)),
+            keys: vec![SortField {
+                expr: Expr::arith(ArithOp::Add, Expr::field(0), Expr::lit(Scalar::Int64(1))),
+                ascending: true,
+                nulls_first: true,
+            }],
+        });
+        let reader = test_reader();
+        let cost = CostParams::default();
+        assert!(Executor::new(&reader, &cost).run(&plan).is_err());
+        // Ill-typed filter.
+        let plan = Plan::new(Rel::Filter {
+            input: Box::new(Rel::read("t", base_schema(), None)),
+            predicate: Expr::field(0),
+        });
+        assert!(Executor::new(&reader, &cost).run(&plan).is_err());
+    }
+}

@@ -1,0 +1,207 @@
+//! A storage node: objects + the embedded executor + its (weak) hardware.
+
+use std::sync::Arc;
+
+use columnar::RecordBatch;
+use lzcodec::CodecKind;
+use netsim::{CostParams, NodeSpec};
+use objstore::ObjectStore;
+use parq::ParqReader;
+use substrait_ir::Plan;
+
+use crate::exec::{ExecStats, Executor};
+use crate::OcsResult;
+
+/// Result of one in-storage plan execution, with resource consumption
+/// expressed in the node's own core-seconds.
+#[derive(Debug, Clone)]
+pub struct NodeResponse {
+    /// Result batches (pre-serialization).
+    pub batches: Vec<RecordBatch>,
+    /// Core-seconds of operator work on this node.
+    pub cpu_s: f64,
+    /// Core-seconds of decompression on this node.
+    pub decompress_s: f64,
+    /// Compressed bytes read from this node's disk.
+    pub disk_bytes: u64,
+    /// Raw executor stats (for monitoring).
+    pub exec: ExecStats,
+}
+
+/// One OCS storage node.
+#[derive(Debug)]
+pub struct StorageNode {
+    id: usize,
+    store: Arc<ObjectStore>,
+    spec: NodeSpec,
+    cost: CostParams,
+}
+
+impl StorageNode {
+    /// Create a node over the shared object store.
+    pub fn new(id: usize, store: Arc<ObjectStore>, spec: NodeSpec, cost: CostParams) -> Self {
+        StorageNode {
+            id,
+            store,
+            spec,
+            cost,
+        }
+    }
+
+    /// Node id (used by the frontend's shard routing).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's hardware spec.
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Execute `plan` against the object at `bucket`/`key`.
+    pub fn execute(&self, plan: &Plan, bucket: &str, key: &str) -> OcsResult<NodeResponse> {
+        let bytes = self.store.get_object(bucket, key)?;
+        let reader = ParqReader::open(bytes).map_err(|e| crate::OcsError::Exec(e.to_string()))?;
+        let codec = reader.codec();
+        let (batches, exec) = Executor::new(&reader, &self.cost).run(plan)?;
+
+        // Decompression cost: uncompressed bytes through the codec at its
+        // single-core throughput.
+        let decompress_s = match codec {
+            CodecKind::None => 0.0,
+            other => exec.uncompressed_bytes as f64 / (other.spec().decompress_gbps * 1e9),
+        };
+        let cpu_s = self.spec.core_seconds_for(exec.work);
+        Ok(NodeResponse {
+            batches,
+            cpu_s,
+            decompress_s,
+            disk_bytes: exec.disk_bytes,
+            exec,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::prelude::*;
+    use substrait_ir::{Expr, Rel};
+
+    fn setup(codec: CodecKind) -> (Arc<ObjectStore>, Schema) {
+        let store = Arc::new(ObjectStore::new());
+        store.create_bucket("lake").unwrap();
+        let schema = Arc::new(Schema::new(vec![Field::new("x", DataType::Int64, false)]));
+        let batch = RecordBatch::try_new(
+            schema.clone(),
+            vec![Arc::new(Array::from_i64((0..10_000).collect()))],
+        )
+        .unwrap();
+        let bytes = parq::writer::write_file(
+            schema.clone(),
+            &[batch],
+            parq::WriteOptions {
+                codec,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        store.put_object("lake", "t/0", bytes.into()).unwrap();
+        ((store), (*schema).clone())
+    }
+
+    #[test]
+    fn executes_and_bills_in_core_seconds() {
+        let (store, schema) = setup(CodecKind::None);
+        let node = StorageNode::new(
+            0,
+            store,
+            NodeSpec {
+                name: "storage",
+                cores: 16,
+                ghz: 2.0,
+                eff_decode: 0.06,
+                eff_vector: 0.12,
+                eff_expr: 0.03,
+            },
+            CostParams::default(),
+        );
+        let plan = Plan::new(Rel::read("t", schema, None));
+        let resp = node.execute(&plan, "lake", "t/0").unwrap();
+        assert_eq!(
+            resp.batches.iter().map(|b| b.num_rows()).sum::<usize>(),
+            10_000
+        );
+        assert!(resp.cpu_s > 0.0);
+        assert_eq!(resp.decompress_s, 0.0, "no codec, no decompress cost");
+        assert!(resp.disk_bytes > 0);
+    }
+
+    #[test]
+    fn compressed_objects_cost_decompression_but_less_disk() {
+        let (store_raw, schema) = setup(CodecKind::None);
+        let (store_zst, _) = setup(CodecKind::Zst);
+        let spec = NodeSpec {
+            name: "storage",
+            cores: 16,
+            ghz: 2.0,
+            eff_decode: 0.06,
+                eff_vector: 0.12,
+                eff_expr: 0.03,
+        };
+        let raw = StorageNode::new(0, store_raw, spec.clone(), CostParams::default());
+        let zst = StorageNode::new(0, store_zst, spec, CostParams::default());
+        let plan = Plan::new(Rel::read("t", schema, None));
+        let a = raw.execute(&plan, "lake", "t/0").unwrap();
+        let b = zst.execute(&plan, "lake", "t/0").unwrap();
+        assert!(b.disk_bytes < a.disk_bytes, "compression shrinks disk reads");
+        assert!(b.decompress_s > 0.0);
+        assert_eq!(
+            a.batches.iter().map(|x| x.num_rows()).sum::<usize>(),
+            b.batches.iter().map(|x| x.num_rows()).sum::<usize>(),
+        );
+    }
+
+    #[test]
+    fn weaker_node_bills_more_seconds_for_same_work() {
+        let (store, schema) = setup(CodecKind::None);
+        let weak = StorageNode::new(
+            0,
+            store.clone(),
+            NodeSpec {
+                name: "weak",
+                cores: 16,
+                ghz: 2.0,
+                eff_decode: 0.06,
+                eff_vector: 0.12,
+                eff_expr: 0.03,
+            },
+            CostParams::default(),
+        );
+        let strong = StorageNode::new(
+            1,
+            store,
+            NodeSpec {
+                name: "strong",
+                cores: 16,
+                ghz: 4.0,
+                eff_decode: 0.12,
+                eff_vector: 0.24,
+                eff_expr: 0.06,
+            },
+            CostParams::default(),
+        );
+        let plan = Plan::new(Rel::Filter {
+            input: Box::new(Rel::read("t", schema, None)),
+            predicate: Expr::cmp(
+                columnar::kernels::cmp::CmpOp::Gt,
+                Expr::field(0),
+                Expr::lit(Scalar::Int64(5000)),
+            ),
+        });
+        let a = weak.execute(&plan, "lake", "t/0").unwrap();
+        let b = strong.execute(&plan, "lake", "t/0").unwrap();
+        assert!(a.cpu_s > b.cpu_s * 3.0, "{} vs {}", a.cpu_s, b.cpu_s);
+        assert_eq!(a.exec.rows_emitted, b.exec.rows_emitted);
+    }
+}

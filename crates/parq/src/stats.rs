@@ -1,0 +1,329 @@
+//! Per-column-chunk statistics: min/max, null count, and a distinct-value
+//! estimate. These are exactly the statistics the paper's Selectivity
+//! Analyzer consumes ("min/max values for range filter selectivity, Number
+//! of Distinct Values (NDV) for estimating aggregation cardinality, and row
+//! count for computing reduction ratios").
+
+use bytes::{Buf, BufMut};
+use columnar::{Array, DataType, Scalar};
+
+use crate::{ParqError, Result};
+
+/// NDV computation switches from exact to saturation above this many
+/// distinct values — large enough for every workload here, bounded so
+/// stats collection stays O(1) memory.
+pub const NDV_CAP: usize = 1 << 17;
+
+/// Statistics for one column chunk (or one whole column, when merged).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Minimum non-null value (Null when the chunk is empty/all-null).
+    pub min: Scalar,
+    /// Maximum non-null value.
+    pub max: Scalar,
+    /// Number of null slots.
+    pub null_count: u64,
+    /// Number of rows.
+    pub row_count: u64,
+    /// Distinct non-null values; saturates at [`NDV_CAP`] (exact below).
+    pub distinct: u64,
+}
+
+impl ColumnStats {
+    /// Compute statistics for `array`.
+    pub fn compute(array: &Array) -> ColumnStats {
+        let (min, max) = array.min_max();
+        let mut set = std::collections::HashSet::new();
+        let mut distinct = 0u64;
+        for i in 0..array.len() {
+            if !array.is_valid(i) {
+                continue;
+            }
+            if set.len() >= NDV_CAP {
+                distinct = NDV_CAP as u64;
+                break;
+            }
+            // Hash the scalar's canonical byte form.
+            let key = match array.scalar_at(i) {
+                Scalar::Int64(v) => (0u8, v.to_le_bytes().to_vec()),
+                Scalar::Float64(v) => (1u8, v.to_bits().to_le_bytes().to_vec()),
+                Scalar::Boolean(v) => (2u8, vec![v as u8]),
+                Scalar::Utf8(s) => (3u8, s.into_bytes()),
+                Scalar::Date32(v) => (4u8, v.to_le_bytes().to_vec()),
+                Scalar::Null => continue,
+            };
+            set.insert(key);
+        }
+        if distinct == 0 {
+            distinct = set.len() as u64;
+        }
+        ColumnStats {
+            min,
+            max,
+            null_count: array.null_count() as u64,
+            row_count: array.len() as u64,
+            distinct,
+        }
+    }
+
+    /// Merge chunk stats into table-level stats.
+    ///
+    /// NDV merging takes the max (a lower bound) plus a union correction of
+    /// half the smaller side, then saturates — the standard coarse estimate
+    /// a metastore keeps.
+    pub fn merge(&self, other: &ColumnStats) -> ColumnStats {
+        let min = match (self.min.is_null(), other.min.is_null()) {
+            (true, _) => other.min.clone(),
+            (_, true) => self.min.clone(),
+            _ => {
+                if self.min.total_cmp(&other.min).is_le() {
+                    self.min.clone()
+                } else {
+                    other.min.clone()
+                }
+            }
+        };
+        let max = match (self.max.is_null(), other.max.is_null()) {
+            (true, _) => other.max.clone(),
+            (_, true) => self.max.clone(),
+            _ => {
+                if self.max.total_cmp(&other.max).is_ge() {
+                    self.max.clone()
+                } else {
+                    other.max.clone()
+                }
+            }
+        };
+        let (lo, hi) = if self.distinct <= other.distinct {
+            (self.distinct, other.distinct)
+        } else {
+            (other.distinct, self.distinct)
+        };
+        let distinct = (hi + lo / 2).min(NDV_CAP as u64);
+        ColumnStats {
+            min,
+            max,
+            null_count: self.null_count + other.null_count,
+            row_count: self.row_count + other.row_count,
+            distinct,
+        }
+    }
+
+    /// Empty stats (identity for [`ColumnStats::merge`] except NDV).
+    pub fn empty() -> ColumnStats {
+        ColumnStats {
+            min: Scalar::Null,
+            max: Scalar::Null,
+            null_count: 0,
+            row_count: 0,
+            distinct: 0,
+        }
+    }
+
+    /// Serialize into `out`.
+    pub fn write(&self, out: &mut Vec<u8>) {
+        write_scalar(out, &self.min);
+        write_scalar(out, &self.max);
+        out.put_u64_le(self.null_count);
+        out.put_u64_le(self.row_count);
+        out.put_u64_le(self.distinct);
+    }
+
+    /// Deserialize from `buf` (advancing it).
+    pub fn read(buf: &mut &[u8]) -> Result<ColumnStats> {
+        let min = read_scalar(buf)?;
+        let max = read_scalar(buf)?;
+        if buf.remaining() < 24 {
+            return Err(ParqError::Corrupt("truncated stats".into()));
+        }
+        Ok(ColumnStats {
+            min,
+            max,
+            null_count: buf.get_u64_le(),
+            row_count: buf.get_u64_le(),
+            distinct: buf.get_u64_le(),
+        })
+    }
+}
+
+/// Serialize a scalar (tag + payload).
+pub fn write_scalar(out: &mut Vec<u8>, s: &Scalar) {
+    match s {
+        Scalar::Null => out.put_u8(255),
+        Scalar::Int64(v) => {
+            out.put_u8(DataType::Int64.tag());
+            out.put_i64_le(*v);
+        }
+        Scalar::Float64(v) => {
+            out.put_u8(DataType::Float64.tag());
+            out.put_f64_le(*v);
+        }
+        Scalar::Boolean(v) => {
+            out.put_u8(DataType::Boolean.tag());
+            out.put_u8(*v as u8);
+        }
+        Scalar::Utf8(v) => {
+            out.put_u8(DataType::Utf8.tag());
+            out.put_u32_le(v.len() as u32);
+            out.put_slice(v.as_bytes());
+        }
+        Scalar::Date32(v) => {
+            out.put_u8(DataType::Date32.tag());
+            out.put_i32_le(*v);
+        }
+    }
+}
+
+/// Deserialize a scalar written by [`write_scalar`].
+pub fn read_scalar(buf: &mut &[u8]) -> Result<Scalar> {
+    if buf.is_empty() {
+        return Err(ParqError::Corrupt("truncated scalar".into()));
+    }
+    let tag = buf.get_u8();
+    if tag == 255 {
+        return Ok(Scalar::Null);
+    }
+    let dt = DataType::from_tag(tag).map_err(ParqError::Columnar)?;
+    macro_rules! need {
+        ($n:expr) => {
+            if buf.remaining() < $n {
+                return Err(ParqError::Corrupt("truncated scalar payload".into()));
+            }
+        };
+    }
+    Ok(match dt {
+        DataType::Int64 => {
+            need!(8);
+            Scalar::Int64(buf.get_i64_le())
+        }
+        DataType::Float64 => {
+            need!(8);
+            Scalar::Float64(buf.get_f64_le())
+        }
+        DataType::Boolean => {
+            need!(1);
+            Scalar::Boolean(buf.get_u8() == 1)
+        }
+        DataType::Utf8 => {
+            need!(4);
+            let len = buf.get_u32_le() as usize;
+            need!(len);
+            let s = std::str::from_utf8(&buf[..len])
+                .map_err(|e| ParqError::Corrupt(format!("scalar not utf8: {e}")))?
+                .to_string();
+            buf.advance(len);
+            Scalar::Utf8(s)
+        }
+        DataType::Date32 => {
+            need!(4);
+            Scalar::Date32(buf.get_i32_le())
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::builder::ArrayBuilder;
+
+    #[test]
+    fn compute_basic() {
+        let a = Array::from_i64(vec![5, 1, 5, 9, 1]);
+        let s = ColumnStats::compute(&a);
+        assert_eq!(s.min, Scalar::Int64(1));
+        assert_eq!(s.max, Scalar::Int64(9));
+        assert_eq!(s.row_count, 5);
+        assert_eq!(s.null_count, 0);
+        assert_eq!(s.distinct, 3);
+    }
+
+    #[test]
+    fn compute_with_nulls() {
+        let mut b = ArrayBuilder::new(DataType::Float64);
+        b.push_f64(2.5);
+        b.push_null();
+        b.push_f64(-1.0);
+        let s = ColumnStats::compute(&b.finish());
+        assert_eq!(s.min, Scalar::Float64(-1.0));
+        assert_eq!(s.max, Scalar::Float64(2.5));
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.distinct, 2);
+    }
+
+    #[test]
+    fn compute_all_null() {
+        let mut b = ArrayBuilder::new(DataType::Int64);
+        b.push_null();
+        let s = ColumnStats::compute(&b.finish());
+        assert!(s.min.is_null());
+        assert!(s.max.is_null());
+        assert_eq!(s.distinct, 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let a = ColumnStats::compute(&Array::from_i64(vec![1, 2, 3]));
+        let b = ColumnStats::compute(&Array::from_i64(vec![10, 2]));
+        let m = a.merge(&b);
+        assert_eq!(m.min, Scalar::Int64(1));
+        assert_eq!(m.max, Scalar::Int64(10));
+        assert_eq!(m.row_count, 5);
+        // NDV estimate: max(3,2) + 2/2 = 4 — exactly the distinct union here.
+        assert_eq!(m.distinct, 4);
+        // Merge with empty is identity-ish.
+        let m2 = m.merge(&ColumnStats::empty());
+        assert_eq!(m2.min, m.min);
+        assert_eq!(m2.row_count, m.row_count);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        for s in [
+            ColumnStats::compute(&Array::from_strs(["abc", "xyz", "abc"])),
+            ColumnStats::compute(&Array::from_f64(vec![1.5])),
+            ColumnStats::empty(),
+            ColumnStats::compute(&Array::from_dates(vec![10561, -4])),
+        ] {
+            let mut out = Vec::new();
+            s.write(&mut out);
+            let mut buf = out.as_slice();
+            let back = ColumnStats::read(&mut buf).unwrap();
+            assert_eq!(back, s);
+            assert!(buf.is_empty());
+        }
+    }
+
+    #[test]
+    fn scalar_roundtrip_all_types() {
+        for s in [
+            Scalar::Null,
+            Scalar::Int64(-5),
+            Scalar::Float64(std::f64::consts::PI),
+            Scalar::Boolean(true),
+            Scalar::Utf8("héllo".into()),
+            Scalar::Date32(10561),
+        ] {
+            let mut out = Vec::new();
+            write_scalar(&mut out, &s);
+            let mut buf = out.as_slice();
+            assert_eq!(read_scalar(&mut buf).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn truncated_scalar_is_error() {
+        let mut out = Vec::new();
+        write_scalar(&mut out, &Scalar::Utf8("hello".into()));
+        let mut buf = &out[..out.len() - 2];
+        assert!(read_scalar(&mut buf).is_err());
+        let mut empty: &[u8] = &[];
+        assert!(read_scalar(&mut empty).is_err());
+    }
+
+    #[test]
+    fn ndv_saturates() {
+        let vals: Vec<i64> = (0..(NDV_CAP as i64 + 100)).collect();
+        let s = ColumnStats::compute(&Array::from_i64(vals));
+        assert_eq!(s.distinct, NDV_CAP as u64);
+    }
+}

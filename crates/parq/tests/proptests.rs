@@ -1,0 +1,135 @@
+//! Property tests: parq write→read round-trips across arbitrary batches,
+//! row-group sizes and codecs; pruning soundness on random data.
+
+use std::sync::Arc;
+
+use columnar::builder::ArrayBuilder;
+use columnar::kernels::cmp::CmpOp;
+use columnar::prelude::*;
+use lzcodec::CodecKind;
+use parq::{ParqReader, RangePredicate, WriteOptions};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Row {
+    id: Option<i64>,
+    v: f64,
+    tag: String,
+}
+
+fn rows_strategy(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(
+        (
+            proptest::option::weighted(0.9, -10_000i64..10_000),
+            -1e6f64..1e6,
+            "[a-e]{0,3}",
+        )
+            .prop_map(|(id, v, tag)| Row { id, v, tag }),
+        0..max,
+    )
+}
+
+fn to_batch(rows: &[Row]) -> RecordBatch {
+    let schema = Arc::new(Schema::new(vec![
+        Field::new("id", DataType::Int64, true),
+        Field::new("v", DataType::Float64, false),
+        Field::new("tag", DataType::Utf8, false),
+    ]));
+    let mut ids = ArrayBuilder::new(DataType::Int64);
+    let mut vs = ArrayBuilder::new(DataType::Float64);
+    let mut tags = ArrayBuilder::new(DataType::Utf8);
+    for r in rows {
+        match r.id {
+            Some(x) => ids.push_i64(x),
+            None => ids.push_null(),
+        }
+        vs.push_f64(r.v);
+        tags.push_str(&r.tag);
+    }
+    RecordBatch::try_new(
+        schema,
+        vec![
+            Arc::new(ids.finish()),
+            Arc::new(vs.finish()),
+            Arc::new(tags.finish()),
+        ],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn write_read_roundtrip(
+        rows in rows_strategy(400),
+        rg_rows in 1usize..200,
+        codec_tag in 0u8..4,
+    ) {
+        let codec = CodecKind::from_tag(codec_tag).unwrap();
+        let batch = to_batch(&rows);
+        let bytes = parq::writer::write_file(
+            batch.schema().clone(),
+            std::slice::from_ref(&batch),
+            WriteOptions { codec, row_group_rows: rg_rows, enable_dictionary: true },
+        ).unwrap();
+        let r = ParqReader::open(bytes.into()).unwrap();
+        prop_assert_eq!(r.total_rows() as usize, rows.len());
+        let got = r.read_all(None).unwrap();
+        if rows.is_empty() {
+            prop_assert!(got.is_empty());
+        } else {
+            let all = RecordBatch::concat(&got).unwrap();
+            prop_assert_eq!(all.rows(), batch.rows());
+        }
+    }
+
+    #[test]
+    fn pruning_never_drops_matches(
+        rows in rows_strategy(300),
+        threshold in -10_000i64..10_000,
+        rg_rows in 1usize..80,
+    ) {
+        let batch = to_batch(&rows);
+        let bytes = parq::writer::write_file(
+            batch.schema().clone(),
+            &[batch],
+            WriteOptions { codec: CodecKind::None, row_group_rows: rg_rows, enable_dictionary: false },
+        ).unwrap();
+        let r = ParqReader::open(bytes.into()).unwrap();
+        let pred = RangePredicate { column: 0, op: CmpOp::GtEq, value: Scalar::Int64(threshold) };
+        let kept: std::collections::HashSet<usize> =
+            r.prune_row_groups(std::slice::from_ref(&pred)).into_iter().collect();
+        for rg in 0..r.num_row_groups() {
+            let b = r.read_row_group(rg, Some(&[0])).unwrap();
+            let has = (0..b.num_rows()).any(|i| {
+                match b.column(0).scalar_at(i) {
+                    Scalar::Int64(x) => x >= threshold,
+                    _ => false,
+                }
+            });
+            if has {
+                prop_assert!(kept.contains(&rg), "row group {} wrongly pruned", rg);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_bound_all_values(rows in rows_strategy(200)) {
+        prop_assume!(!rows.is_empty());
+        let batch = to_batch(&rows);
+        let bytes = parq::writer::write_file(
+            batch.schema().clone(),
+            &[batch],
+            WriteOptions::default(),
+        ).unwrap();
+        let r = ParqReader::open(bytes.into()).unwrap();
+        let stats = r.column_stats(1).unwrap();
+        for row in &rows {
+            if let (Some(min), Some(max)) = (stats.min.as_f64(), stats.max.as_f64()) {
+                prop_assert!(row.v >= min && row.v <= max);
+            }
+        }
+        prop_assert_eq!(stats.row_count as usize, rows.len());
+    }
+}

@@ -1,0 +1,259 @@
+//! The abstract syntax tree produced by the parser.
+
+use std::fmt;
+
+/// Binary operators (precedence is the parser's concern).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `OR`
+    Or,
+    /// `AND`
+    And,
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+impl BinaryOp {
+    /// SQL spelling.
+    pub fn sql(&self) -> &'static str {
+        match self {
+            BinaryOp::Or => "OR",
+            BinaryOp::And => "AND",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// An AST expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstExpr {
+    /// Column reference (already lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `DATE 'YYYY-MM-DD'` literal, as days since epoch.
+    Date(i32),
+    /// `INTERVAL 'n' DAY`, as a day count.
+    IntervalDays(i64),
+    /// `NULL` literal.
+    Null,
+    /// `TRUE`/`FALSE`.
+    Bool(bool),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<AstExpr>,
+        /// Right operand.
+        right: Box<AstExpr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<AstExpr>,
+    },
+    /// `expr [NOT] BETWEEN lo AND hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// Lower bound.
+        lo: Box<AstExpr>,
+        /// Upper bound.
+        hi: Box<AstExpr>,
+        /// NOT BETWEEN.
+        negated: bool,
+    },
+    /// Function call, e.g. `min(x)`; `count(*)` sets `star`.
+    Func {
+        /// Lower-cased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<AstExpr>,
+        /// True for `f(*)`.
+        star: bool,
+    },
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<AstExpr>,
+        /// IS NOT NULL.
+        negated: bool,
+    },
+}
+
+impl fmt::Display for AstExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AstExpr::Ident(s) => write!(f, "{s}"),
+            AstExpr::Int(v) => write!(f, "{v}"),
+            AstExpr::Float(v) => write!(f, "{v}"),
+            AstExpr::Str(s) => write!(f, "'{s}'"),
+            AstExpr::Date(d) => {
+                let (y, m, dd) = columnar_date(*d);
+                write!(f, "DATE '{y:04}-{m:02}-{dd:02}'")
+            }
+            AstExpr::IntervalDays(n) => write!(f, "INTERVAL '{n}' DAY"),
+            AstExpr::Null => write!(f, "NULL"),
+            AstExpr::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            AstExpr::Binary { op, left, right } => {
+                write!(f, "({left} {} {right})", op.sql())
+            }
+            AstExpr::Unary { op, expr } => match op {
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+            },
+            AstExpr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {lo} AND {hi})",
+                if *negated { "NOT " } else { "" }
+            ),
+            AstExpr::Func { name, args, star } => {
+                if *star {
+                    write!(f, "{name}(*)")
+                } else {
+                    let parts: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+                    write!(f, "{name}({})", parts.join(", "))
+                }
+            }
+            AstExpr::IsNull { expr, negated } => write!(
+                f,
+                "({expr} IS {}NULL)",
+                if *negated { "NOT " } else { "" }
+            ),
+        }
+    }
+}
+
+// Tiny local copy of civil_from_days to avoid a columnar dependency just
+// for Display (the engine uses columnar's canonical version).
+fn columnar_date(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097;
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y } as i32, m, d)
+}
+
+/// One `SELECT` list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The expression.
+    pub expr: AstExpr,
+    /// Optional `AS alias` (lower-cased).
+    pub alias: Option<String>,
+}
+
+/// One `ORDER BY` entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    /// Key expression.
+    pub expr: AstExpr,
+    /// `ASC` (default) vs `DESC`.
+    pub ascending: bool,
+}
+
+/// The table in `FROM` (optionally schema-qualified).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Optional schema/catalog qualifier.
+    pub qualifier: Option<String>,
+    /// Table name.
+    pub name: String,
+}
+
+/// A parsed `SELECT` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Select list.
+    pub select: Vec<SelectItem>,
+    /// Source table.
+    pub from: TableRef,
+    /// `WHERE` predicate.
+    pub where_clause: Option<AstExpr>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<AstExpr>,
+    /// `ORDER BY` keys.
+    pub order_by: Vec<OrderItem>,
+    /// `LIMIT` row count.
+    pub limit: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_shapes() {
+        let e = AstExpr::Between {
+            expr: Box::new(AstExpr::Ident("x".into())),
+            lo: Box::new(AstExpr::Float(0.8)),
+            hi: Box::new(AstExpr::Float(3.2)),
+            negated: false,
+        };
+        assert_eq!(e.to_string(), "(x BETWEEN 0.8 AND 3.2)");
+        let e = AstExpr::Func {
+            name: "count".into(),
+            args: vec![],
+            star: true,
+        };
+        assert_eq!(e.to_string(), "count(*)");
+        let e = AstExpr::Date(10561);
+        assert_eq!(e.to_string(), "DATE '1998-12-01'");
+    }
+}

@@ -1,0 +1,330 @@
+//! The SQL tokenizer.
+
+use crate::{ParseError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (lower-cased; SQL identifiers are
+    /// case-insensitive in this dialect).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, '' unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `.` (qualified names)
+    Dot,
+    /// `;`
+    Semi,
+}
+
+/// A token plus its byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token start.
+    pub offset: usize,
+}
+
+fn err(message: impl Into<String>, offset: usize) -> ParseError {
+    ParseError {
+        message: message.into(),
+        offset,
+    }
+}
+
+/// Tokenize `input`.
+pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'(' => {
+                out.push(Spanned { token: Token::LParen, offset: i });
+                i += 1;
+            }
+            b')' => {
+                out.push(Spanned { token: Token::RParen, offset: i });
+                i += 1;
+            }
+            b',' => {
+                out.push(Spanned { token: Token::Comma, offset: i });
+                i += 1;
+            }
+            b'*' => {
+                out.push(Spanned { token: Token::Star, offset: i });
+                i += 1;
+            }
+            b'+' => {
+                out.push(Spanned { token: Token::Plus, offset: i });
+                i += 1;
+            }
+            b'-' => {
+                out.push(Spanned { token: Token::Minus, offset: i });
+                i += 1;
+            }
+            b'/' => {
+                out.push(Spanned { token: Token::Slash, offset: i });
+                i += 1;
+            }
+            b'%' => {
+                out.push(Spanned { token: Token::Percent, offset: i });
+                i += 1;
+            }
+            b'.' => {
+                out.push(Spanned { token: Token::Dot, offset: i });
+                i += 1;
+            }
+            b';' => {
+                out.push(Spanned { token: Token::Semi, offset: i });
+                i += 1;
+            }
+            b'=' => {
+                out.push(Spanned { token: Token::Eq, offset: i });
+                i += 1;
+            }
+            b'!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    i += 2;
+                } else {
+                    return Err(err("unexpected '!'", i));
+                }
+            }
+            b'<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::LtEq, offset: i });
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Lt, offset: i });
+                    i += 1;
+                }
+            }
+            b'>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Spanned { token: Token::GtEq, offset: i });
+                    i += 2;
+                } else {
+                    out.push(Spanned { token: Token::Gt, offset: i });
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(err("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                            continue;
+                        }
+                        i += 1;
+                        break;
+                    }
+                    // Multi-byte UTF-8 passes through unchanged.
+                    s.push(input[i..].chars().next().expect("in-bounds char"));
+                    i += input[i..].chars().next().expect("char").len_utf8();
+                }
+                out.push(Spanned { token: Token::Str(s), offset: start });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_float = false;
+                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && bytes[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && bytes[i].is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &input[start..i];
+                let token = if is_float {
+                    Token::Float(
+                        text.parse::<f64>()
+                            .map_err(|e| err(format!("bad float '{text}': {e}"), start))?,
+                    )
+                } else {
+                    Token::Int(
+                        text.parse::<i64>()
+                            .map_err(|e| err(format!("bad integer '{text}': {e}"), start))?,
+                    )
+                };
+                out.push(Spanned { token, offset: start });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    token: Token::Ident(input[start..i].to_ascii_lowercase()),
+                    offset: start,
+                });
+            }
+            other => {
+                return Err(err(format!("unexpected character '{}'", other as char), i));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            toks("SELECT a, b FROM t"),
+            vec![
+                Token::Ident("select".into()),
+                Token::Ident("a".into()),
+                Token::Comma,
+                Token::Ident("b".into()),
+                Token::Ident("from".into()),
+                Token::Ident("t".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Token::Int(42)]);
+        assert_eq!(toks("0.8"), vec![Token::Float(0.8)]);
+        assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
+        assert_eq!(toks("2.5e-2"), vec![Token::Float(0.025)]);
+        // '5.' is Int then Dot (qualified-name friendly).
+        assert_eq!(toks("5.x"), vec![Token::Int(5), Token::Dot, Token::Ident("x".into())]);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("< <= > >= = <> !="),
+            vec![
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+            ]
+        );
+        assert_eq!(
+            toks("a+b-c*d/e%f"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Plus,
+                Token::Ident("b".into()),
+                Token::Minus,
+                Token::Ident("c".into()),
+                Token::Star,
+                Token::Ident("d".into()),
+                Token::Slash,
+                Token::Ident("e".into()),
+                Token::Percent,
+                Token::Ident("f".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings() {
+        assert_eq!(toks("'hello'"), vec![Token::Str("hello".into())]);
+        assert_eq!(toks("'it''s'"), vec![Token::Str("it's".into())]);
+        assert_eq!(toks("'1998-12-01'"), vec![Token::Str("1998-12-01".into())]);
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        assert_eq!(
+            toks("a -- comment here\n b"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn error_has_offset() {
+        let e = tokenize("a $ b").unwrap_err();
+        assert_eq!(e.offset, 2);
+    }
+
+    #[test]
+    fn keywords_are_lowercased() {
+        assert_eq!(toks("SeLeCt"), vec![Token::Ident("select".into())]);
+    }
+}

@@ -1,0 +1,51 @@
+//! `sqlparse` — a SQL lexer and recursive-descent parser.
+//!
+//! Covers the dialect the paper's workloads exercise (Table 2): single-table
+//! `SELECT` with expressions, aliases, `WHERE` (comparisons, `BETWEEN`,
+//! boolean logic, arithmetic, `DATE`/`INTERVAL` literals), `GROUP BY`,
+//! `ORDER BY … ASC|DESC`, and `LIMIT`. The output is a typed AST consumed
+//! by the engine's analyzer (the first step in Presto's coordinator
+//! pipeline, Figure 3 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! let q = sqlparse::parse(
+//!     "SELECT max(v) AS m, tag FROM points WHERE x BETWEEN 0.8 AND 3.2 \
+//!      GROUP BY tag ORDER BY m DESC LIMIT 10",
+//! ).unwrap();
+//! assert_eq!(q.from.name, "points");
+//! assert_eq!(q.select.len(), 2);
+//! assert_eq!(q.limit, Some(10));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{AstExpr, BinaryOp, OrderItem, Query, SelectItem, UnaryOp};
+pub use parser::parse;
+
+use std::fmt;
+
+/// A parse error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, ParseError>;

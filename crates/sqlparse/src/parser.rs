@@ -1,0 +1,658 @@
+//! The recursive-descent parser.
+//!
+//! Grammar (precedence low → high):
+//!
+//! ```text
+//! query    := SELECT items FROM table [WHERE expr] [GROUP BY exprs]
+//!             [ORDER BY order_items] [LIMIT int] [';']
+//! expr     := or
+//! or       := and (OR and)*
+//! and      := not (AND not)*
+//! not      := NOT not | predicate
+//! predicate:= additive ([NOT] BETWEEN additive AND additive
+//!             | IS [NOT] NULL | cmp_op additive)?
+//! additive := multiplicative ((+|-) multiplicative)*
+//! multiplicative := unary ((*|/|%) unary)*
+//! unary    := - unary | primary
+//! primary  := literal | DATE str | INTERVAL str DAY | func(args|*)
+//!             | ident | '(' expr ')'
+//! ```
+
+use crate::ast::{AstExpr, BinaryOp, OrderItem, Query, SelectItem, TableRef, UnaryOp};
+use crate::lexer::{tokenize, Spanned, Token};
+use crate::{ParseError, Result};
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+/// Parse a single SELECT statement.
+pub fn parse(input: &str) -> Result<Query> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.eat_semi();
+    if !p.at_end() {
+        return Err(p.error_here("unexpected trailing tokens"));
+    }
+    Ok(q)
+}
+
+/// Parse a standalone expression (useful for tests and filter strings).
+pub fn parse_expr(input: &str) -> Result<AstExpr> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if !p.at_end() {
+        return Err(p.error_here("unexpected trailing tokens"));
+    }
+    Ok(e)
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn offset_here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .or_else(|| self.tokens.last().map(|t| t.offset + 1))
+            .unwrap_or(0)
+    }
+
+    fn error_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            message: msg.into(),
+            offset: self.offset_here(),
+        }
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Consume a keyword (lower-case) if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected keyword {}", kw.to_uppercase())))
+        }
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error_here(format!("expected {what}")))
+        }
+    }
+
+    fn eat_semi(&mut self) {
+        while self.eat(&Token::Semi) {}
+    }
+
+    fn peek_is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let select = self.select_items()?;
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let expr = self.expr()?;
+                let ascending = if self.eat_kw("desc") {
+                    false
+                } else {
+                    self.eat_kw("asc");
+                    true
+                };
+                order_by.push(OrderItem { expr, ascending });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.advance() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as u64),
+                _ => return Err(self.error_here("expected non-negative integer after LIMIT")),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            select,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_items(&mut self) -> Result<Vec<SelectItem>> {
+        let mut items = Vec::new();
+        loop {
+            let expr = self.expr()?;
+            let alias = if self.eat_kw("as") {
+                match self.advance() {
+                    Some(Token::Ident(name)) => Some(name),
+                    _ => return Err(self.error_here("expected alias after AS")),
+                }
+            } else if let Some(Token::Ident(name)) = self.peek() {
+                // Bare alias, unless the ident is a clause keyword.
+                const CLAUSES: [&str; 6] = ["from", "where", "group", "order", "limit", "as"];
+                if CLAUSES.contains(&name.as_str()) {
+                    None
+                } else {
+                    let name = name.clone();
+                    self.pos += 1;
+                    Some(name)
+                }
+            } else {
+                None
+            };
+            items.push(SelectItem { expr, alias });
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        if items.is_empty() {
+            return Err(self.error_here("empty select list"));
+        }
+        Ok(items)
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let first = match self.advance() {
+            Some(Token::Ident(name)) => name,
+            _ => return Err(self.error_here("expected table name")),
+        };
+        if self.eat(&Token::Dot) {
+            let second = match self.advance() {
+                Some(Token::Ident(name)) => name,
+                _ => return Err(self.error_here("expected table name after '.'")),
+            };
+            Ok(TableRef {
+                qualifier: Some(first),
+                name: second,
+            })
+        } else {
+            Ok(TableRef {
+                qualifier: None,
+                name: first,
+            })
+        }
+    }
+
+    fn expr(&mut self) -> Result<AstExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("or") {
+            let right = self.and_expr()?;
+            left = AstExpr::Binary {
+                op: BinaryOp::Or,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("and") {
+            let right = self.not_expr()?;
+            left = AstExpr::Binary {
+                op: BinaryOp::And,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<AstExpr> {
+        if self.eat_kw("not") {
+            let inner = self.not_expr()?;
+            Ok(AstExpr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(inner),
+            })
+        } else {
+            self.predicate()
+        }
+    }
+
+    fn predicate(&mut self) -> Result<AstExpr> {
+        let left = self.additive()?;
+        // IS [NOT] NULL
+        if self.eat_kw("is") {
+            let negated = self.eat_kw("not");
+            self.expect_kw("null")?;
+            return Ok(AstExpr::IsNull {
+                expr: Box::new(left),
+                negated,
+            });
+        }
+        // [NOT] BETWEEN a AND b — note the AND here binds to BETWEEN.
+        let negated = if self.peek_is_kw("not") {
+            // Only consume NOT if followed by BETWEEN.
+            if matches!(
+                self.tokens.get(self.pos + 1).map(|t| &t.token),
+                Some(Token::Ident(s)) if s == "between"
+            ) {
+                self.pos += 1;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        };
+        if self.eat_kw("between") {
+            let lo = self.additive()?;
+            self.expect_kw("and")?;
+            let hi = self.additive()?;
+            return Ok(AstExpr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error_here("expected BETWEEN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinaryOp::Eq),
+            Some(Token::NotEq) => Some(BinaryOp::NotEq),
+            Some(Token::Lt) => Some(BinaryOp::Lt),
+            Some(Token::LtEq) => Some(BinaryOp::LtEq),
+            Some(Token::Gt) => Some(BinaryOp::Gt),
+            Some(Token::GtEq) => Some(BinaryOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.additive()?;
+            return Ok(AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<AstExpr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.multiplicative()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<AstExpr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                Some(Token::Percent) => BinaryOp::Mod,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary()?;
+            left = AstExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<AstExpr> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary()?;
+            return Ok(AstExpr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(inner),
+            });
+        }
+        if self.eat(&Token::Plus) {
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<AstExpr> {
+        match self.advance() {
+            Some(Token::Int(v)) => Ok(AstExpr::Int(v)),
+            Some(Token::Float(v)) => Ok(AstExpr::Float(v)),
+            Some(Token::Str(s)) => Ok(AstExpr::Str(s)),
+            Some(Token::LParen) => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => match name.as_str() {
+                "null" => Ok(AstExpr::Null),
+                "true" => Ok(AstExpr::Bool(true)),
+                "false" => Ok(AstExpr::Bool(false)),
+                "date" => {
+                    // DATE 'YYYY-MM-DD'
+                    match self.advance() {
+                        Some(Token::Str(s)) => {
+                            let days = parse_date(&s).ok_or_else(|| {
+                                self.error_here(format!("invalid date literal '{s}'"))
+                            })?;
+                            Ok(AstExpr::Date(days))
+                        }
+                        _ => Err(self.error_here("expected string after DATE")),
+                    }
+                }
+                "interval" => {
+                    // INTERVAL 'n' DAY
+                    let n = match self.advance() {
+                        Some(Token::Str(s)) => s
+                            .trim()
+                            .parse::<i64>()
+                            .map_err(|e| self.error_here(format!("bad interval '{s}': {e}")))?,
+                        _ => return Err(self.error_here("expected string after INTERVAL")),
+                    };
+                    if !(self.eat_kw("day") || self.eat_kw("days")) {
+                        return Err(self.error_here("only DAY intervals are supported"));
+                    }
+                    Ok(AstExpr::IntervalDays(n))
+                }
+                _ => {
+                    if self.eat(&Token::LParen) {
+                        // Function call.
+                        if self.eat(&Token::Star) {
+                            self.expect(&Token::RParen, "')'")?;
+                            return Ok(AstExpr::Func {
+                                name,
+                                args: vec![],
+                                star: true,
+                            });
+                        }
+                        let mut args = Vec::new();
+                        if !self.eat(&Token::RParen) {
+                            loop {
+                                args.push(self.expr()?);
+                                if !self.eat(&Token::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&Token::RParen, "')'")?;
+                        }
+                        Ok(AstExpr::Func {
+                            name,
+                            args,
+                            star: false,
+                        })
+                    } else {
+                        Ok(AstExpr::Ident(name))
+                    }
+                }
+            },
+            _ => Err(self.error_here("expected expression")),
+        }
+    }
+}
+
+/// Parse `YYYY-MM-DD` into days since epoch.
+fn parse_date(s: &str) -> Option<i32> {
+    let mut parts = s.split('-');
+    let y: i32 = parts.next()?.parse().ok()?;
+    let m: u32 = parts.next()?.parse().ok()?;
+    let d: u32 = parts.next()?.parse().ok()?;
+    if parts.next().is_some() || !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    Some(days_from_civil(y, m, d))
+}
+
+fn days_from_civil(year: i32, month: u32, day: u32) -> i32 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64;
+    let mp = ((month + 9) % 12) as i64;
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    (era as i64 * 146097 + doe - 719468) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_select() {
+        let q = parse("SELECT a, b FROM t").unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from.name, "t");
+        assert!(q.where_clause.is_none());
+        assert!(q.group_by.is_empty());
+        assert!(q.limit.is_none());
+    }
+
+    #[test]
+    fn aliases() {
+        let q = parse("SELECT min(x) AS lo, max(x) hi FROM t").unwrap();
+        assert_eq!(q.select[0].alias.as_deref(), Some("lo"));
+        assert_eq!(q.select[1].alias.as_deref(), Some("hi"));
+    }
+
+    #[test]
+    fn qualified_table() {
+        let q = parse("SELECT a FROM lake.points").unwrap();
+        assert_eq!(q.from.qualifier.as_deref(), Some("lake"));
+        assert_eq!(q.from.name, "points");
+    }
+
+    #[test]
+    fn precedence_arith_over_cmp_over_and() {
+        let q = parse("SELECT a FROM t WHERE a + 1 * 2 > 3 AND b < 4").unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.to_string(), "(((a + (1 * 2)) > 3) AND (b < 4))");
+    }
+
+    #[test]
+    fn between_binds_and_correctly() {
+        let q = parse("SELECT a FROM t WHERE x BETWEEN 0.8 AND 3.2 AND y > 1").unwrap();
+        let w = q.where_clause.unwrap();
+        assert_eq!(
+            w.to_string(),
+            "((x BETWEEN 0.8 AND 3.2) AND (y > 1))"
+        );
+    }
+
+    #[test]
+    fn not_between() {
+        let e = parse_expr("x NOT BETWEEN 1 AND 2").unwrap();
+        assert!(matches!(e, AstExpr::Between { negated: true, .. }));
+        let e = parse_expr("NOT x BETWEEN 1 AND 2").unwrap();
+        assert!(matches!(e, AstExpr::Unary { op: UnaryOp::Not, .. }));
+    }
+
+    #[test]
+    fn date_and_interval() {
+        let e = parse_expr("DATE '1998-12-01' - INTERVAL '90' DAY").unwrap();
+        match e {
+            AstExpr::Binary {
+                op: BinaryOp::Sub,
+                left,
+                right,
+            } => {
+                assert_eq!(*left, AstExpr::Date(10561));
+                assert_eq!(*right, AstExpr::IntervalDays(90));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_expr("DATE '1998-13-01'").is_err());
+        assert!(parse_expr("INTERVAL '3' MONTH").is_err());
+    }
+
+    #[test]
+    fn functions_and_star() {
+        let e = parse_expr("count(*)").unwrap();
+        assert!(matches!(e, AstExpr::Func { star: true, .. }));
+        let e = parse_expr("sum(extendedprice * (1 - discount))").unwrap();
+        assert_eq!(e.to_string(), "sum((extendedprice * (1 - discount)))");
+    }
+
+    #[test]
+    fn is_null_forms() {
+        assert!(matches!(
+            parse_expr("x IS NULL").unwrap(),
+            AstExpr::IsNull { negated: false, .. }
+        ));
+        assert!(matches!(
+            parse_expr("x IS NOT NULL").unwrap(),
+            AstExpr::IsNull { negated: true, .. }
+        ));
+    }
+
+    #[test]
+    fn full_clause_set() {
+        let q = parse(
+            "SELECT tag, avg(v) AS m FROM points WHERE v > 0.1 \
+             GROUP BY tag ORDER BY m DESC, tag ASC LIMIT 5;",
+        )
+        .unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(!q.order_by[0].ascending);
+        assert!(q.order_by[1].ascending);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn paper_laghos_query_parses() {
+        let q = parse(
+            "SELECT min(vertex_id) AS vid, min(x), min(y), min(z), avg(e) AS e \
+             FROM laghos \
+             WHERE x BETWEEN 0.8 AND 3.2 AND y BETWEEN 0.8 AND 3.2 AND z BETWEEN 0.8 AND 3.2 \
+             GROUP BY vertex_id ORDER BY e LIMIT 100",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 5);
+        assert_eq!(q.limit, Some(100));
+    }
+
+    #[test]
+    fn paper_deepwater_query_parses() {
+        let q = parse(
+            "SELECT MAX((rowid % (500*500))/500), timestep FROM deepwater \
+             WHERE v02 > 0.1 GROUP BY timestep",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn paper_tpch_q1_parses() {
+        let q = parse(
+            "SELECT returnflag, linestatus, SUM(quantity), SUM(extendedprice), \
+             SUM(extendedprice * (1 - discount)), \
+             SUM(extendedprice * (1 - discount) * (1 + tax)), AVG(quantity), \
+             AVG(extendedprice), AVG(discount), COUNT(*) FROM lineitem \
+             WHERE shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY \
+             GROUP BY returnflag, linestatus ORDER BY returnflag, linestatus",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 10);
+        assert_eq!(q.group_by.len(), 2);
+        assert_eq!(q.order_by.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let e = parse("SELECT FROM t").unwrap_err();
+        assert!(e.offset > 0);
+        assert!(parse("SELECT a").is_err(), "missing FROM");
+        assert!(parse("SELECT a FROM t WHERE").is_err());
+        assert!(parse("SELECT a FROM t LIMIT x").is_err());
+        assert!(parse("SELECT a FROM t GROUP a").is_err(), "GROUP without BY");
+        assert!(parse("SELECT a FROM t extra junk +").is_err());
+    }
+
+    #[test]
+    fn unary_operators() {
+        assert_eq!(parse_expr("-x").unwrap().to_string(), "(-x)");
+        assert_eq!(parse_expr("- -3").unwrap().to_string(), "(-(-3))");
+        assert_eq!(parse_expr("+x").unwrap().to_string(), "x");
+        assert_eq!(
+            parse_expr("NOT a > 1").unwrap().to_string(),
+            "(NOT (a > 1))"
+        );
+    }
+}

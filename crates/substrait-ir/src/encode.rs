@@ -1,0 +1,721 @@
+//! Binary serialization of plans — the wire format crossing the
+//! connector → OCS gRPC boundary (protobuf's role in the paper).
+//!
+//! Tag-length-value with varint integers; every node is
+//! `[tag u8][payload…]`. A 4-byte magic and version guard the frame.
+
+use bytes::BufMut;
+use columnar::agg::AggFunc;
+use columnar::kernels::arith::ArithOp;
+use columnar::kernels::cmp::CmpOp;
+use columnar::{DataType, Field, Scalar, Schema};
+
+use crate::expr::{Expr, Measure, SortField};
+use crate::rel::{Plan, Rel};
+use crate::{IrError, Result};
+
+const MAGIC: &[u8; 4] = b"SIR1";
+
+// Expression tags.
+const E_FIELD: u8 = 1;
+const E_LIT: u8 = 2;
+const E_CMP: u8 = 3;
+const E_ARITH: u8 = 4;
+const E_AND: u8 = 5;
+const E_OR: u8 = 6;
+const E_NOT: u8 = 7;
+const E_BETWEEN: u8 = 8;
+const E_CAST: u8 = 9;
+const E_NEG: u8 = 10;
+const E_ISNULL: u8 = 11;
+const E_ISNOTNULL: u8 = 12;
+
+// Relation tags.
+const R_READ: u8 = 1;
+const R_FILTER: u8 = 2;
+const R_PROJECT: u8 = 3;
+const R_AGG: u8 = 4;
+const R_SORT: u8 = 5;
+const R_FETCH: u8 = 6;
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            break;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_varint(out, s.len() as u64);
+    out.put_slice(s.as_bytes());
+}
+
+fn put_scalar(out: &mut Vec<u8>, s: &Scalar) {
+    match s {
+        Scalar::Null => out.put_u8(255),
+        Scalar::Int64(v) => {
+            out.put_u8(DataType::Int64.tag());
+            out.put_i64_le(*v);
+        }
+        Scalar::Float64(v) => {
+            out.put_u8(DataType::Float64.tag());
+            out.put_f64_le(*v);
+        }
+        Scalar::Boolean(v) => {
+            out.put_u8(DataType::Boolean.tag());
+            out.put_u8(*v as u8);
+        }
+        Scalar::Utf8(v) => {
+            out.put_u8(DataType::Utf8.tag());
+            put_str(out, v);
+        }
+        Scalar::Date32(v) => {
+            out.put_u8(DataType::Date32.tag());
+            out.put_i32_le(*v);
+        }
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::NotEq => 1,
+        CmpOp::Lt => 2,
+        CmpOp::LtEq => 3,
+        CmpOp::Gt => 4,
+        CmpOp::GtEq => 5,
+    }
+}
+
+fn arith_tag(op: ArithOp) -> u8 {
+    match op {
+        ArithOp::Add => 0,
+        ArithOp::Sub => 1,
+        ArithOp::Mul => 2,
+        ArithOp::Div => 3,
+        ArithOp::Mod => 4,
+    }
+}
+
+fn agg_tag(f: AggFunc) -> u8 {
+    match f {
+        AggFunc::Count => 0,
+        AggFunc::Sum => 1,
+        AggFunc::Min => 2,
+        AggFunc::Max => 3,
+        AggFunc::Avg => 4,
+    }
+}
+
+fn put_expr(out: &mut Vec<u8>, e: &Expr) {
+    match e {
+        Expr::FieldRef(i) => {
+            out.put_u8(E_FIELD);
+            put_varint(out, *i as u64);
+        }
+        Expr::Literal(s) => {
+            out.put_u8(E_LIT);
+            put_scalar(out, s);
+        }
+        Expr::Cmp { op, left, right } => {
+            out.put_u8(E_CMP);
+            out.put_u8(cmp_tag(*op));
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        Expr::Arith { op, left, right } => {
+            out.put_u8(E_ARITH);
+            out.put_u8(arith_tag(*op));
+            put_expr(out, left);
+            put_expr(out, right);
+        }
+        Expr::And(a, b) => {
+            out.put_u8(E_AND);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Or(a, b) => {
+            out.put_u8(E_OR);
+            put_expr(out, a);
+            put_expr(out, b);
+        }
+        Expr::Not(x) => {
+            out.put_u8(E_NOT);
+            put_expr(out, x);
+        }
+        Expr::Between { expr, lo, hi } => {
+            out.put_u8(E_BETWEEN);
+            put_expr(out, expr);
+            put_expr(out, lo);
+            put_expr(out, hi);
+        }
+        Expr::Cast { expr, to } => {
+            out.put_u8(E_CAST);
+            out.put_u8(to.tag());
+            put_expr(out, expr);
+        }
+        Expr::Negate(x) => {
+            out.put_u8(E_NEG);
+            put_expr(out, x);
+        }
+        Expr::IsNull(x) => {
+            out.put_u8(E_ISNULL);
+            put_expr(out, x);
+        }
+        Expr::IsNotNull(x) => {
+            out.put_u8(E_ISNOTNULL);
+            put_expr(out, x);
+        }
+    }
+}
+
+fn put_schema(out: &mut Vec<u8>, s: &Schema) {
+    put_varint(out, s.len() as u64);
+    for f in s.fields() {
+        put_str(out, &f.name);
+        out.put_u8(f.data_type.tag());
+        out.put_u8(f.nullable as u8);
+    }
+}
+
+fn put_rel(out: &mut Vec<u8>, r: &Rel) {
+    match r {
+        Rel::Read {
+            table,
+            base_schema,
+            projection,
+        } => {
+            out.put_u8(R_READ);
+            put_str(out, table);
+            put_schema(out, base_schema);
+            match projection {
+                None => out.put_u8(0),
+                Some(p) => {
+                    out.put_u8(1);
+                    put_varint(out, p.len() as u64);
+                    for &i in p {
+                        put_varint(out, i as u64);
+                    }
+                }
+            }
+        }
+        Rel::Filter { input, predicate } => {
+            out.put_u8(R_FILTER);
+            put_expr(out, predicate);
+            put_rel(out, input);
+        }
+        Rel::Project { input, exprs } => {
+            out.put_u8(R_PROJECT);
+            put_varint(out, exprs.len() as u64);
+            for (e, name) in exprs {
+                put_str(out, name);
+                put_expr(out, e);
+            }
+            put_rel(out, input);
+        }
+        Rel::Aggregate {
+            input,
+            group_by,
+            measures,
+        } => {
+            out.put_u8(R_AGG);
+            put_varint(out, group_by.len() as u64);
+            for (e, name) in group_by {
+                put_str(out, name);
+                put_expr(out, e);
+            }
+            put_varint(out, measures.len() as u64);
+            for m in measures {
+                out.put_u8(agg_tag(m.func));
+                put_str(out, &m.name);
+                match &m.arg {
+                    None => out.put_u8(0),
+                    Some(e) => {
+                        out.put_u8(1);
+                        put_expr(out, e);
+                    }
+                }
+            }
+            put_rel(out, input);
+        }
+        Rel::Sort { input, keys } => {
+            out.put_u8(R_SORT);
+            put_varint(out, keys.len() as u64);
+            for k in keys {
+                out.put_u8(k.ascending as u8);
+                out.put_u8(k.nulls_first as u8);
+                put_expr(out, &k.expr);
+            }
+            put_rel(out, input);
+        }
+        Rel::Fetch {
+            input,
+            offset,
+            limit,
+        } => {
+            out.put_u8(R_FETCH);
+            put_varint(out, *offset);
+            put_varint(out, *limit);
+            put_rel(out, input);
+        }
+    }
+}
+
+/// Serialize a plan.
+pub fn encode(plan: &Plan) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(MAGIC);
+    put_varint(&mut out, plan.version as u64);
+    put_rel(&mut out, &plan.root);
+    out
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+impl<'a> Dec<'a> {
+    fn u8(&mut self) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or_else(|| IrError::Corrupt("unexpected end".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return Err(IrError::Corrupt("unexpected end".into()));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn varint(&mut self) -> Result<u64> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.u8()?;
+            if shift >= 64 {
+                return Err(IrError::Corrupt("varint overflow".into()));
+            }
+            v |= ((b & 0x7f) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.varint()? as usize;
+        if n > 1 << 20 {
+            return Err(IrError::Corrupt("implausible string length".into()));
+        }
+        let raw = self.bytes(n)?;
+        std::str::from_utf8(raw)
+            .map(|s| s.to_string())
+            .map_err(|e| IrError::Corrupt(format!("invalid utf8: {e}")))
+    }
+
+    fn scalar(&mut self) -> Result<Scalar> {
+        let tag = self.u8()?;
+        if tag == 255 {
+            return Ok(Scalar::Null);
+        }
+        let dt = DataType::from_tag(tag).map_err(|e| IrError::Corrupt(e.to_string()))?;
+        Ok(match dt {
+            DataType::Int64 => Scalar::Int64(i64::from_le_bytes(
+                self.bytes(8)?.try_into().expect("8 bytes"),
+            )),
+            DataType::Float64 => Scalar::Float64(f64::from_le_bytes(
+                self.bytes(8)?.try_into().expect("8 bytes"),
+            )),
+            DataType::Boolean => Scalar::Boolean(self.u8()? == 1),
+            DataType::Utf8 => Scalar::Utf8(self.str()?),
+            DataType::Date32 => Scalar::Date32(i32::from_le_bytes(
+                self.bytes(4)?.try_into().expect("4 bytes"),
+            )),
+        })
+    }
+
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > 128 {
+            return Err(IrError::Corrupt("expression/plan nesting too deep".into()));
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.enter()?;
+        let tag = self.u8()?;
+        let e = match tag {
+            E_FIELD => Expr::FieldRef(self.varint()? as usize),
+            E_LIT => Expr::Literal(self.scalar()?),
+            E_CMP => {
+                let op = match self.u8()? {
+                    0 => CmpOp::Eq,
+                    1 => CmpOp::NotEq,
+                    2 => CmpOp::Lt,
+                    3 => CmpOp::LtEq,
+                    4 => CmpOp::Gt,
+                    5 => CmpOp::GtEq,
+                    t => return Err(IrError::Corrupt(format!("bad cmp op {t}"))),
+                };
+                Expr::Cmp {
+                    op,
+                    left: Box::new(self.expr()?),
+                    right: Box::new(self.expr()?),
+                }
+            }
+            E_ARITH => {
+                let op = match self.u8()? {
+                    0 => ArithOp::Add,
+                    1 => ArithOp::Sub,
+                    2 => ArithOp::Mul,
+                    3 => ArithOp::Div,
+                    4 => ArithOp::Mod,
+                    t => return Err(IrError::Corrupt(format!("bad arith op {t}"))),
+                };
+                Expr::Arith {
+                    op,
+                    left: Box::new(self.expr()?),
+                    right: Box::new(self.expr()?),
+                }
+            }
+            E_AND => Expr::And(Box::new(self.expr()?), Box::new(self.expr()?)),
+            E_OR => Expr::Or(Box::new(self.expr()?), Box::new(self.expr()?)),
+            E_NOT => Expr::Not(Box::new(self.expr()?)),
+            E_BETWEEN => Expr::Between {
+                expr: Box::new(self.expr()?),
+                lo: Box::new(self.expr()?),
+                hi: Box::new(self.expr()?),
+            },
+            E_CAST => {
+                let to = DataType::from_tag(self.u8()?)
+                    .map_err(|e| IrError::Corrupt(e.to_string()))?;
+                Expr::Cast {
+                    expr: Box::new(self.expr()?),
+                    to,
+                }
+            }
+            E_NEG => Expr::Negate(Box::new(self.expr()?)),
+            E_ISNULL => Expr::IsNull(Box::new(self.expr()?)),
+            E_ISNOTNULL => Expr::IsNotNull(Box::new(self.expr()?)),
+            t => return Err(IrError::Corrupt(format!("bad expr tag {t}"))),
+        };
+        self.depth -= 1;
+        Ok(e)
+    }
+
+    fn schema(&mut self) -> Result<Schema> {
+        let n = self.varint()? as usize;
+        if n > 65_536 {
+            return Err(IrError::Corrupt("implausible schema width".into()));
+        }
+        let mut fields = Vec::with_capacity(n);
+        for _ in 0..n {
+            let name = self.str()?;
+            let dt = DataType::from_tag(self.u8()?)
+                .map_err(|e| IrError::Corrupt(e.to_string()))?;
+            let nullable = self.u8()? == 1;
+            fields.push(Field::new(name, dt, nullable));
+        }
+        Ok(Schema::new(fields))
+    }
+
+    fn rel(&mut self) -> Result<Rel> {
+        self.enter()?;
+        let tag = self.u8()?;
+        let r = match tag {
+            R_READ => {
+                let table = self.str()?;
+                let base_schema = self.schema()?;
+                let projection = if self.u8()? == 1 {
+                    let n = self.varint()? as usize;
+                    if n > 65_536 {
+                        return Err(IrError::Corrupt("implausible projection width".into()));
+                    }
+                    let mut p = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        p.push(self.varint()? as usize);
+                    }
+                    Some(p)
+                } else {
+                    None
+                };
+                Rel::Read {
+                    table,
+                    base_schema,
+                    projection,
+                }
+            }
+            R_FILTER => {
+                let predicate = self.expr()?;
+                Rel::Filter {
+                    input: Box::new(self.rel()?),
+                    predicate,
+                }
+            }
+            R_PROJECT => {
+                let n = self.varint()? as usize;
+                if n > 65_536 {
+                    return Err(IrError::Corrupt("implausible projection count".into()));
+                }
+                let mut exprs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = self.str()?;
+                    exprs.push((self.expr()?, name));
+                }
+                Rel::Project {
+                    input: Box::new(self.rel()?),
+                    exprs,
+                }
+            }
+            R_AGG => {
+                let ng = self.varint()? as usize;
+                if ng > 65_536 {
+                    return Err(IrError::Corrupt("implausible group-by count".into()));
+                }
+                let mut group_by = Vec::with_capacity(ng);
+                for _ in 0..ng {
+                    let name = self.str()?;
+                    group_by.push((self.expr()?, name));
+                }
+                let nm = self.varint()? as usize;
+                if nm > 65_536 {
+                    return Err(IrError::Corrupt("implausible measure count".into()));
+                }
+                let mut measures = Vec::with_capacity(nm);
+                for _ in 0..nm {
+                    let func = match self.u8()? {
+                        0 => AggFunc::Count,
+                        1 => AggFunc::Sum,
+                        2 => AggFunc::Min,
+                        3 => AggFunc::Max,
+                        4 => AggFunc::Avg,
+                        t => return Err(IrError::Corrupt(format!("bad agg tag {t}"))),
+                    };
+                    let name = self.str()?;
+                    let arg = if self.u8()? == 1 {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    measures.push(Measure { func, arg, name });
+                }
+                Rel::Aggregate {
+                    input: Box::new(self.rel()?),
+                    group_by,
+                    measures,
+                }
+            }
+            R_SORT => {
+                let n = self.varint()? as usize;
+                if n > 65_536 {
+                    return Err(IrError::Corrupt("implausible sort-key count".into()));
+                }
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let ascending = self.u8()? == 1;
+                    let nulls_first = self.u8()? == 1;
+                    keys.push(SortField {
+                        expr: self.expr()?,
+                        ascending,
+                        nulls_first,
+                    });
+                }
+                Rel::Sort {
+                    input: Box::new(self.rel()?),
+                    keys,
+                }
+            }
+            R_FETCH => {
+                let offset = self.varint()?;
+                let limit = self.varint()?;
+                Rel::Fetch {
+                    input: Box::new(self.rel()?),
+                    offset,
+                    limit,
+                }
+            }
+            t => return Err(IrError::Corrupt(format!("bad rel tag {t}"))),
+        };
+        self.depth -= 1;
+        Ok(r)
+    }
+}
+
+/// Deserialize a plan produced by [`encode`].
+pub fn decode(bytes: &[u8]) -> Result<Plan> {
+    if bytes.len() < 5 || &bytes[..4] != MAGIC {
+        return Err(IrError::Corrupt("missing IR magic".into()));
+    }
+    let mut d = Dec {
+        buf: bytes,
+        pos: 4,
+        depth: 0,
+    };
+    let version = d.varint()? as u32;
+    let root = d.rel()?;
+    if d.pos != bytes.len() {
+        return Err(IrError::Corrupt(format!(
+            "{} trailing bytes",
+            bytes.len() - d.pos
+        )));
+    }
+    Ok(Plan { version, root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rel::IR_VERSION;
+
+    fn sample_plan() -> Plan {
+        let schema = Schema::new(vec![
+            Field::new("id", DataType::Int64, false),
+            Field::new("x", DataType::Float64, true),
+            Field::new("tag", DataType::Utf8, false),
+            Field::new("d", DataType::Date32, false),
+        ]);
+        Plan::new(Rel::Fetch {
+            offset: 0,
+            limit: 100,
+            input: Box::new(Rel::Sort {
+                keys: vec![SortField {
+                    expr: Expr::field(1),
+                    ascending: false,
+                    nulls_first: false,
+                }],
+                input: Box::new(Rel::Aggregate {
+                    group_by: vec![(Expr::field(2), "tag".into())],
+                    measures: vec![
+                        Measure {
+                            func: AggFunc::Sum,
+                            arg: Some(Expr::arith(
+                                ArithOp::Mul,
+                                Expr::field(1),
+                                Expr::lit(Scalar::Float64(2.0)),
+                            )),
+                            name: "s".into(),
+                        },
+                        Measure {
+                            func: AggFunc::Count,
+                            arg: None,
+                            name: "n".into(),
+                        },
+                    ],
+                    input: Box::new(Rel::Project {
+                        exprs: vec![
+                            (Expr::field(0), "id".into()),
+                            (
+                                Expr::Cast {
+                                    expr: Box::new(Expr::field(3)),
+                                    to: DataType::Int64,
+                                },
+                                "days".into(),
+                            ),
+                            (Expr::field(1), "x".into()),
+                            (Expr::field(2), "tag".into()),
+                        ],
+                        input: Box::new(Rel::Filter {
+                            predicate: Expr::And(
+                                Box::new(Expr::Between {
+                                    expr: Box::new(Expr::field(1)),
+                                    lo: Box::new(Expr::lit(Scalar::Float64(0.8))),
+                                    hi: Box::new(Expr::lit(Scalar::Float64(3.2))),
+                                }),
+                                Box::new(Expr::Not(Box::new(Expr::IsNull(Box::new(
+                                    Expr::field(0),
+                                ))))),
+                            ),
+                            input: Box::new(Rel::read("t", schema, Some(vec![0, 1, 2, 3]))),
+                        }),
+                    }),
+                }),
+            }),
+        })
+    }
+
+    #[test]
+    fn roundtrip_full_plan() {
+        let plan = sample_plan();
+        let bytes = encode(&plan);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, plan);
+        assert_eq!(back.version, IR_VERSION);
+    }
+
+    #[test]
+    fn roundtrip_every_scalar_type() {
+        for s in [
+            Scalar::Null,
+            Scalar::Int64(i64::MIN),
+            Scalar::Float64(-0.0),
+            Scalar::Boolean(false),
+            Scalar::Utf8("日本語".into()),
+            Scalar::Date32(-1),
+        ] {
+            let plan = Plan::new(Rel::Filter {
+                predicate: Expr::cmp(CmpOp::Eq, Expr::field(0), Expr::lit(s)),
+                input: Box::new(Rel::read(
+                    "t",
+                    Schema::new(vec![Field::new("a", DataType::Int64, true)]),
+                    None,
+                )),
+            });
+            let back = decode(&encode(&plan)).unwrap();
+            assert_eq!(back, plan);
+        }
+    }
+
+    #[test]
+    fn corruption_rejected() {
+        let bytes = encode(&sample_plan());
+        assert!(decode(&bytes[..bytes.len() - 1]).is_err());
+        assert!(decode(&[]).is_err());
+        assert!(decode(b"XXXX").is_err());
+        let mut bad = bytes.clone();
+        bad[4] = 200; // version varint fine, but rel tag will break later or now
+        let _ = decode(&bad); // must not panic
+        let mut bad = bytes;
+        bad.push(0);
+        assert!(decode(&bad).is_err(), "trailing bytes rejected");
+    }
+
+    #[test]
+    fn deep_nesting_bounded() {
+        // Build a 200-deep NOT chain and check decode rejects (encode is fine).
+        let mut e = Expr::lit(Scalar::Boolean(true));
+        for _ in 0..200 {
+            e = Expr::Not(Box::new(e));
+        }
+        let plan = Plan::new(Rel::Filter {
+            predicate: e,
+            input: Box::new(Rel::read(
+                "t",
+                Schema::new(vec![Field::new("a", DataType::Int64, true)]),
+                None,
+            )),
+        });
+        let bytes = encode(&plan);
+        assert!(matches!(decode(&bytes), Err(IrError::Corrupt(_))));
+    }
+
+    #[test]
+    fn wire_size_is_compact() {
+        let bytes = encode(&sample_plan());
+        assert!(bytes.len() < 400, "plan wire size {} too large", bytes.len());
+    }
+}

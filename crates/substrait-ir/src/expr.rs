@@ -1,0 +1,425 @@
+//! Typed expression trees.
+
+use columnar::agg::AggFunc;
+use columnar::kernels::arith::ArithOp;
+use columnar::kernels::cmp::CmpOp;
+use columnar::{DataType, Scalar, Schema};
+use std::fmt;
+
+use crate::{IrError, Result};
+
+/// A scalar expression evaluated row-wise against an input schema.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Reference to input column `i`.
+    FieldRef(usize),
+    /// A literal value.
+    Literal(Scalar),
+    /// Comparison producing Boolean.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Logical AND (Kleene).
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR (Kleene).
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// `expr BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        lo: Box<Expr>,
+        /// Upper bound.
+        hi: Box<Expr>,
+    },
+    /// Type cast.
+    Cast {
+        /// Input expression.
+        expr: Box<Expr>,
+        /// Target type.
+        to: DataType,
+    },
+    /// Unary minus.
+    Negate(Box<Expr>),
+    /// `expr IS NULL`.
+    IsNull(Box<Expr>),
+    /// `expr IS NOT NULL`.
+    IsNotNull(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand: field reference.
+    pub fn field(i: usize) -> Expr {
+        Expr::FieldRef(i)
+    }
+
+    /// Shorthand: literal.
+    pub fn lit(s: Scalar) -> Expr {
+        Expr::Literal(s)
+    }
+
+    /// Shorthand: comparison.
+    pub fn cmp(op: CmpOp, left: Expr, right: Expr) -> Expr {
+        Expr::Cmp {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Shorthand: arithmetic.
+    pub fn arith(op: ArithOp, left: Expr, right: Expr) -> Expr {
+        Expr::Arith {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Shorthand: conjunction of many terms (`true` literal for empty).
+    pub fn and_all(terms: impl IntoIterator<Item = Expr>) -> Expr {
+        let mut iter = terms.into_iter();
+        match iter.next() {
+            None => Expr::Literal(Scalar::Boolean(true)),
+            Some(first) => iter.fold(first, |acc, t| Expr::And(Box::new(acc), Box::new(t))),
+        }
+    }
+
+    /// The expression's output type against `input`, or an error if ill-typed.
+    pub fn output_type(&self, input: &Schema) -> Result<DataType> {
+        match self {
+            Expr::FieldRef(i) => {
+                if *i >= input.len() {
+                    Err(IrError::FieldOutOfRange {
+                        index: *i,
+                        arity: input.len(),
+                    })
+                } else {
+                    Ok(input.field(*i).data_type)
+                }
+            }
+            Expr::Literal(s) => s.data_type().ok_or_else(|| {
+                IrError::Type("untyped NULL literal; wrap in Cast".into())
+            }),
+            Expr::Cmp { left, right, .. } => {
+                let (l, r) = (left.output_type(input)?, right.output_type(input)?);
+                let compatible = l == r || (l.is_numeric() && r.is_numeric());
+                if !compatible {
+                    return Err(IrError::Type(format!("cannot compare {l} with {r}")));
+                }
+                Ok(DataType::Boolean)
+            }
+            Expr::Arith { op, left, right } => {
+                let (l, r) = (left.output_type(input)?, right.output_type(input)?);
+                op.result_type(l, r)
+                    .map_err(|e| IrError::Type(e.to_string()))
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                for (side, e) in [("left", a), ("right", b)] {
+                    let t = e.output_type(input)?;
+                    if t != DataType::Boolean {
+                        return Err(IrError::Type(format!(
+                            "{side} operand of boolean op is {t}"
+                        )));
+                    }
+                }
+                Ok(DataType::Boolean)
+            }
+            Expr::Not(e) => {
+                let t = e.output_type(input)?;
+                if t != DataType::Boolean {
+                    return Err(IrError::Type(format!("NOT of {t}")));
+                }
+                Ok(DataType::Boolean)
+            }
+            Expr::Between { expr, lo, hi } => {
+                let t = expr.output_type(input)?;
+                for b in [lo, hi] {
+                    let bt = b.output_type(input)?;
+                    let ok = bt == t || (bt.is_numeric() && t.is_numeric());
+                    if !ok {
+                        return Err(IrError::Type(format!("BETWEEN bound {bt} vs {t}")));
+                    }
+                }
+                Ok(DataType::Boolean)
+            }
+            Expr::Cast { expr, to } => {
+                // CAST(NULL AS t) is how untyped NULLs acquire a type.
+                if !matches!(expr.as_ref(), Expr::Literal(Scalar::Null)) {
+                    expr.output_type(input)?;
+                }
+                Ok(*to)
+            }
+            Expr::Negate(e) => {
+                let t = e.output_type(input)?;
+                if !matches!(t, DataType::Int64 | DataType::Float64) {
+                    return Err(IrError::Type(format!("negate of {t}")));
+                }
+                Ok(t)
+            }
+            Expr::IsNull(e) | Expr::IsNotNull(e) => {
+                e.output_type(input)?;
+                Ok(DataType::Boolean)
+            }
+        }
+    }
+
+    /// All field indices referenced by this expression.
+    pub fn referenced_fields(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::FieldRef(i) => {
+                if !out.contains(i) {
+                    out.push(*i);
+                }
+            }
+            Expr::Literal(_) => {}
+            Expr::Cmp { left, right, .. } | Expr::Arith { left, right, .. } => {
+                left.referenced_fields(out);
+                right.referenced_fields(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.referenced_fields(out);
+                b.referenced_fields(out);
+            }
+            Expr::Not(e)
+            | Expr::Cast { expr: e, .. }
+            | Expr::Negate(e)
+            | Expr::IsNull(e)
+            | Expr::IsNotNull(e) => e.referenced_fields(out),
+            Expr::Between { expr, lo, hi } => {
+                expr.referenced_fields(out);
+                lo.referenced_fields(out);
+                hi.referenced_fields(out);
+            }
+        }
+    }
+
+    /// Rewrite every field reference through `map` (old index → new index).
+    /// Used when folding operators into a projected scan.
+    pub fn remap_fields(&self, map: &dyn Fn(usize) -> usize) -> Expr {
+        match self {
+            Expr::FieldRef(i) => Expr::FieldRef(map(*i)),
+            Expr::Literal(s) => Expr::Literal(s.clone()),
+            Expr::Cmp { op, left, right } => Expr::Cmp {
+                op: *op,
+                left: Box::new(left.remap_fields(map)),
+                right: Box::new(right.remap_fields(map)),
+            },
+            Expr::Arith { op, left, right } => Expr::Arith {
+                op: *op,
+                left: Box::new(left.remap_fields(map)),
+                right: Box::new(right.remap_fields(map)),
+            },
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.remap_fields(map)),
+                Box::new(b.remap_fields(map)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.remap_fields(map)),
+                Box::new(b.remap_fields(map)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.remap_fields(map))),
+            Expr::Between { expr, lo, hi } => Expr::Between {
+                expr: Box::new(expr.remap_fields(map)),
+                lo: Box::new(lo.remap_fields(map)),
+                hi: Box::new(hi.remap_fields(map)),
+            },
+            Expr::Cast { expr, to } => Expr::Cast {
+                expr: Box::new(expr.remap_fields(map)),
+                to: *to,
+            },
+            Expr::Negate(e) => Expr::Negate(Box::new(e.remap_fields(map))),
+            Expr::IsNull(e) => Expr::IsNull(Box::new(e.remap_fields(map))),
+            Expr::IsNotNull(e) => Expr::IsNotNull(Box::new(e.remap_fields(map))),
+        }
+    }
+
+    /// A rough cost weight: how many primitive operations one row costs.
+    /// Feeds the connector's computational-complexity threshold.
+    pub fn op_weight(&self) -> u32 {
+        match self {
+            Expr::FieldRef(_) | Expr::Literal(_) => 0,
+            Expr::Cmp { left, right, .. } => 1 + left.op_weight() + right.op_weight(),
+            Expr::Arith { op, left, right } => {
+                // Division/modulo are several times pricier than add/mul.
+                let base = match op {
+                    ArithOp::Div | ArithOp::Mod => 4,
+                    _ => 1,
+                };
+                base + left.op_weight() + right.op_weight()
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => 1 + a.op_weight() + b.op_weight(),
+            Expr::Not(e) | Expr::Negate(e) => 1 + e.op_weight(),
+            Expr::Between { expr, lo, hi } => {
+                2 + expr.op_weight() + lo.op_weight() + hi.op_weight()
+            }
+            Expr::Cast { expr, .. } => 1 + expr.op_weight(),
+            Expr::IsNull(e) | Expr::IsNotNull(e) => 1 + e.op_weight(),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::FieldRef(i) => write!(f, "${i}"),
+            Expr::Literal(s) => write!(f, "{s}"),
+            Expr::Cmp { op, left, right } => write!(f, "({left} {} {right})", op.sql()),
+            Expr::Arith { op, left, right } => write!(f, "({left} {} {right})", op.sql()),
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Between { expr, lo, hi } => write!(f, "({expr} BETWEEN {lo} AND {hi})"),
+            Expr::Cast { expr, to } => write!(f, "CAST({expr} AS {to})"),
+            Expr::Negate(e) => write!(f, "(-{e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::IsNotNull(e) => write!(f, "({e} IS NOT NULL)"),
+        }
+    }
+}
+
+/// One aggregate measure of an `Aggregate` relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Measure {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// Argument (None = `COUNT(*)`).
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+/// One sort key of a `Sort` relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SortField {
+    /// Key expression (usually a field reference).
+    pub expr: Expr,
+    /// Ascending order.
+    pub ascending: bool,
+    /// NULLs first.
+    pub nulls_first: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::Field;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("a", DataType::Int64, false),
+            Field::new("b", DataType::Float64, false),
+            Field::new("s", DataType::Utf8, false),
+        ])
+    }
+
+    #[test]
+    fn typing_rules() {
+        let s = schema();
+        assert_eq!(Expr::field(0).output_type(&s).unwrap(), DataType::Int64);
+        assert_eq!(
+            Expr::cmp(CmpOp::Lt, Expr::field(0), Expr::field(1))
+                .output_type(&s)
+                .unwrap(),
+            DataType::Boolean
+        );
+        assert_eq!(
+            Expr::arith(ArithOp::Add, Expr::field(0), Expr::field(1))
+                .output_type(&s)
+                .unwrap(),
+            DataType::Float64
+        );
+        // Comparing string with number is a type error.
+        assert!(Expr::cmp(CmpOp::Eq, Expr::field(2), Expr::field(0))
+            .output_type(&s)
+            .is_err());
+        // Boolean ops need boolean inputs.
+        assert!(Expr::And(Box::new(Expr::field(0)), Box::new(Expr::field(0)))
+            .output_type(&s)
+            .is_err());
+        // Out-of-range reference.
+        assert!(matches!(
+            Expr::field(9).output_type(&s),
+            Err(IrError::FieldOutOfRange { index: 9, arity: 3 })
+        ));
+        // Untyped NULL literal needs a cast.
+        assert!(Expr::lit(Scalar::Null).output_type(&s).is_err());
+        assert_eq!(
+            Expr::Cast {
+                expr: Box::new(Expr::lit(Scalar::Null)),
+                to: DataType::Int64
+            }
+            .output_type(&s)
+            .unwrap(),
+            DataType::Int64
+        );
+    }
+
+    #[test]
+    fn referenced_fields_dedup() {
+        let e = Expr::and_all([
+            Expr::cmp(CmpOp::Gt, Expr::field(1), Expr::lit(Scalar::Float64(0.0))),
+            Expr::cmp(CmpOp::Lt, Expr::field(1), Expr::field(0)),
+        ]);
+        let mut refs = Vec::new();
+        e.referenced_fields(&mut refs);
+        assert_eq!(refs, vec![1, 0]);
+    }
+
+    #[test]
+    fn remap_rewrites_refs() {
+        let e = Expr::arith(ArithOp::Mul, Expr::field(2), Expr::field(5));
+        let r = e.remap_fields(&|i| i - 2);
+        let mut refs = Vec::new();
+        r.referenced_fields(&mut refs);
+        assert_eq!(refs, vec![0, 3]);
+    }
+
+    #[test]
+    fn op_weight_orders_complexity() {
+        let cheap = Expr::cmp(CmpOp::Gt, Expr::field(0), Expr::lit(Scalar::Int64(1)));
+        // The Deep Water projection: (rowid % 250000) / 500 — two divisions.
+        let pricey = Expr::arith(
+            ArithOp::Div,
+            Expr::arith(ArithOp::Mod, Expr::field(0), Expr::lit(Scalar::Int64(250_000))),
+            Expr::lit(Scalar::Int64(500)),
+        );
+        assert!(pricey.op_weight() > cheap.op_weight());
+    }
+
+    #[test]
+    fn and_all_edge_cases() {
+        assert_eq!(
+            Expr::and_all(std::iter::empty()),
+            Expr::Literal(Scalar::Boolean(true))
+        );
+        let single = Expr::lit(Scalar::Boolean(false));
+        assert_eq!(Expr::and_all([single.clone()]), single);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::field(1)),
+            lo: Box::new(Expr::lit(Scalar::Float64(0.8))),
+            hi: Box::new(Expr::lit(Scalar::Float64(3.2))),
+        };
+        assert_eq!(e.to_string(), "($1 BETWEEN 0.8 AND 3.2)");
+    }
+}

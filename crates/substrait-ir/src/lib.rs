@@ -1,0 +1,87 @@
+//! `substrait-ir` — a Substrait-like relational plan intermediate
+//! representation.
+//!
+//! In the paper, Substrait is the engine-neutral contract between the
+//! Presto-OCS connector and OCS: the connector serializes the pushed-down
+//! operator chain into Substrait IR, ships it over gRPC, and OCS's embedded
+//! engine executes it. This crate provides the same contract:
+//!
+//! * a typed expression tree ([`Expr`]) — field references, literals,
+//!   comparisons, arithmetic, boolean logic, `BETWEEN`, casts;
+//! * relational operators ([`Rel`]) — `Read` (with projection), `Filter`,
+//!   `Project`, `Aggregate`, `Sort`, `Fetch` (limit / top-N when stacked on
+//!   `Sort`);
+//! * full output-schema inference and [`validate`](Plan::validate);
+//! * a compact tag-length binary serialization ([`encode`] /
+//!   [`decode`]) playing the role of protobuf on the wire;
+//! * a pretty-printer for plan debugging.
+//!
+//! # Example
+//!
+//! ```
+//! use substrait_ir::{Expr, Plan, Rel};
+//! use columnar::{DataType, Field, Scalar, Schema};
+//! use columnar::kernels::cmp::CmpOp;
+//!
+//! let schema = Schema::new(vec![
+//!     Field::new("x", DataType::Float64, false),
+//!     Field::new("id", DataType::Int64, false),
+//! ]);
+//! let plan = Plan::new(Rel::Filter {
+//!     input: Box::new(Rel::read("points", schema, None)),
+//!     predicate: Expr::cmp(CmpOp::Gt, Expr::field(0), Expr::lit(Scalar::Float64(1.0))),
+//! });
+//! plan.validate().unwrap();
+//!
+//! let bytes = substrait_ir::encode(&plan);
+//! let back = substrait_ir::decode(&bytes).unwrap();
+//! assert_eq!(back, plan);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod expr;
+pub mod rel;
+
+pub use encode::{decode, encode};
+pub use expr::{Expr, Measure, SortField};
+pub use rel::{Plan, Rel};
+
+use std::fmt;
+
+/// Errors from IR construction, validation or decoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrError {
+    /// Field reference outside the input schema.
+    FieldOutOfRange {
+        /// The referenced index.
+        index: usize,
+        /// Input arity.
+        arity: usize,
+    },
+    /// Types do not line up.
+    Type(String),
+    /// Structurally invalid plan (e.g. aggregate of an aggregate of a sort).
+    Structure(String),
+    /// Malformed bytes.
+    Corrupt(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::FieldOutOfRange { index, arity } => {
+                write!(f, "field reference #{index} out of range for arity {arity}")
+            }
+            IrError::Type(m) => write!(f, "type error: {m}"),
+            IrError::Structure(m) => write!(f, "invalid plan structure: {m}"),
+            IrError::Corrupt(m) => write!(f, "corrupt plan bytes: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}
+
+/// Result alias.
+pub type Result<T> = std::result::Result<T, IrError>;

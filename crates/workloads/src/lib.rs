@@ -1,0 +1,25 @@
+//! `workloads` — synthetic reproductions of the paper's three evaluation
+//! datasets, their loaders, and the Table-2 queries.
+//!
+//! | paper dataset | here | shape preserved |
+//! |---|---|---|
+//! | Laghos (LANL fluid dynamics; 256 files × 4.19 M rows × 10 cols, 24 GB) | [`laghos`] | schema (vertex_id, x, y, z, e + 5 extra doubles); x/y/z uniform over `[0, 4)` so the paper's `BETWEEN 0.8 AND 3.2` filter keeps `0.6³ ≈ 21.6 %` of rows (paper: 5.1/24 GB ≈ 21 %); vertex ids repeat ~8× within a file and never span files |
+//! | Deep Water Impact (64 files × 27 M rows × 4 cols, 30 GB) | [`deepwater`] | one timestep per file (so GROUP BY timestep groups are object-disjoint); `P(v02 > 0.1) ≈ 18 %` (paper: 5.37/30 GB ≈ 18 %) |
+//! | TPC-H `lineitem` + Q1 | [`tpch`] | dbgen-style column distributions for every Q1-relevant column; the shipdate filter keeps ~98 % (paper: 192/194 MB) |
+//!
+//! Row counts are configurable: generate small for tests, large for the
+//! benchmark harness. The cost model is linear in bytes, so shapes are
+//! scale-invariant.
+
+#![warn(missing_docs)]
+
+pub mod deepwater;
+pub mod laghos;
+pub mod loader;
+pub mod queries;
+pub mod tpch;
+
+pub use deepwater::DeepWaterConfig;
+pub use laghos::LaghosConfig;
+pub use loader::{LoadedDataset, TableLoader};
+pub use tpch::TpchConfig;

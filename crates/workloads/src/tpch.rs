@@ -1,0 +1,275 @@
+//! A dbgen-style TPC-H `lineitem` generator (the decision-support side of
+//! the paper's evaluation).
+//!
+//! Implements the TPC-H specification's column distributions for every
+//! column Q1 touches, and textbook fillers for the rest:
+//!
+//! * `quantity` uniform 1..=50; `extendedprice` derived from a synthetic
+//!   part retail price × quantity; `discount` uniform 0.00..=0.10;
+//!   `tax` uniform 0.00..=0.08 (spec §4.2.3);
+//! * `shipdate = orderdate + uniform(1..=121)`, with `orderdate` uniform
+//!   over 1992-01-01 .. 1998-08-02 (spec population rules) — so the Q1
+//!   predicate `shipdate <= DATE '1998-12-01' - 90 days` keeps ≈98 % of
+//!   rows, the paper's "minimal data movement reduction" case;
+//! * `returnflag ∈ {R, A}` when the receipt predates 1995-06-17, else `N`;
+//!   `linestatus = O` when `shipdate` is after 1995-06-17, else `F` — Q1
+//!   therefore yields the classic 4 groups.
+
+use std::sync::Arc;
+
+use columnar::builder::ArrayBuilder;
+use columnar::datatype::days_from_civil;
+use columnar::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::loader::{LoadedDataset, TableLoader};
+
+/// TPC-H generator configuration.
+#[derive(Debug, Clone)]
+pub struct TpchConfig {
+    /// Number of lineitem files.
+    pub files: usize,
+    /// Rows per file (SF-1 dbgen ⇒ ~6 M rows total).
+    pub rows_per_file: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchConfig {
+    fn default() -> Self {
+        TpchConfig {
+            files: 8,
+            rows_per_file: 128 * 1024,
+            seed: 0x7bc_41,
+        }
+    }
+}
+
+/// The 16-column lineitem schema.
+pub fn schema() -> SchemaRef {
+    Arc::new(Schema::new(vec![
+        Field::new("orderkey", DataType::Int64, false),
+        Field::new("partkey", DataType::Int64, false),
+        Field::new("suppkey", DataType::Int64, false),
+        Field::new("linenumber", DataType::Int64, false),
+        Field::new("quantity", DataType::Float64, false),
+        Field::new("extendedprice", DataType::Float64, false),
+        Field::new("discount", DataType::Float64, false),
+        Field::new("tax", DataType::Float64, false),
+        Field::new("returnflag", DataType::Utf8, false),
+        Field::new("linestatus", DataType::Utf8, false),
+        Field::new("shipdate", DataType::Date32, false),
+        Field::new("commitdate", DataType::Date32, false),
+        Field::new("receiptdate", DataType::Date32, false),
+        Field::new("shipinstruct", DataType::Utf8, false),
+        Field::new("shipmode", DataType::Utf8, false),
+        Field::new("comment", DataType::Utf8, false),
+    ]))
+}
+
+const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const NOUNS: [&str; 8] = [
+    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto beans",
+];
+const VERBS: [&str; 8] = [
+    "sleep", "wake", "haggle", "nag", "cajole", "integrate", "detect", "boost",
+];
+
+/// Generate the batch for lineitem file `file_idx`.
+pub fn generate_file(config: &TpchConfig, file_idx: usize) -> RecordBatch {
+    let n = config.rows_per_file;
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ (file_idx as u64).wrapping_mul(0xc0ffee));
+    let start_date = days_from_civil(1992, 1, 1);
+    let end_date = days_from_civil(1998, 8, 2);
+    let cutoff = days_from_civil(1995, 6, 17);
+
+    let mut orderkey = ArrayBuilder::new(DataType::Int64);
+    let mut partkey = ArrayBuilder::new(DataType::Int64);
+    let mut suppkey = ArrayBuilder::new(DataType::Int64);
+    let mut linenumber = ArrayBuilder::new(DataType::Int64);
+    let mut quantity = ArrayBuilder::new(DataType::Float64);
+    let mut extendedprice = ArrayBuilder::new(DataType::Float64);
+    let mut discount = ArrayBuilder::new(DataType::Float64);
+    let mut tax = ArrayBuilder::new(DataType::Float64);
+    let mut returnflag = ArrayBuilder::new(DataType::Utf8);
+    let mut linestatus = ArrayBuilder::new(DataType::Utf8);
+    let mut shipdate = ArrayBuilder::new(DataType::Date32);
+    let mut commitdate = ArrayBuilder::new(DataType::Date32);
+    let mut receiptdate = ArrayBuilder::new(DataType::Date32);
+    let mut shipinstruct = ArrayBuilder::new(DataType::Utf8);
+    let mut shipmode = ArrayBuilder::new(DataType::Utf8);
+    let mut comment = ArrayBuilder::new(DataType::Utf8);
+
+    let mut order: i64 = (file_idx * n) as i64 * 2;
+    let mut line_in_order = 0i64;
+    let mut lines_this_order = rng.gen_range(1..=7);
+    let mut orderdate = rng.gen_range(start_date..=end_date);
+    for i in 0..n {
+        if line_in_order == lines_this_order {
+            order += rng.gen_range(1..=4);
+            line_in_order = 0;
+            lines_this_order = rng.gen_range(1..=7);
+            orderdate = rng.gen_range(start_date..=end_date);
+        }
+        line_in_order += 1;
+        let pk = rng.gen_range(1..=200_000i64);
+        let qty = rng.gen_range(1..=50i64) as f64;
+        // dbgen: retailprice(p) = 90000 + (p/10)%20001 + 100*(p%1000), /100.
+        let retail = (90_000 + (pk / 10) % 20_001 + 100 * (pk % 1_000)) as f64 / 100.0;
+        let ship = orderdate + rng.gen_range(1..=121);
+        let commit = orderdate + rng.gen_range(30..=90);
+        let receipt = ship + rng.gen_range(1..=30);
+        orderkey.push_i64(order);
+        partkey.push_i64(pk);
+        suppkey.push_i64(rng.gen_range(1..=10_000));
+        linenumber.push_i64(line_in_order);
+        quantity.push_f64(qty);
+        extendedprice.push_f64(retail * qty);
+        discount.push_f64(rng.gen_range(0..=10) as f64 / 100.0);
+        tax.push_f64(rng.gen_range(0..=8) as f64 / 100.0);
+        returnflag.push_str(if receipt <= cutoff {
+            if rng.gen_bool(0.5) {
+                "R"
+            } else {
+                "A"
+            }
+        } else {
+            "N"
+        });
+        linestatus.push_str(if ship > cutoff { "O" } else { "F" });
+        shipdate.push(Scalar::Date32(ship)).expect("date");
+        commitdate.push(Scalar::Date32(commit)).expect("date");
+        receiptdate.push(Scalar::Date32(receipt)).expect("date");
+        shipinstruct.push_str(SHIP_INSTRUCT[rng.gen_range(0..SHIP_INSTRUCT.len())]);
+        shipmode.push_str(SHIP_MODE[rng.gen_range(0..SHIP_MODE.len())]);
+        comment.push_str(&format!(
+            "{} {} {}",
+            NOUNS[i % NOUNS.len()],
+            VERBS[(i / 3) % VERBS.len()],
+            NOUNS[(i / 7) % NOUNS.len()],
+        ));
+    }
+
+    RecordBatch::try_new(
+        schema(),
+        vec![
+            Arc::new(orderkey.finish()),
+            Arc::new(partkey.finish()),
+            Arc::new(suppkey.finish()),
+            Arc::new(linenumber.finish()),
+            Arc::new(quantity.finish()),
+            Arc::new(extendedprice.finish()),
+            Arc::new(discount.finish()),
+            Arc::new(tax.finish()),
+            Arc::new(returnflag.finish()),
+            Arc::new(linestatus.finish()),
+            Arc::new(shipdate.finish()),
+            Arc::new(commitdate.finish()),
+            Arc::new(receiptdate.finish()),
+            Arc::new(shipinstruct.finish()),
+            Arc::new(shipmode.finish()),
+            Arc::new(comment.finish()),
+        ],
+    )
+    .expect("schema matches construction")
+}
+
+/// Generate + store + register the dataset as table `lineitem`.
+pub fn load(loader: &TableLoader<'_>, config: &TpchConfig) -> LoadedDataset {
+    loader.load("lineitem", schema(), config.files, |i| {
+        generate_file(config, i)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RecordBatch {
+        generate_file(
+            &TpchConfig {
+                files: 1,
+                rows_per_file: 40_000,
+                ..Default::default()
+            },
+            0,
+        )
+    }
+
+    #[test]
+    fn q1_filter_keeps_most_rows() {
+        let b = small();
+        let threshold = days_from_civil(1998, 12, 1) - 90;
+        let ship = b.column_by_name("shipdate").unwrap().as_date32().unwrap();
+        let kept = ship.values.iter().filter(|&&d| d <= threshold).count();
+        let rate = kept as f64 / b.num_rows() as f64;
+        assert!(rate > 0.95 && rate < 1.0, "Q1 keeps {rate}");
+    }
+
+    #[test]
+    fn q1_produces_four_groups() {
+        let b = small();
+        let rf = b.column_by_name("returnflag").unwrap().as_utf8().unwrap();
+        let ls = b.column_by_name("linestatus").unwrap().as_utf8().unwrap();
+        let mut groups = std::collections::HashSet::new();
+        for i in 0..b.num_rows() {
+            groups.insert((rf.value(i).to_string(), ls.value(i).to_string()));
+        }
+        let mut got: Vec<(String, String)> = groups.into_iter().collect();
+        got.sort();
+        assert_eq!(
+            got,
+            vec![
+                ("A".into(), "F".into()),
+                ("N".into(), "F".into()),
+                ("N".into(), "O".into()),
+                ("R".into(), "F".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn value_ranges_match_spec() {
+        let b = small();
+        let q = b.column_by_name("quantity").unwrap().min_max();
+        assert!(q.0.as_f64().unwrap() >= 1.0 && q.1.as_f64().unwrap() <= 50.0);
+        let d = b.column_by_name("discount").unwrap().min_max();
+        assert!(d.0.as_f64().unwrap() >= 0.0 && d.1.as_f64().unwrap() <= 0.10 + 1e-9);
+        let t = b.column_by_name("tax").unwrap().min_max();
+        assert!(t.1.as_f64().unwrap() <= 0.08 + 1e-9);
+        // receiptdate after shipdate.
+        let ship = b.column_by_name("shipdate").unwrap().as_date32().unwrap();
+        let rcpt = b.column_by_name("receiptdate").unwrap().as_date32().unwrap();
+        assert!(ship
+            .values
+            .iter()
+            .zip(&rcpt.values)
+            .all(|(s, r)| r > s));
+    }
+
+    #[test]
+    fn orders_have_multiple_lines() {
+        let b = small();
+        let ok = b.column_by_name("orderkey").unwrap().as_i64().unwrap();
+        let ln = b.column_by_name("linenumber").unwrap().as_i64().unwrap();
+        // linenumber restarts at 1 for each new order.
+        assert_eq!(ln.values[0], 1);
+        let mut max_line = 0;
+        for i in 1..1000 {
+            if ok.values[i] == ok.values[i - 1] {
+                assert_eq!(ln.values[i], ln.values[i - 1] + 1);
+            } else {
+                assert_eq!(ln.values[i], 1);
+            }
+            max_line = max_line.max(ln.values[i]);
+        }
+        assert!(max_line >= 2, "orders should span multiple lineitems");
+    }
+}

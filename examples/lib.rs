@@ -1,0 +1,1 @@
+//! The example binaries are in this directory; run them with `cargo run -p examples --example <name>`.

@@ -1,0 +1,1 @@
+//! Shared helpers for the cross-crate integration tests live in `tests/tests/common/`.
