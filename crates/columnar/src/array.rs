@@ -264,7 +264,7 @@ impl Array {
                 };
                 Array::Utf8(Utf8Array {
                     validity,
-                    ..Utf8Array::from_strs(std::iter::repeat(s).take(len))
+                    ..Utf8Array::from_strs(std::iter::repeat_n(s, len))
                 })
             }
             DataType::Date32 => Array::Date32(Date32Array {

@@ -102,7 +102,7 @@ impl Bitmap {
     /// Append a bit.
     #[inline]
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;

@@ -57,8 +57,8 @@ pub fn hash_column_into(column: &Array, hashes: &mut [u64]) -> Result<()> {
             }
         }
         Array::Boolean(a) => {
-            for i in 0..a.values.len() {
-                hashes[i] = mix(hashes[i], a.values.get(i) as u64);
+            for (i, h) in hashes.iter_mut().enumerate() {
+                *h = mix(*h, a.values.get(i) as u64);
             }
         }
         Array::Utf8(a) => {
@@ -69,9 +69,9 @@ pub fn hash_column_into(column: &Array, hashes: &mut [u64]) -> Result<()> {
     }
     // NULL slots get the marker regardless of the value slot contents.
     if let Some(validity) = column.validity() {
-        for i in 0..column.len() {
+        for (i, h) in hashes.iter_mut().enumerate() {
             if !validity.get(i) {
-                hashes[i] = mix(hashes[i], NULL_MARK);
+                *h = mix(*h, NULL_MARK);
             }
         }
     }

@@ -13,6 +13,111 @@ fn filtered_validity(validity: Option<&Bitmap>, keep: &[usize]) -> Option<Bitmap
     validity.map(|v| keep.iter().map(|&i| v.get(i)).collect())
 }
 
+/// How a boolean mask resolves over a row domain: every row survives, no
+/// row survives, or an explicit ascending keep-index list.
+///
+/// Computing this once per mask lets callers reuse the keep indices across
+/// many columns (instead of re-walking the bitmap per column) and take the
+/// degenerate fast paths: `All` filters are zero-copy at the batch level
+/// (shared `Arc` columns) and `None` filters skip row materialization
+/// entirely — which is what makes late-materialized scans cheap on
+/// low-selectivity predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Selection {
+    /// All rows of a domain of the given length survive.
+    All(usize),
+    /// No row of a domain of the given length survives.
+    None(usize),
+    /// Exactly these row indices (ascending) survive.
+    Indices(Vec<usize>),
+}
+
+impl Selection {
+    /// Resolve a filter mask (valid-and-true rows survive).
+    pub fn from_mask(mask: &BooleanArray) -> Selection {
+        Selection::from_bitmap(&true_bits(mask))
+    }
+
+    /// Resolve a plain bitmap (set bits survive).
+    pub fn from_bitmap(bits: &Bitmap) -> Selection {
+        let n = bits.len();
+        match bits.count_ones() {
+            0 => Selection::None(n),
+            ones if ones == n => Selection::All(n),
+            _ => Selection::Indices(bits.set_indices()),
+        }
+    }
+
+    /// Length of the row domain this selection applies to.
+    pub fn domain_len(&self) -> usize {
+        match self {
+            Selection::All(n) | Selection::None(n) => *n,
+            Selection::Indices(keep) => keep.len(), // lower bound; domain is >= last index + 1
+        }
+    }
+
+    /// Number of surviving rows.
+    pub fn count(&self) -> usize {
+        match self {
+            Selection::All(n) => *n,
+            Selection::None(_) => 0,
+            Selection::Indices(keep) => keep.len(),
+        }
+    }
+
+    /// True when every row survives.
+    pub fn is_all(&self) -> bool {
+        matches!(self, Selection::All(_))
+    }
+
+    /// True when no row survives.
+    pub fn is_none(&self) -> bool {
+        matches!(self, Selection::None(_))
+    }
+
+    /// Apply to a single array. `All` clones the array; `None` produces an
+    /// empty array of the same type without touching row data.
+    pub fn apply(&self, a: &Array) -> Result<Array> {
+        match self {
+            Selection::All(n) => {
+                check_selection_len(a.len(), *n)?;
+                Ok(a.clone())
+            }
+            Selection::None(n) => {
+                check_selection_len(a.len(), *n)?;
+                take_indices(a, &[])
+            }
+            Selection::Indices(keep) => take_indices(a, keep),
+        }
+    }
+
+    /// Apply to every column of a batch, reusing the keep indices. `All`
+    /// is zero-copy (the batch's `Arc` columns are shared, not re-gathered).
+    pub fn apply_batch(&self, batch: &RecordBatch) -> Result<RecordBatch> {
+        match self {
+            Selection::All(n) => {
+                check_selection_len(batch.num_rows(), *n)?;
+                Ok(batch.clone())
+            }
+            Selection::None(n) => {
+                check_selection_len(batch.num_rows(), *n)?;
+                take_batch(batch, &[])
+            }
+            Selection::Indices(keep) => take_batch(batch, keep),
+        }
+    }
+}
+
+fn check_selection_len(rows: usize, domain: usize) -> Result<()> {
+    if rows != domain {
+        return Err(ColumnarError::LengthMismatch {
+            left: rows,
+            right: domain,
+        });
+    }
+    Ok(())
+}
+
 /// Keep the rows of `a` where `mask` is valid-and-true.
 pub fn filter(a: &Array, mask: &BooleanArray) -> Result<Array> {
     if a.len() != mask.values.len() {
@@ -21,8 +126,7 @@ pub fn filter(a: &Array, mask: &BooleanArray) -> Result<Array> {
             right: mask.values.len(),
         });
     }
-    let keep = true_bits(mask).set_indices();
-    take_indices(a, &keep)
+    Selection::from_mask(mask).apply(a)
 }
 
 /// Gather rows of `a` at `indices` (may repeat / reorder).
@@ -69,6 +173,9 @@ pub fn take_indices(a: &Array, indices: &[usize]) -> Result<Array> {
 }
 
 /// Keep the rows of every column of `batch` where `mask` is valid-and-true.
+/// All-true masks return the batch zero-copy; all-false masks skip row
+/// gathering; otherwise the keep indices are computed once and shared by
+/// every column.
 pub fn filter_batch(batch: &RecordBatch, mask: &BooleanArray) -> Result<RecordBatch> {
     if batch.num_rows() != mask.values.len() {
         return Err(ColumnarError::LengthMismatch {
@@ -76,8 +183,7 @@ pub fn filter_batch(batch: &RecordBatch, mask: &BooleanArray) -> Result<RecordBa
             right: mask.values.len(),
         });
     }
-    let keep = true_bits(mask).set_indices();
-    take_batch(batch, &keep)
+    Selection::from_mask(mask).apply_batch(batch)
 }
 
 /// Gather the rows of every column of `batch` at `indices`.
@@ -171,6 +277,64 @@ mod tests {
         assert_eq!(t.scalar_at(0), Scalar::Null);
         assert_eq!(t.scalar_at(1), Scalar::Int64(3));
         assert_eq!(t.scalar_at(2), Scalar::Null);
+    }
+
+    #[test]
+    fn selection_resolves_extremes() {
+        assert_eq!(
+            Selection::from_mask(&mask(&[true, true, true])),
+            Selection::All(3)
+        );
+        assert_eq!(
+            Selection::from_mask(&mask(&[false, false])),
+            Selection::None(2)
+        );
+        assert_eq!(
+            Selection::from_mask(&mask(&[false, true, true, false])),
+            Selection::Indices(vec![1, 2])
+        );
+        // A mask that is all-true in values but nulled out is all-false.
+        let nulled = BooleanArray {
+            values: Bitmap::from_bools(&[true, true]),
+            validity: Some(Bitmap::from_bools(&[false, false])),
+        };
+        assert_eq!(Selection::from_mask(&nulled), Selection::None(2));
+    }
+
+    #[test]
+    fn all_true_filter_is_zero_copy_on_batches() {
+        let schema = Arc::new(Schema::new(vec![Field::new("a", DataType::Int64, false)]));
+        let col = Arc::new(Array::from_i64(vec![1, 2, 3]));
+        let batch = RecordBatch::try_new(schema, vec![col.clone()]).unwrap();
+        let f = filter_batch(&batch, &mask(&[true, true, true])).unwrap();
+        assert!(
+            Arc::ptr_eq(&batch.columns()[0], &f.columns()[0]),
+            "all-true filter must share column storage"
+        );
+    }
+
+    #[test]
+    fn all_false_filter_is_empty_same_type() {
+        let a = Array::from_strs(["x", "y"]);
+        let f = filter(&a, &mask(&[false, false])).unwrap();
+        assert_eq!(f.len(), 0);
+        assert!(matches!(f, Array::Utf8(_)));
+    }
+
+    #[test]
+    fn selection_length_mismatch_is_error() {
+        let a = Array::from_i64(vec![1, 2, 3]);
+        assert!(Selection::All(2).apply(&a).is_err());
+        assert!(Selection::None(4).apply(&a).is_err());
+    }
+
+    #[test]
+    fn selection_apply_matches_filter() {
+        let m = mask(&[true, false, true, false, true]);
+        let a = Array::from_i64(vec![10, 20, 30, 40, 50]);
+        let sel = Selection::from_mask(&m);
+        assert_eq!(sel.count(), 3);
+        assert_eq!(sel.apply(&a).unwrap().rows_i64(), vec![10, 30, 50]);
     }
 
     #[test]

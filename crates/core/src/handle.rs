@@ -26,6 +26,9 @@ pub struct PushedAggregate {
     pub output_name: String,
 }
 
+/// Named group-key expressions of a pushed aggregation.
+pub type GroupKeys = Vec<(ScalarExpr, String)>;
+
 /// The operators captured by the Operator Extractor, in execution order.
 ///
 /// All expressions are in the coordinates of the (column-pruned) scan
@@ -39,7 +42,7 @@ pub struct PushedOps {
     pub project: Option<Vec<(ScalarExpr, String)>>,
     /// Pushed aggregation: group keys + measures (partial form unless
     /// [`PushedOps::aggregate_is_full`]).
-    pub aggregate: Option<(Vec<(ScalarExpr, String)>, Vec<PushedAggregate>)>,
+    pub aggregate: Option<(GroupKeys, Vec<PushedAggregate>)>,
     /// True when the aggregation is pushed in FULL form (per-object
     /// complete aggregation; requires object-disjoint group keys).
     pub aggregate_is_full: bool,

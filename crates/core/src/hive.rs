@@ -245,6 +245,7 @@ impl PageSourceProvider for HivePageSourceProvider {
             frontend_cpu_s: 0.0,
             substrait_gen_s: 0.0,
             compute_deser_s,
+            ..Default::default()
         })
     }
 }

@@ -23,6 +23,10 @@ pub struct HistoryEntry {
     pub result_rows: u64,
     /// Whether anything beyond column projection was pushed.
     pub pushed: bool,
+    /// Row groups the storage scan skipped via late materialization.
+    pub row_groups_skipped: u64,
+    /// Encoded bytes the storage scan never decoded.
+    pub decoded_bytes_avoided: u64,
 }
 
 /// Sliding window of recent executions.
@@ -86,6 +90,17 @@ impl PushdownHistory {
         }
         self.entries.iter().map(|e| e.seconds).sum::<f64>() / self.entries.len() as f64
     }
+
+    /// Total row groups skipped by late materialization over the window.
+    pub fn total_row_groups_skipped(&self) -> u64 {
+        self.entries.iter().map(|e| e.row_groups_skipped).sum()
+    }
+
+    /// Total encoded bytes late materialization avoided decoding over the
+    /// window (the scan-efficiency counterpart of `mean_moved_bytes`).
+    pub fn total_decoded_bytes_avoided(&self) -> u64 {
+        self.entries.iter().map(|e| e.decoded_bytes_avoided).sum()
+    }
 }
 
 /// The `EventListener` feeding the history.
@@ -118,6 +133,8 @@ impl EventListener for PushdownMonitor {
             moved_bytes: event.moved_bytes,
             result_rows: event.result_rows,
             pushed,
+            row_groups_skipped: event.row_groups_skipped,
+            decoded_bytes_avoided: event.decoded_bytes_avoided,
         });
     }
 }
@@ -139,6 +156,8 @@ mod tests {
                 "ocs columns=[0]".into()
             },
             breakdown: vec![],
+            row_groups_skipped: if pushed { 3 } else { 0 },
+            decoded_bytes_avoided: if pushed { 4096 } else { 0 },
         }
     }
 
@@ -165,6 +184,8 @@ mod tests {
             assert_eq!(h.pushdown_rate(), 0.5);
             assert_eq!(h.mean_moved_bytes(), 200.0);
             assert_eq!(h.mean_seconds(), 3.0);
+            assert_eq!(h.total_row_groups_skipped(), 3);
+            assert_eq!(h.total_decoded_bytes_avoided(), 4096);
         });
         let empty = PushdownMonitor::new(5);
         empty.with_history(|h| {

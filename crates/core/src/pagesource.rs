@@ -103,6 +103,8 @@ impl PageSourceProvider for OcsPageSourceProvider {
             frontend_cpu_s: resp.frontend_cpu_s,
             substrait_gen_s,
             compute_deser_s,
+            row_groups_skipped: resp.row_groups_skipped,
+            decoded_bytes_avoided: resp.decoded_bytes_avoided,
         })
     }
 }

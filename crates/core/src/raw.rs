@@ -112,6 +112,7 @@ impl PageSourceProvider for RawPageSourceProvider {
             frontend_cpu_s: 0.0,
             substrait_gen_s: 0.0,
             compute_deser_s,
+            ..Default::default()
         })
     }
 }

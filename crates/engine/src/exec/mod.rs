@@ -31,6 +31,10 @@ pub struct ExecutionOutcome {
     pub moved_requests: u64,
     /// Number of splits executed.
     pub splits: usize,
+    /// Row groups skipped by storage-side late materialization.
+    pub row_groups_skipped: u64,
+    /// Encoded bytes storage never decoded thanks to late materialization.
+    pub decoded_bytes_avoided: u64,
 }
 
 /// Per-split partial result.
@@ -49,6 +53,8 @@ struct SplitOutput {
     frontend_cpu_s: f64,
     substrait_gen_s: f64,
     compute_cpu_s: f64,
+    row_groups_skipped: u64,
+    decoded_bytes_avoided: u64,
 }
 
 /// Execute a linear plan chain.
@@ -166,6 +172,8 @@ pub fn execute_plan(
                 frontend_cpu_s: page.frontend_cpu_s,
                 substrait_gen_s: page.substrait_gen_s,
                 compute_cpu_s: page.compute_deser_s + cluster.compute.core_seconds_for(compute_work),
+                row_groups_skipped: page.row_groups_skipped,
+                decoded_bytes_avoided: page.decoded_bytes_avoided,
             })
         })
         .collect();
@@ -179,6 +187,8 @@ pub fn execute_plan(
     let disk_bytes: u64 = outputs.iter().map(|o| o.disk_bytes).sum();
     let moved_bytes: u64 = outputs.iter().map(|o| o.network_bytes).sum();
     let moved_requests: u64 = outputs.iter().map(|o| o.network_requests).sum();
+    let row_groups_skipped: u64 = outputs.iter().map(|o| o.row_groups_skipped).sum();
+    let decoded_bytes_avoided: u64 = outputs.iter().map(|o| o.decoded_bytes_avoided).sum();
     ledger.add(
         Phase::StorageDisk,
         cluster.storage_disk.read_seconds(disk_bytes),
@@ -356,5 +366,7 @@ pub fn execute_plan(
         moved_bytes,
         moved_requests,
         splits: splits.len(),
+        row_groups_skipped,
+        decoded_bytes_avoided,
     })
 }

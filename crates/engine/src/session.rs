@@ -34,6 +34,10 @@ pub struct QueryEvent {
     pub scan_handle: String,
     /// Per-phase breakdown `(label, seconds, share %)`.
     pub breakdown: Vec<(String, f64, f64)>,
+    /// Row groups storage skipped via late materialization.
+    pub row_groups_skipped: u64,
+    /// Encoded bytes storage never decoded via late materialization.
+    pub decoded_bytes_avoided: u64,
 }
 
 /// Observer of query completion.
@@ -235,6 +239,8 @@ impl Engine {
             result_rows: batch.num_rows() as u64,
             scan_handle: plan.scan().handle.describe(),
             breakdown: outcome.ledger.breakdown(),
+            row_groups_skipped: outcome.row_groups_skipped,
+            decoded_bytes_avoided: outcome.decoded_bytes_avoided,
         };
         for l in self.listeners.read().iter() {
             l.query_completed(&event);

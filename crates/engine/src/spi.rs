@@ -99,6 +99,13 @@ pub struct PageSourceResult {
     pub substrait_gen_s: f64,
     /// Core-seconds of result deserialization on the compute node.
     pub compute_deser_s: f64,
+    /// Row groups the storage-side scan skipped after evaluating the
+    /// filter mask on the filter columns alone (late materialization).
+    /// Zero for connectors without a storage-side executor.
+    pub row_groups_skipped: u64,
+    /// Encoded bytes the storage-side scan never decoded thanks to
+    /// mask-skipped row groups. Zero for pass-through connectors.
+    pub decoded_bytes_avoided: u64,
 }
 
 /// Creates page sources for splits (Presto's `ConnectorPageSourceProvider`).

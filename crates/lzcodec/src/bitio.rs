@@ -151,10 +151,10 @@ mod tests {
     fn crossing_byte_boundaries() {
         let mut w = BitWriter::new();
         w.write_bits(0b111111, 6);
-        w.write_bits(0b1010_1010_10, 10); // spans into byte 2
+        w.write_bits(0b10_1010_1010, 10); // spans into byte 2
         let bytes = w.finish();
         let mut r = BitReader::new(&bytes);
         assert_eq!(r.read_bits(6).unwrap(), 0b111111);
-        assert_eq!(r.read_bits(10).unwrap(), 0b1010_1010_10);
+        assert_eq!(r.read_bits(10).unwrap(), 0b10_1010_1010);
     }
 }

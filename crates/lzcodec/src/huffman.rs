@@ -220,7 +220,7 @@ impl CodeTable {
             if run == 0 || lengths.len() + run > n {
                 return Err(CodecError("bad Huffman RLE run".into()));
             }
-            lengths.extend(std::iter::repeat(v).take(run));
+            lengths.extend(std::iter::repeat_n(v, run));
             pos += 2;
         }
         Ok((CodeTable::from_lengths(lengths)?, pos))
@@ -353,7 +353,7 @@ mod tests {
 
     #[test]
     fn extended_alphabet() {
-        let symbols: Vec<u16> = (0..319).chain(std::iter::repeat(300).take(50)).collect();
+        let symbols: Vec<u16> = (0..319).chain(std::iter::repeat_n(300, 50)).collect();
         roundtrip_symbols(&symbols, 320);
     }
 
@@ -393,8 +393,8 @@ mod tests {
     #[test]
     fn table_serialization_roundtrip() {
         let mut freqs = vec![0u64; 288];
-        for i in 0..288 {
-            freqs[i] = ((i * 7) % 13) as u64;
+        for (i, f) in freqs.iter_mut().enumerate() {
+            *f = ((i * 7) % 13) as u64;
         }
         let table = CodeTable::from_freqs(&freqs).unwrap();
         let mut out = Vec::new();

@@ -66,10 +66,10 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
                     let chunk = remaining.min(1 << 20);
                     let n = chunk - 1;
                     if n < 60 {
-                        out.push(((n as u8) << 2) | 0);
+                        out.push((n as u8) << 2);
                     } else {
                         let extra_bytes = (64 - (n as u64).leading_zeros()).div_ceil(8) as usize;
-                        out.push((((59 + extra_bytes) as u8) << 2) | 0);
+                        out.push(((59 + extra_bytes) as u8) << 2);
                         out.extend_from_slice(&(n as u32).to_le_bytes()[..extra_bytes]);
                     }
                     out.extend_from_slice(&data[offset..offset + chunk]);

@@ -11,20 +11,27 @@ use std::sync::Arc;
 
 use columnar::agg::AggState;
 use columnar::builder::ArrayBuilder;
+use columnar::kernels::selection::Selection;
 use columnar::kernels::{arith, boolean, cast, cmp, selection};
 use columnar::prelude::*;
 use columnar::sort::{self, SortKey};
 use netsim::{CostParams, Work};
 use parq::{ParqReader, RangePredicate};
+use rayon::prelude::*;
 use substrait_ir::{Expr, Measure, Plan, Rel};
 
 use crate::{OcsError, OcsResult};
 
 /// Resource consumption of one in-storage execution.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecStats {
-    /// Operator work, by efficiency channel.
+    /// Serial operator work (everything downstream of the scan), by
+    /// efficiency channel.
     pub work: Work,
+    /// Per-row-group decode+filter work of the scan stage. Each entry is
+    /// independent of the others, so a node bills this stage as the LPT
+    /// makespan over its cores rather than the serial sum.
+    pub scan_work: Vec<Work>,
     /// Compressed bytes read from disk.
     pub disk_bytes: u64,
     /// Uncompressed bytes decoded.
@@ -33,6 +40,20 @@ pub struct ExecStats {
     pub rows_scanned: u64,
     /// Rows emitted.
     pub rows_emitted: u64,
+    /// Row groups that survived statistics pruning but were skipped after
+    /// the filter mask came back all-false on the filter columns alone.
+    pub row_groups_skipped: u64,
+    /// Encoded payload bytes the late-materialized scan never decoded
+    /// (footer `uncompressed_len` of the chunks it skipped).
+    pub decoded_bytes_avoided: u64,
+}
+
+impl ExecStats {
+    /// Total work across the serial tail and every scan lane (raw units,
+    /// for monitoring — timing must compose `scan_work` via `makespan`).
+    pub fn total_work(&self) -> Work {
+        self.scan_work.iter().fold(self.work, |acc, w| acc + *w)
+    }
 }
 
 /// Evaluate a Substrait expression against a batch.
@@ -194,21 +215,50 @@ fn key_bytes(out: &mut Vec<u8>, s: &Scalar) {
     }
 }
 
+/// Outcome of scanning one row group in the late-materialized pipeline.
+struct GroupScan {
+    /// Filtered batch (None when the selection was all-false).
+    batch: Option<RecordBatch>,
+    /// Decode + filter work for this group (one makespan lane).
+    work: Work,
+    /// Compressed bytes actually pulled for this group.
+    disk_bytes: u64,
+    /// Uncompressed bytes actually decoded for this group.
+    uncompressed_bytes: u64,
+    /// Rows in the group (scanned regardless of the mask outcome).
+    rows: u64,
+    /// Encoded bytes of payload chunks never decoded.
+    avoided_bytes: u64,
+    /// True when the mask killed the whole group.
+    skipped: bool,
+}
+
 /// The embedded executor over one parq object.
 pub struct Executor<'a> {
     reader: &'a ParqReader,
     cost: &'a CostParams,
     stats: ExecStats,
+    late_mat: bool,
 }
 
 impl<'a> Executor<'a> {
-    /// New executor over an open object.
+    /// New executor over an open object. Late materialization is on by
+    /// default (the production configuration).
     pub fn new(reader: &'a ParqReader, cost: &'a CostParams) -> Self {
         Executor {
             reader,
             cost,
             stats: ExecStats::default(),
+            late_mat: true,
         }
+    }
+
+    /// Toggle the late-materialized scan (off = decode every projected
+    /// column of every surviving row group before filtering, the legacy
+    /// path; kept for A/B benchmarking).
+    pub fn late_materialization(mut self, enabled: bool) -> Self {
+        self.late_mat = enabled;
+        self
     }
 
     /// Execute `plan`, returning result batches and resource stats.
@@ -241,6 +291,21 @@ impl<'a> Executor<'a> {
                             })
                             .collect(),
                     };
+                    // Late materialization: decode filter columns first,
+                    // mask, and only materialize payload columns for row
+                    // groups with survivors. Predicates without field
+                    // references (rare constants) fall back to the eager
+                    // path, which needs no column split.
+                    let mut filter_pos = Vec::new();
+                    predicate.referenced_fields(&mut filter_pos);
+                    if self.late_mat && !filter_pos.is_empty() {
+                        return self.run_filtered_read(
+                            projection.as_deref(),
+                            &remapped,
+                            predicate,
+                            &filter_pos,
+                        );
+                    }
                     let batches = self.run_read(projection.as_deref(), &remapped)?;
                     return self.apply_filter(batches, predicate);
                 }
@@ -350,6 +415,163 @@ impl<'a> Executor<'a> {
             self.stats.rows_scanned += batch.num_rows() as u64;
             self.stats.work.add(Work::decode(batch.byte_size() as f64 * self.cost.byte_decode));
             out.push(batch);
+        }
+        Ok(out)
+    }
+
+    /// The late-materialized scan: per row group, decode only the columns
+    /// `predicate` references, evaluate it into a [`Selection`], and skip
+    /// the group outright when no row survives; otherwise decode the
+    /// remaining projected columns, reuse the already-decoded filter
+    /// arrays, and apply the selection (zero-copy when it is all-true).
+    ///
+    /// Row groups are independent, so decode+filter runs in parallel
+    /// across them; batches come back in file order and each group's work
+    /// lands in its own `scan_work` lane for makespan billing.
+    fn run_filtered_read(
+        &mut self,
+        projection: Option<&[usize]>,
+        prune: &[RangePredicate],
+        predicate: &Expr,
+        filter_pos: &[usize],
+    ) -> OcsResult<Vec<RecordBatch>> {
+        let groups = self.reader.prune_row_groups(prune);
+        let out_cols: Vec<usize> = match projection {
+            Some(p) => p.to_vec(),
+            None => (0..self.reader.schema().len()).collect(),
+        };
+        if let Some(&bad) = filter_pos.iter().find(|&&p| p >= out_cols.len()) {
+            return Err(OcsError::Exec(format!(
+                "filter references field #{bad} outside the scan's {} columns",
+                out_cols.len()
+            )));
+        }
+        // Rewrite the predicate from scan-output positions to positions in
+        // the narrow filter-column batch.
+        let local_pred = predicate.remap_fields(&|i| {
+            filter_pos
+                .iter()
+                .position(|&p| p == i)
+                .expect("every referenced field is in filter_pos")
+        });
+        let weight = predicate.op_weight();
+        let reader = self.reader;
+        let cost = self.cost;
+        let schema = reader.schema();
+        let exec_err = |e: parq::ParqError| OcsError::Exec(e.to_string());
+
+        let scanned: Vec<OcsResult<GroupScan>> = groups
+            .into_par_iter()
+            .map(|rg| -> OcsResult<GroupScan> {
+                let rows = reader.row_group_rows(rg).map_err(exec_err)?;
+                let mut work = Work::zero();
+                let mut disk_bytes = 0u64;
+                let mut cols: Vec<Option<Arc<Array>>> = vec![None; out_cols.len()];
+
+                // Phase 1: filter columns only.
+                let mut filter_bytes = 0usize;
+                for &pos in filter_pos {
+                    let file_col = out_cols[pos];
+                    disk_bytes += reader
+                        .chunk_compressed_bytes(rg, file_col)
+                        .map_err(exec_err)?;
+                    let a = reader.read_chunk(rg, file_col).map_err(exec_err)?;
+                    filter_bytes += a.byte_size();
+                    cols[pos] = Some(Arc::new(a));
+                }
+                work.add(Work::decode(filter_bytes as f64 * cost.byte_decode));
+                let filter_fields: Vec<Field> = filter_pos
+                    .iter()
+                    .map(|&pos| schema.field(out_cols[pos]).clone())
+                    .collect();
+                let filter_batch = RecordBatch::try_new(
+                    Arc::new(Schema::new(filter_fields)),
+                    filter_pos
+                        .iter()
+                        .map(|&pos| cols[pos].clone().expect("decoded in phase 1"))
+                        .collect(),
+                )
+                .map_err(|e| OcsError::Exec(e.to_string()))?;
+                work.add(Work::vector(cost.eval_work(rows, weight)));
+                let mask = eval_expr(&local_pred, &filter_batch)?;
+                let mask = mask.as_bool().map_err(|e| OcsError::Exec(e.to_string()))?;
+                let sel = Selection::from_mask(mask);
+
+                if sel.is_none() {
+                    // Nothing survives: never touch the payload chunks.
+                    let mut avoided = 0u64;
+                    for (pos, slot) in cols.iter().enumerate() {
+                        if slot.is_none() {
+                            avoided += reader
+                                .chunk_uncompressed_bytes(rg, out_cols[pos])
+                                .map_err(exec_err)?;
+                        }
+                    }
+                    return Ok(GroupScan {
+                        batch: None,
+                        work,
+                        disk_bytes,
+                        uncompressed_bytes: filter_bytes as u64,
+                        rows,
+                        avoided_bytes: avoided,
+                        skipped: true,
+                    });
+                }
+
+                // Phase 2: payload columns for the surviving group.
+                let mut payload_bytes = 0usize;
+                for (pos, slot) in cols.iter_mut().enumerate() {
+                    if slot.is_none() {
+                        let file_col = out_cols[pos];
+                        disk_bytes += reader
+                            .chunk_compressed_bytes(rg, file_col)
+                            .map_err(exec_err)?;
+                        let a = reader.read_chunk(rg, file_col).map_err(exec_err)?;
+                        payload_bytes += a.byte_size();
+                        *slot = Some(Arc::new(a));
+                    }
+                }
+                work.add(Work::decode(payload_bytes as f64 * cost.byte_decode));
+                let fields: Vec<Field> = out_cols
+                    .iter()
+                    .map(|&c| schema.field(c).clone())
+                    .collect();
+                let full = RecordBatch::try_new(
+                    Arc::new(Schema::new(fields)),
+                    cols.into_iter()
+                        .map(|c| c.expect("all columns decoded"))
+                        .collect(),
+                )
+                .map_err(|e| OcsError::Exec(e.to_string()))?;
+                let batch = sel
+                    .apply_batch(&full)
+                    .map_err(|e| OcsError::Exec(e.to_string()))?;
+                Ok(GroupScan {
+                    batch: Some(batch),
+                    work,
+                    disk_bytes,
+                    uncompressed_bytes: (filter_bytes + payload_bytes) as u64,
+                    rows,
+                    avoided_bytes: 0,
+                    skipped: false,
+                })
+            })
+            .collect();
+
+        let mut out = Vec::with_capacity(scanned.len());
+        for g in scanned {
+            let g = g?;
+            self.stats.disk_bytes += g.disk_bytes;
+            self.stats.uncompressed_bytes += g.uncompressed_bytes;
+            self.stats.rows_scanned += g.rows;
+            self.stats.decoded_bytes_avoided += g.avoided_bytes;
+            self.stats.row_groups_skipped += g.skipped as u64;
+            self.stats.scan_work.push(g.work);
+            if let Some(b) = g.batch {
+                if b.num_rows() > 0 {
+                    out.push(b);
+                }
+            }
         }
         Ok(out)
     }
@@ -578,6 +800,28 @@ mod tests {
         Executor::new(&reader, &cost).run(&plan).unwrap()
     }
 
+    fn run_with(plan: &Plan, late_mat: bool) -> (Vec<RecordBatch>, ExecStats) {
+        let reader = test_reader();
+        let cost = CostParams::default();
+        Executor::new(&reader, &cost)
+            .late_materialization(late_mat)
+            .run(plan)
+            .unwrap()
+    }
+
+    /// A filter statistics pruning cannot touch (arith wraps the column)
+    /// whose matches all land in row group 0: `id % 1000 < limit`.
+    fn clustered_filter_plan(limit: i64, projection: Option<Vec<usize>>) -> Plan {
+        Plan::new(Rel::Filter {
+            input: Box::new(Rel::read("t", base_schema(), projection)),
+            predicate: Expr::cmp(
+                CmpOp::Lt,
+                Expr::arith(ArithOp::Mod, Expr::field(0), Expr::lit(Scalar::Int64(1000))),
+                Expr::lit(Scalar::Int64(limit)),
+            ),
+        })
+    }
+
     #[test]
     fn plain_read_with_projection() {
         let plan = Plan::new(Rel::read("t", base_schema(), Some(vec![2, 0])));
@@ -761,6 +1005,78 @@ mod tests {
         assert_eq!(batches[0].num_rows(), 3);
         assert!(stats.rows_emitted == 3);
         assert!(stats.work.total_units() > 0.0);
+    }
+
+    #[test]
+    fn late_mat_skips_masked_row_groups() {
+        // `id % 1000 < 50` survives stats pruning (arith hides the column)
+        // but only rows 0..49 — all in the first of 10 groups — match.
+        let (batches, stats) = run(clustered_filter_plan(50, None));
+        let total: usize = batches.iter().map(|b| b.num_rows()).sum();
+        assert_eq!(total, 50);
+        assert_eq!(stats.rows_scanned, 1000, "no group is stats-prunable");
+        assert_eq!(stats.row_groups_skipped, 9, "mask kills 9 of 10 groups");
+        assert!(
+            stats.decoded_bytes_avoided > 0,
+            "skipped groups never decode v and g"
+        );
+        assert_eq!(stats.scan_work.len(), 10, "one work lane per row group");
+        assert!(stats.total_work().total_units() > 0.0);
+    }
+
+    #[test]
+    fn late_mat_matches_eager_path() {
+        for plan in [
+            clustered_filter_plan(50, None),
+            clustered_filter_plan(0, None),
+            clustered_filter_plan(1000, Some(vec![2, 0])),
+            clustered_filter_plan(50, Some(vec![1, 0])),
+        ] {
+            let (late, late_stats) = run_with(&plan, true);
+            let (eager, eager_stats) = run_with(&plan, false);
+            let rows =
+                |bs: &[RecordBatch]| bs.iter().map(|b| b.num_rows()).sum::<usize>();
+            assert_eq!(rows(&late), rows(&eager));
+            let flat = |bs: &[RecordBatch]| -> Vec<Vec<Scalar>> {
+                bs.iter()
+                    .flat_map(|b| (0..b.num_rows()).map(|r| b.row(r)).collect::<Vec<_>>())
+                    .collect()
+            };
+            assert_eq!(flat(&late), flat(&eager));
+            assert_eq!(late_stats.rows_emitted, eager_stats.rows_emitted);
+            assert_eq!(late_stats.rows_scanned, eager_stats.rows_scanned);
+            assert!(late_stats.uncompressed_bytes <= eager_stats.uncompressed_bytes);
+        }
+    }
+
+    #[test]
+    fn late_mat_all_true_selection_decodes_everything_once() {
+        // `id % 1000 < 1000` matches every row: the scan must bill exactly
+        // what the eager path bills — same bytes, nothing avoided.
+        let plan = clustered_filter_plan(1000, None);
+        let (late, late_stats) = run_with(&plan, true);
+        let (_, eager_stats) = run_with(&plan, false);
+        assert_eq!(late.iter().map(|b| b.num_rows()).sum::<usize>(), 1000);
+        assert_eq!(late_stats.uncompressed_bytes, eager_stats.uncompressed_bytes);
+        assert_eq!(late_stats.disk_bytes, eager_stats.disk_bytes);
+        assert_eq!(late_stats.row_groups_skipped, 0);
+        assert_eq!(late_stats.decoded_bytes_avoided, 0);
+    }
+
+    #[test]
+    fn late_mat_halves_decoded_bytes_on_low_selectivity_scan() {
+        // The Laghos shape: select every column, filter to a tiny clustered
+        // slice. The acceptance bar is a >=2x decoded-bytes reduction.
+        let plan = clustered_filter_plan(10, None);
+        let (_, late) = run_with(&plan, true);
+        let (_, eager) = run_with(&plan, false);
+        assert!(
+            late.uncompressed_bytes * 2 <= eager.uncompressed_bytes,
+            "late {} vs eager {}",
+            late.uncompressed_bytes,
+            eager.uncompressed_bytes
+        );
+        assert!(late.disk_bytes < eager.disk_bytes);
     }
 
     #[test]

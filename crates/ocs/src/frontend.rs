@@ -29,6 +29,10 @@ pub struct WireResponse {
     pub rows_scanned: u64,
     /// Rows returned (for monitoring).
     pub rows_returned: u64,
+    /// Row groups the late-materialized scan skipped after masking.
+    pub row_groups_skipped: u64,
+    /// Encoded bytes the scan never had to decode.
+    pub decoded_bytes_avoided: u64,
 }
 
 /// The frontend node.
@@ -85,6 +89,8 @@ impl OcsFrontend {
             frontend_cpu_s,
             rows_scanned: resp.exec.rows_scanned,
             rows_returned: resp.exec.rows_emitted,
+            row_groups_skipped: resp.exec.row_groups_skipped,
+            decoded_bytes_avoided: resp.exec.decoded_bytes_avoided,
         })
     }
 }

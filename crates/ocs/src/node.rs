@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use columnar::RecordBatch;
 use lzcodec::CodecKind;
-use netsim::{CostParams, NodeSpec};
+use netsim::{makespan, CostParams, NodeSpec};
 use objstore::ObjectStore;
 use parq::ParqReader;
 use substrait_ir::Plan;
@@ -71,7 +71,14 @@ impl StorageNode {
             CodecKind::None => 0.0,
             other => exec.uncompressed_bytes as f64 / (other.spec().decompress_gbps * 1e9),
         };
-        let cpu_s = self.spec.core_seconds_for(exec.work);
+        // Scan lanes (per-row-group decode+filter) run in parallel across
+        // the node's cores; everything downstream is billed serially.
+        let lanes: Vec<f64> = exec
+            .scan_work
+            .iter()
+            .map(|w| self.spec.core_seconds_for(*w))
+            .collect();
+        let cpu_s = makespan(&lanes, self.spec.cores) + self.spec.core_seconds_for(exec.work);
         Ok(NodeResponse {
             batches,
             cpu_s,

@@ -36,6 +36,10 @@ pub struct OcsResponse {
     pub rows_scanned: u64,
     /// Rows returned.
     pub rows_returned: u64,
+    /// Row groups the late-materialized scan skipped after masking.
+    pub row_groups_skipped: u64,
+    /// Encoded bytes the scan never had to decode.
+    pub decoded_bytes_avoided: u64,
 }
 
 /// A client bound to one OCS frontend.
@@ -67,6 +71,8 @@ impl OcsClient {
             frontend_cpu_s: wire.frontend_cpu_s,
             rows_scanned: wire.rows_scanned,
             rows_returned: wire.rows_returned,
+            row_groups_skipped: wire.row_groups_skipped,
+            decoded_bytes_avoided: wire.decoded_bytes_avoided,
         })
     }
 }

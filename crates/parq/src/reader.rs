@@ -54,7 +54,6 @@ impl RangePredicate {
 struct ChunkInfo {
     offset: u64,
     compressed_len: u64,
-    #[allow(dead_code)]
     uncompressed_len: u64,
     encoding: Encoding,
     stats: ColumnStats,
@@ -206,20 +205,52 @@ impl ParqReader {
         Ok(acc)
     }
 
+    fn chunk_info(&self, rg: usize, col: usize) -> Result<&ChunkInfo> {
+        self.row_groups
+            .get(rg)
+            .ok_or_else(|| ParqError::Invalid(format!("row group {rg} out of range")))?
+            .chunks
+            .get(col)
+            .ok_or_else(|| ParqError::Invalid(format!("column {col} out of range")))
+    }
+
+    /// Row count of row group `rg` from footer metadata (no decoding).
+    pub fn row_group_rows(&self, rg: usize) -> Result<u64> {
+        self.row_groups
+            .get(rg)
+            .map(|g| g.rows)
+            .ok_or_else(|| ParqError::Invalid(format!("row group {rg} out of range")))
+    }
+
+    /// Compressed on-disk size of one column chunk (what a selective reader
+    /// pulls off the disk when it decodes exactly this chunk).
+    pub fn chunk_compressed_bytes(&self, rg: usize, col: usize) -> Result<u64> {
+        Ok(self.chunk_info(rg, col)?.compressed_len)
+    }
+
+    /// Encoded-but-uncompressed size of one column chunk, from footer
+    /// metadata. Lets callers account for decode work skipped (e.g. chunks
+    /// a selection mask proved unnecessary) without decoding them.
+    pub fn chunk_uncompressed_bytes(&self, rg: usize, col: usize) -> Result<u64> {
+        Ok(self.chunk_info(rg, col)?.uncompressed_len)
+    }
+
     /// Compressed on-disk size of the chunks a projection touches in one
     /// row group (what a reader must pull off the disk).
     pub fn projected_compressed_bytes(&self, rg: usize, projection: &[usize]) -> Result<u64> {
-        let g = self
-            .row_groups
-            .get(rg)
-            .ok_or_else(|| ParqError::Invalid(format!("row group {rg} out of range")))?;
         let mut total = 0;
         for &c in projection {
-            let ch = g
-                .chunks
-                .get(c)
-                .ok_or_else(|| ParqError::Invalid(format!("column {c} out of range")))?;
-            total += ch.compressed_len;
+            total += self.chunk_compressed_bytes(rg, c)?;
+        }
+        Ok(total)
+    }
+
+    /// Encoded-but-uncompressed size of the chunks a projection touches in
+    /// one row group (the decode work those chunks represent).
+    pub fn projected_uncompressed_bytes(&self, rg: usize, projection: &[usize]) -> Result<u64> {
+        let mut total = 0;
+        for &c in projection {
+            total += self.chunk_uncompressed_bytes(rg, c)?;
         }
         Ok(total)
     }
@@ -351,6 +382,36 @@ mod tests {
         let partial = r.projected_compressed_bytes(0, &[0]).unwrap();
         let full = r.projected_compressed_bytes(0, &[0, 1, 2]).unwrap();
         assert!(partial < full);
+    }
+
+    #[test]
+    fn chunk_byte_accounting_matches_projections() {
+        let bytes = make_file(CodecKind::Gz, 100, 250);
+        let r = ParqReader::open(bytes.into()).unwrap();
+        for rg in 0..r.num_row_groups() {
+            let per_chunk: u64 = (0..3)
+                .map(|c| r.chunk_compressed_bytes(rg, c).unwrap())
+                .sum();
+            assert_eq!(
+                per_chunk,
+                r.projected_compressed_bytes(rg, &[0, 1, 2]).unwrap()
+            );
+            let per_chunk_raw: u64 = (0..3)
+                .map(|c| r.chunk_uncompressed_bytes(rg, c).unwrap())
+                .sum();
+            assert_eq!(
+                per_chunk_raw,
+                r.projected_uncompressed_bytes(rg, &[0, 1, 2]).unwrap()
+            );
+            // Uncompressed is never smaller than... not guaranteed per
+            // codec, but must be nonzero for non-empty groups.
+            assert!(per_chunk_raw > 0);
+        }
+        assert_eq!(r.row_group_rows(0).unwrap(), 100);
+        assert_eq!(r.row_group_rows(2).unwrap(), 50);
+        assert!(r.row_group_rows(3).is_err());
+        assert!(r.chunk_compressed_bytes(0, 9).is_err());
+        assert!(r.chunk_uncompressed_bytes(9, 0).is_err());
     }
 
     #[test]

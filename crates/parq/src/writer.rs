@@ -255,7 +255,7 @@ mod tests {
     #[test]
     fn compression_shrinks_repetitive_data() {
         let b = batch(10_000, 0);
-        let raw = write_file(schema(), &[b.clone()], WriteOptions::default()).unwrap();
+        let raw = write_file(schema(), std::slice::from_ref(&b), WriteOptions::default()).unwrap();
         let zst = write_file(
             schema(),
             &[b],

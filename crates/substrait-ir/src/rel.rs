@@ -289,11 +289,8 @@ impl Plan {
         }
         // Exactly one leaf, and it must be a Read.
         let mut cur = &self.root;
-        loop {
-            match cur.input() {
-                Some(next) => cur = next,
-                None => break,
-            }
+        while let Some(next) = cur.input() {
+            cur = next;
         }
         if !matches!(cur, Rel::Read { .. }) {
             return Err(IrError::Structure("leaf operator must be Read".into()));

@@ -34,7 +34,7 @@ impl Default for DeepWaterConfig {
             files: 16,
             rows_per_file: 128 * 1024,
             high_velocity_fraction: 0.18,
-            seed: 0xd33b_07,
+            seed: 0xd33b07,
         }
     }
 }

@@ -37,7 +37,7 @@ impl Default for LaghosConfig {
             files: 16,
             rows_per_file: 64 * 1024,
             rows_per_vertex: 8,
-            seed: 0x1a60_05,
+            seed: 0x1a6005,
         }
     }
 }

@@ -100,9 +100,9 @@ impl<'a> TableLoader<'a> {
             // merged into the table-level metastore stats.
             let reader = ParqReader::open(bytes.clone().into()).expect("own file parses");
             let mut object_cols = Vec::with_capacity(schema.len());
-            for c in 0..schema.len() {
+            for (c, stat) in col_stats.iter_mut().enumerate().take(schema.len()) {
                 let merged = reader.column_stats(c).expect("column in range");
-                col_stats[c] = col_stats[c].merge(&merged);
+                *stat = stat.merge(&merged);
                 object_cols.push(merged);
             }
             objects.push(ObjectLocation {

@@ -41,7 +41,7 @@ impl Default for TpchConfig {
         TpchConfig {
             files: 8,
             rows_per_file: 128 * 1024,
-            seed: 0x7bc_41,
+            seed: 0x7bc41,
         }
     }
 }

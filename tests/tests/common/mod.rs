@@ -11,6 +11,7 @@ use workloads::{DeepWaterConfig, LaghosConfig, TableLoader, TpchConfig};
 /// A full test stack: engine + store with all three datasets (small).
 pub struct Stack {
     pub engine: Engine,
+    #[allow(dead_code)] // some test binaries only drive the engine
     pub store: Arc<ObjectStore>,
 }
 

@@ -21,10 +21,7 @@ fn policies() -> Vec<(&'static str, PushdownPolicy)> {
 }
 
 fn check_query(table: &str, sql: &str) {
-    let extra: Vec<(&str, PushdownPolicy)> = policies()
-        .into_iter()
-        .map(|(n, p)| (n, p))
-        .collect();
+    let extra: Vec<(&str, PushdownPolicy)> = policies().into_iter().collect();
     let st = stack(PushdownPolicy::all(), CodecKind::None, &extra);
 
     // Reference: raw connector (no pushdown at all).

@@ -53,8 +53,8 @@ fn setup(seed: u64, files: usize, rows_per_file: usize) -> Engine {
             ],
         )
         .unwrap();
-        for c in 0..3 {
-            stats_cols[c] = stats_cols[c].merge(&ColumnStats::compute(batch.column(c)));
+        for (c, stat) in stats_cols.iter_mut().enumerate() {
+            *stat = stat.merge(&ColumnStats::compute(batch.column(c)));
         }
         let bytes =
             parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();

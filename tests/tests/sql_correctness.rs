@@ -49,12 +49,13 @@ fn setup() -> Engine {
     let mut stats_cols = vec![ColumnStats::empty(); 3];
     let mut rows = 0;
     for (i, b) in parts.iter().enumerate() {
-        let bytes = parq::writer::write_file(schema.clone(), &[b.clone()], Default::default())
-            .unwrap();
+        let bytes =
+            parq::writer::write_file(schema.clone(), std::slice::from_ref(b), Default::default())
+                .unwrap();
         let key = format!("weather/{i}");
         rows += b.num_rows() as u64;
-        for c in 0..3 {
-            stats_cols[c] = stats_cols[c].merge(&ColumnStats::compute(b.column(c)));
+        for (c, stat) in stats_cols.iter_mut().enumerate() {
+            *stat = stat.merge(&ColumnStats::compute(b.column(c)));
         }
         objects.push(ObjectLocation {
             bucket: "lake".into(),

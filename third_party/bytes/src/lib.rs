@@ -1,0 +1,349 @@
+//! Workspace-local substitute for the `bytes` crate, providing exactly the
+//! API subset this repository uses. The container this workspace builds in
+//! has no access to crates.io, so external dependencies are vendored as
+//! minimal compatible implementations (see `third_party/README.md`).
+//!
+//! Provided: [`Bytes`] (cheaply clonable shared byte buffer), [`BytesMut`],
+//! and the [`Buf`]/[`BufMut`] cursor traits with little-endian accessors.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    Shared(Arc<Vec<u8>>),
+    Static(&'static [u8]),
+}
+
+/// A cheaply clonable, immutable, shareable view of contiguous bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    offset: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from_static(&[])
+    }
+
+    /// A buffer borrowing a `'static` slice without copying.
+    pub fn from_static(bytes: &'static [u8]) -> Bytes {
+        Bytes {
+            len: bytes.len(),
+            repr: Repr::Static(bytes),
+            offset: 0,
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the buffer holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A zero-copy sub-view of `range` (indices relative to this view).
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(start <= end && end <= self.len, "slice {start}..{end} out of range for {}", self.len);
+        Bytes {
+            repr: self.repr.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        let whole: &[u8] = match &self.repr {
+            Repr::Shared(v) => v,
+            Repr::Static(s) => s,
+        };
+        &whole[self.offset..self.offset + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Bytes {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            len: v.len(),
+            repr: Repr::Shared(Arc::new(v)),
+            offset: 0,
+        }
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Bytes {
+        Bytes::from_static(s)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+/// A growable byte buffer that freezes into [`Bytes`].
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` bytes pre-reserved.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Convert into an immutable [`Bytes`] without copying.
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Read cursor over a byte source. Accessors panic when fewer bytes remain
+/// than requested, matching the upstream crate's contract.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// The unconsumed bytes.
+    fn chunk(&self) -> &[u8];
+    /// Consume `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// True when nothing remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Copy `dst.len()` bytes out, advancing.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `i32`.
+    fn get_i32_le(&mut self) -> i32 {
+        self.get_u32_le() as i32
+    }
+
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        self.get_u64_le() as i64
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "cannot advance past end of buffer");
+        *self = &self[n..];
+    }
+}
+
+/// Write cursor appending to a byte sink.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i32`.
+    fn put_i32_le(&mut self, v: i32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_slice_and_clone_share() {
+        let b = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(&s2[..], &[3, 4]);
+        assert_eq!(b.len(), 5);
+    }
+
+    #[test]
+    fn buf_roundtrip() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u32_le(0xdead_beef);
+        out.put_i64_le(-42);
+        out.put_f64_le(1.5);
+        let mut buf = &out[..];
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32_le(), 0xdead_beef);
+        assert_eq!(buf.get_i64_le(), -42);
+        assert_eq!(buf.get_f64_le(), 1.5);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_mut_freezes() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_slice(b"hello");
+        assert_eq!(m.len(), 5);
+        let b = m.freeze();
+        assert_eq!(&b[..], b"hello");
+    }
+}

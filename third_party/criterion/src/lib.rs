@@ -1,0 +1,265 @@
+//! Workspace-local substitute for `criterion`: a small wall-clock harness
+//! exposing the API subset this repository's benches use
+//! (`benchmark_group`, `bench_function`, `BenchmarkId`, `Throughput`,
+//! `sample_size`, `iter`, plus the `criterion_group!`/`criterion_main!`
+//! macros). Reports mean time per iteration and derived throughput on
+//! stdout; no statistics, plots, or baselines.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Throughput basis for derived rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized (`name/param`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with a function name and a display-formatted parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as an identifier.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+/// Runs the measured closure and records elapsed wall-clock time.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of samples (after one
+    /// untimed warmup call). The routine's return value is passed through
+    /// [`black_box`] so the work is not optimized away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.total_nanos = start.elapsed().as_nanos();
+        self.iters = self.samples as u64;
+    }
+}
+
+fn human_time(nanos_per_iter: f64) -> String {
+    if nanos_per_iter < 1_000.0 {
+        format!("{nanos_per_iter:.1} ns")
+    } else if nanos_per_iter < 1_000_000.0 {
+        format!("{:.2} us", nanos_per_iter / 1_000.0)
+    } else if nanos_per_iter < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos_per_iter / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos_per_iter / 1_000_000_000.0)
+    }
+}
+
+fn human_rate(per_second: f64, unit: &str) -> String {
+    if per_second >= 1e9 {
+        format!("{:.2} G{unit}/s", per_second / 1e9)
+    } else if per_second >= 1e6 {
+        format!("{:.2} M{unit}/s", per_second / 1e6)
+    } else if per_second >= 1e3 {
+        format!("{:.2} K{unit}/s", per_second / 1e3)
+    } else {
+        format!("{per_second:.1} {unit}/s")
+    }
+}
+
+/// A named group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the per-iteration throughput basis for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            total_nanos: 0,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let per_iter = if bencher.iters == 0 {
+            0.0
+        } else {
+            bencher.total_nanos as f64 / bencher.iters as f64
+        };
+        let rate = self.throughput.map(|t| {
+            let (count, unit) = match t {
+                Throughput::Elements(n) => (n, "elem"),
+                Throughput::Bytes(n) => (n, "B"),
+            };
+            let per_second = if per_iter > 0.0 {
+                count as f64 / (per_iter / 1e9)
+            } else {
+                0.0
+            };
+            human_rate(per_second, unit)
+        });
+        let full = format!("{}/{}", self.name, id);
+        match rate {
+            Some(rate) => println!(
+                "{full:<56} time: {:>12}/iter   thrpt: {rate}   (n={})",
+                human_time(per_iter),
+                bencher.iters
+            ),
+            None => println!(
+                "{full:<56} time: {:>12}/iter   (n={})",
+                human_time(per_iter),
+                bencher.iters
+            ),
+        }
+        let _ = &self.criterion;
+        self
+    }
+
+    /// End the group (separator line, mirroring the upstream API shape).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Default number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        let sample_size = self.sample_size;
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size,
+            throughput: None,
+        }
+    }
+}
+
+/// Define a benchmark entry function from a config and target functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0u64..100).sum::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| 1 + 1));
+        g.finish();
+    }
+
+    criterion_group! {
+        name = smoke_benches;
+        config = Criterion::default().sample_size(5);
+        targets = spin
+    }
+
+    #[test]
+    fn harness_runs() {
+        smoke_benches();
+    }
+}

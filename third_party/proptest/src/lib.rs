@@ -1,0 +1,532 @@
+//! Workspace-local substitute for `proptest`: a deterministic random-case
+//! runner exposing the API subset this repository's property tests use —
+//! the [`strategy::Strategy`] trait with `prop_map`, range / pattern /
+//! tuple / `any` / `collection::vec` / `option::{of, weighted}` strategies,
+//! `ProptestConfig::with_cases`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (failures report the generated
+//! arguments instead), and string "regex" strategies support only the
+//! `.{m,n}` / `[class]{m,n}` / literal forms used in this workspace.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Produce one value from `rng`.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Expand a character class body like `a-e` or `xyz0-9` into choices.
+    fn expand_class(class: &str) -> Vec<char> {
+        let chars: Vec<char> = class.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (lo, hi) = (chars[i], chars[i + 2]);
+                assert!(lo <= hi, "invalid char class range {lo}-{hi}");
+                out.extend(lo..=hi);
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        assert!(!out.is_empty(), "empty char class");
+        out
+    }
+
+    /// Parse a `{m,n}` quantifier; `""` means exactly one.
+    fn parse_quantifier(rest: &str) -> (usize, usize) {
+        if rest.is_empty() {
+            return (1, 1);
+        }
+        let body = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported pattern quantifier {rest:?}"));
+        let (m, n) = body
+            .split_once(',')
+            .unwrap_or_else(|| panic!("unsupported quantifier body {body:?}"));
+        let m: usize = m.trim().parse().expect("quantifier lower bound");
+        let n: usize = n.trim().parse().expect("quantifier upper bound");
+        assert!(m <= n, "quantifier {m} > {n}");
+        (m, n)
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+
+        /// Generate from the small pattern language this workspace uses:
+        /// `.{m,n}` (printable ASCII), `[class]{m,n}`, or a literal string.
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (choices, rest): (Vec<char>, &str) =
+                if let Some(stripped) = self.strip_prefix('[') {
+                    let end = stripped
+                        .find(']')
+                        .unwrap_or_else(|| panic!("unterminated char class in {self:?}"));
+                    (expand_class(&stripped[..end]), &stripped[end + 1..])
+                } else if let Some(stripped) = self.strip_prefix('.') {
+                    ((' '..='~').collect(), stripped)
+                } else {
+                    return (*self).to_string();
+                };
+            let (m, n) = parse_quantifier(rest);
+            let len = rng.gen_range(m..=n);
+            (0..len)
+                .map(|_| choices[rng.gen_range(0..choices.len())])
+                .collect()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Types with a canonical unconstrained generation strategy.
+    pub trait Arbitrary {
+        /// Produce an arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rand::RngCore::next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rand::RngCore::next_u64(rng) & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite values only, spread over a wide magnitude range.
+            let mag = rng.gen_range(-300i32..300) as f64;
+            let mantissa = rng.gen_range(-1.0f64..1.0);
+            mantissa * mag.exp2()
+        }
+    }
+
+    /// Strategy returned by [`crate::prelude::any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector whose elements come from `element` and whose length is
+    /// drawn uniformly from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty vec size range");
+        VecStrategy { element, size }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Option<S::Value>` with probability `p` of `Some`.
+    pub struct OptionStrategy<S> {
+        some_probability: f64,
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.gen_bool(self.some_probability) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+
+    /// `Some` with probability `p`, `None` otherwise.
+    pub fn weighted<S: Strategy>(p: f64, inner: S) -> OptionStrategy<S> {
+        assert!((0.0..=1.0).contains(&p), "weight out of range");
+        OptionStrategy {
+            some_probability: p,
+            inner,
+        }
+    }
+
+    /// `Some`/`None` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        weighted(0.5, inner)
+    }
+}
+
+pub mod test_runner {
+    //! Case execution: configuration, RNG, and the runner loop.
+
+    use rand::{RngCore, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases to run.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` accepted cases.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case's assumptions were not met; it is skipped.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Deterministic per-case random source.
+    pub struct TestRng {
+        inner: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        fn from_seed(seed: u64) -> TestRng {
+            TestRng {
+                inner: ChaCha8Rng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u32(&mut self) -> u32 {
+            self.inner.next_u32()
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Run `case` until `config.cases` cases pass; panic on the first
+    /// failure. Seeds derive from the test name so runs are reproducible.
+    pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = fnv1a(name);
+        let max_rejects = (config.cases as u64) * 16 + 256;
+        let mut accepted = 0u32;
+        let mut rejected = 0u64;
+        let mut attempt = 0u64;
+        while accepted < config.cases {
+            let seed = base ^ attempt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            attempt += 1;
+            let mut rng = TestRng::from_seed(seed);
+            match case(&mut rng) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= max_rejects,
+                        "property '{name}': too many rejected cases ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property '{name}' failed at case {accepted} (seed {seed:#x}):\n{msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert inside a `proptest!` body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "prop_assert_eq failed:\n  left: {:?}\n right: {:?}",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Skip the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Expand property-test functions: each `name in strategy` parameter is
+/// generated per case and the body runs under [`test_runner::run_cases`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::test_runner::run_cases(stringify!($name), &config, |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&$strat, __rng);)+
+                // Render inputs up front: the body may consume them by value.
+                let __inputs = format!(
+                    concat!($("\n    ", stringify!($arg), " = {:?}"),+),
+                    $(&$arg),+
+                );
+                let __case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                };
+                match __case() {
+                    ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                            format!("{msg}\n  with inputs:{__inputs}"),
+                        ))
+                    }
+                    other => other,
+                }
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vecs(
+            xs in crate::collection::vec(-100i64..100, 0..50),
+            opt in crate::option::weighted(0.9, 0u8..4),
+            s in "[a-e]{0,3}",
+            t in ".{0,12}",
+            flag in any::<bool>(),
+        ) {
+            for x in &xs {
+                prop_assert!((-100..100).contains(x));
+            }
+            if let Some(v) = opt {
+                prop_assert!(v < 4);
+            }
+            prop_assert!(s.len() <= 3);
+            prop_assert!(s.chars().all(|c| ('a'..='e').contains(&c)));
+            prop_assert!(t.len() <= 12);
+            let _ = flag;
+        }
+
+        #[test]
+        fn tuple_map_and_assume(
+            row in ((0i64..10), (0.0f64..1.0), "[xy]{1,2}").prop_map(|(a, b, c)| (a * 2, b, c)),
+            n in 0usize..10,
+        ) {
+            prop_assume!(n > 0);
+            prop_assert!(row.0 % 2 == 0);
+            prop_assert_eq!(row.2.is_empty(), false);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "with inputs")]
+    fn failure_reports_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            #[allow(unused)]
+            fn always_fails(x in 0i64..10) {
+                prop_assert!(x > 100, "x too small");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,160 @@
+//! Workspace-local substitute for `rand` providing the subset this
+//! repository uses: the [`RngCore`] / [`SeedableRng`] / [`Rng`] traits with
+//! `gen_range` over integer and float ranges and `gen_bool`.
+//!
+//! Integer range sampling uses a simple modulo reduction; the bias is
+//! negligible for the synthetic-workload spans used here and the streams
+//! only need to be deterministic, not upstream-compatible.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random bits.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be drawn uniformly from a half-open or inclusive range.
+/// A single generic [`SampleRange`] impl over this trait lets untyped
+/// integer literals unify with the surrounding expression's type, matching
+/// the upstream crate's inference behavior.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
+    fn sample_between<G: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut G)
+        -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: RngCore + ?Sized>(
+                lo: $t,
+                hi: $t,
+                inclusive: bool,
+                rng: &mut G,
+            ) -> $t {
+                if inclusive {
+                    let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                    if span == 0 {
+                        // Full-width range: every bit pattern is valid.
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                } else {
+                    let span = (hi as u64).wrapping_sub(lo as u64);
+                    lo.wrapping_add((rng.next_u64() % span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// A uniform draw from `[0, 1)` with 53 bits of precision.
+fn unit_f64<G: RngCore + ?Sized>(rng: &mut G) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl SampleUniform for f64 {
+    fn sample_between<G: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut G) -> f64 {
+        lo + (hi - lo) * unit_f64(rng)
+    }
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "gen_range on empty range");
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        T::sample_between(lo, hi, true, rng)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        unit_f64(self) < p
+    }
+}
+
+impl<G: RngCore> Rng for G {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct XorShift(u64);
+
+    impl RngCore for XorShift {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = XorShift(0x1234_5678_9abc_def0);
+        for _ in 0..1000 {
+            let a = rng.gen_range(-50i32..=50);
+            assert!((-50..=50).contains(&a));
+            let b = rng.gen_range(1i64..=7);
+            assert!((1..=7).contains(&b));
+            let c = rng.gen_range(0usize..5);
+            assert!(c < 5);
+            let f = rng.gen_range(0.0f64..4.0);
+            assert!((0.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = XorShift(42);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}
