@@ -1,0 +1,323 @@
+//! Grouped aggregation: the shared vectorized kernel vs the row-at-a-time
+//! design it replaced, across two shapes:
+//!
+//! * `q1` — TPC-H Q1-shaped: two low-cardinality Utf8 keys (6 groups) ×
+//!   `SUM`/`AVG`/`COUNT` over ~200k rows, where almost all time is
+//!   accumulator updates;
+//! * `high_card` — ~50k distinct Int64 groups over 200k rows, where group-id
+//!   resolution (hashing + table probes) dominates.
+//!
+//! The `baseline_*` functions replicate the deleted implementation: per-row
+//! `key_bytes` encoding into a `HashMap<Vec<u8>, usize>`, then per-row
+//! scalar accumulator updates via `scalar_at`-style dispatch. The harness
+//! asserts the headline acceptance number before benchmarking: >= 2x
+//! single-thread throughput on the Q1 shape.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use columnar::agg::AggFunc;
+use columnar::groupby::GroupedAggregator;
+use columnar::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const ROWS: usize = 200_000;
+const BATCH_ROWS: usize = 8_192;
+
+struct Workload {
+    key_types: Vec<DataType>,
+    specs: Vec<(AggFunc, Option<DataType>)>,
+    /// Per batch: key columns then, for each agg, its argument column.
+    batches: Vec<(Vec<Array>, Vec<Option<Array>>)>,
+}
+
+/// TPC-H Q1 shape: `GROUP BY returnflag, linestatus` with
+/// `SUM(qty), SUM(price), AVG(qty), AVG(price), COUNT(*)`.
+fn q1_workload() -> Workload {
+    let flags = ["A", "N", "R"];
+    let statuses = ["F", "O"];
+    let mut batches = Vec::new();
+    let mut row = 0usize;
+    while row < ROWS {
+        let n = BATCH_ROWS.min(ROWS - row);
+        let rf: Vec<&str> = (0..n)
+            .map(|i| flags[(row + i).wrapping_mul(2654435761) % 3])
+            .collect();
+        let ls: Vec<&str> = (0..n)
+            .map(|i| statuses[(row + i).wrapping_mul(40503) % 2])
+            .collect();
+        let qty: Vec<f64> = (0..n).map(|i| ((row + i) % 50) as f64 + 1.0).collect();
+        let price: Vec<f64> = (0..n)
+            .map(|i| ((row + i) % 10_000) as f64 * 1.01 + 900.0)
+            .collect();
+        let keys = vec![
+            Array::from_strs(rf.iter().copied()),
+            Array::from_strs(ls.iter().copied()),
+        ];
+        let args = vec![
+            Some(Array::from_f64(qty.clone())),
+            Some(Array::from_f64(price.clone())),
+            Some(Array::from_f64(qty)),
+            Some(Array::from_f64(price)),
+            None,
+        ];
+        batches.push((keys, args));
+        row += n;
+    }
+    Workload {
+        key_types: vec![DataType::Utf8, DataType::Utf8],
+        specs: vec![
+            (AggFunc::Sum, Some(DataType::Float64)),
+            (AggFunc::Sum, Some(DataType::Float64)),
+            (AggFunc::Avg, Some(DataType::Float64)),
+            (AggFunc::Avg, Some(DataType::Float64)),
+            (AggFunc::Count, None),
+        ],
+        batches,
+    }
+}
+
+/// ~50k distinct Int64 groups: group-id resolution dominates.
+fn high_card_workload() -> Workload {
+    let mut batches = Vec::new();
+    let mut row = 0usize;
+    while row < ROWS {
+        let n = BATCH_ROWS.min(ROWS - row);
+        let k: Vec<i64> = (0..n)
+            .map(|i| ((row + i).wrapping_mul(2654435761) % 50_000) as i64)
+            .collect();
+        let v: Vec<i64> = (0..n).map(|i| (row + i) as i64).collect();
+        batches.push((
+            vec![Array::from_i64(k)],
+            vec![Some(Array::from_i64(v)), None],
+        ));
+        row += n;
+    }
+    Workload {
+        key_types: vec![DataType::Int64],
+        specs: vec![
+            (AggFunc::Sum, Some(DataType::Int64)),
+            (AggFunc::Count, None),
+        ],
+        batches,
+    }
+}
+
+/// The new shared kernel: one `GroupedAggregator` across all batches.
+fn run_vectorized(w: &Workload) -> usize {
+    let mut agg = GroupedAggregator::new(w.key_types.clone(), &w.specs).unwrap();
+    for (keys, args) in &w.batches {
+        let key_refs: Vec<&Array> = keys.iter().collect();
+        let arg_refs: Vec<Option<&Array>> = args.iter().map(|a| a.as_ref()).collect();
+        let rows = keys[0].len();
+        agg.update(&key_refs, &arg_refs, rows).unwrap();
+    }
+    let n = agg.num_groups();
+    let (_keys, _measures) = agg.finish();
+    n
+}
+
+/// One scalar accumulator per (group, agg) — the deleted `AggState` design.
+#[derive(Clone)]
+enum ScalarAcc {
+    Count(i64),
+    SumF64 { sum: f64, seen: bool },
+    SumI64 { sum: i64, seen: bool },
+    Avg { sum: f64, n: i64 },
+}
+
+impl ScalarAcc {
+    fn new(func: AggFunc, input: Option<DataType>) -> ScalarAcc {
+        match (func, input) {
+            (AggFunc::Count, _) => ScalarAcc::Count(0),
+            (AggFunc::Sum, Some(DataType::Int64)) => ScalarAcc::SumI64 {
+                sum: 0,
+                seen: false,
+            },
+            (AggFunc::Sum, _) => ScalarAcc::SumF64 {
+                sum: 0.0,
+                seen: false,
+            },
+            (AggFunc::Avg, _) => ScalarAcc::Avg { sum: 0.0, n: 0 },
+            other => panic!("baseline does not model {other:?}"),
+        }
+    }
+
+    fn update(&mut self, arg: Option<&Array>, row: usize) {
+        match self {
+            ScalarAcc::Count(n) => {
+                if arg.map(|a| a.is_valid(row)).unwrap_or(true) {
+                    *n += 1;
+                }
+            }
+            ScalarAcc::SumF64 { sum, seen } => {
+                let a = arg.expect("sum takes an argument");
+                if a.is_valid(row) {
+                    if let Scalar::Float64(v) = a.scalar_at(row) {
+                        *sum += v;
+                        *seen = true;
+                    }
+                }
+            }
+            ScalarAcc::SumI64 { sum, seen } => {
+                let a = arg.expect("sum takes an argument");
+                if a.is_valid(row) {
+                    if let Scalar::Int64(v) = a.scalar_at(row) {
+                        *sum = sum.wrapping_add(v);
+                        *seen = true;
+                    }
+                }
+            }
+            ScalarAcc::Avg { sum, n } => {
+                let a = arg.expect("avg takes an argument");
+                if a.is_valid(row) {
+                    match a.scalar_at(row) {
+                        Scalar::Float64(v) => {
+                            *sum += v;
+                            *n += 1;
+                        }
+                        Scalar::Int64(v) => {
+                            *sum += v as f64;
+                            *n += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-row key encoding, exactly as the deleted `key_bytes` did it:
+/// a tag byte per column, then the value bytes (length-prefixed for Utf8).
+fn key_bytes(keys: &[Array], row: usize, out: &mut Vec<u8>) {
+    out.clear();
+    for k in keys {
+        if !k.is_valid(row) {
+            out.push(0xff);
+            continue;
+        }
+        match k.scalar_at(row) {
+            Scalar::Int64(v) => {
+                out.push(0);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Scalar::Float64(v) => {
+                out.push(1);
+                let v = if v == 0.0 { 0.0 } else { v };
+                out.extend_from_slice(&v.to_bits().to_le_bytes());
+            }
+            Scalar::Utf8(s) => {
+                out.push(2);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Scalar::Boolean(v) => {
+                out.push(3);
+                out.push(v as u8);
+            }
+            Scalar::Date32(v) => {
+                out.push(4);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            Scalar::Null => out.push(0xff),
+        }
+    }
+}
+
+/// The deleted row-at-a-time engine: hash rows through `HashMap<Vec<u8>, _>`
+/// and update scalar accumulators one row at a time.
+fn run_baseline(w: &Workload) -> usize {
+    let mut groups: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut states: Vec<Vec<ScalarAcc>> = Vec::new();
+    let template: Vec<ScalarAcc> = w
+        .specs
+        .iter()
+        .map(|&(f, dt)| ScalarAcc::new(f, dt))
+        .collect();
+    let mut kb = Vec::new();
+    for (keys, args) in &w.batches {
+        let rows = keys[0].len();
+        for row in 0..rows {
+            key_bytes(keys, row, &mut kb);
+            let gid = match groups.get(&kb) {
+                Some(&g) => g,
+                None => {
+                    let g = states.len();
+                    groups.insert(kb.clone(), g);
+                    states.push(template.clone());
+                    g
+                }
+            };
+            for (acc, arg) in states[gid].iter_mut().zip(args) {
+                acc.update(arg.as_ref(), row);
+            }
+        }
+    }
+    states.len()
+}
+
+fn time_best_of<F: FnMut() -> usize>(mut f: F, iters: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..iters {
+        let t = Instant::now();
+        let n = f();
+        assert!(n > 0);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_agg(c: &mut Criterion) {
+    let q1 = q1_workload();
+    let high = high_card_workload();
+
+    // Both implementations must agree on group counts before we time them.
+    assert_eq!(run_vectorized(&q1), run_baseline(&q1));
+    assert_eq!(run_vectorized(&high), run_baseline(&high));
+
+    // Acceptance gate: >= 2x single-thread throughput on the Q1 shape.
+    let base = time_best_of(|| run_baseline(&q1), 3);
+    let vec = time_best_of(|| run_vectorized(&q1), 3);
+    assert!(
+        vec * 2.0 <= base,
+        "vectorized aggregation must be >= 2x the row-at-a-time path on Q1: \
+         {:.2}ms vs {:.2}ms ({:.2}x)",
+        vec * 1e3,
+        base * 1e3,
+        base / vec
+    );
+    println!(
+        "agg q1 gate: vectorized {:.2}ms vs row-at-a-time {:.2}ms ({:.2}x speedup)",
+        vec * 1e3,
+        base * 1e3,
+        base / vec
+    );
+    let base_hc = time_best_of(|| run_baseline(&high), 3);
+    let vec_hc = time_best_of(|| run_vectorized(&high), 3);
+    println!(
+        "agg high_card: vectorized {:.2}ms vs row-at-a-time {:.2}ms ({:.2}x speedup)",
+        vec_hc * 1e3,
+        base_hc * 1e3,
+        base_hc / vec_hc
+    );
+
+    let mut g = c.benchmark_group("agg");
+    g.throughput(Throughput::Elements(ROWS as u64));
+    for (name, w) in [("q1", &q1), ("high_card", &high)] {
+        g.bench_function(format!("{name}/vectorized"), |b| {
+            b.iter(|| run_vectorized(w))
+        });
+        g.bench_function(format!("{name}/row_at_a_time"), |b| {
+            b.iter(|| run_baseline(w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_agg
+}
+criterion_main!(benches);

@@ -9,12 +9,7 @@ use ocs_bench::{build_stack, run_as, DatasetSelection, Scale};
 use workloads::queries;
 
 fn bench_endtoend(c: &mut Criterion) {
-    let stack = build_stack(
-        Scale::Small,
-        CodecKind::None,
-        DatasetSelection::all(),
-        None,
-    );
+    let stack = build_stack(Scale::Small, CodecKind::None, DatasetSelection::all(), None);
     let mut g = c.benchmark_group("endtoend");
     g.sample_size(10);
 

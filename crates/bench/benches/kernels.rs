@@ -64,7 +64,8 @@ fn bench_kernels(c: &mut Criterion) {
                     arg: Some(dsq::expr::ScalarExpr::col(1, "v", DataType::Float64)),
                     output_name: "s".into(),
                 }],
-            );
+            )
+            .unwrap();
             agg.update(&b, &netsim::CostParams::default()).unwrap();
             agg.finish().unwrap()
         })

@@ -73,9 +73,7 @@ fn make_reader() -> ParqReader {
 /// Selectivity knobs. Every predicate wraps `ts` in arithmetic so row-group
 /// statistics cannot prune: the benchmark isolates mask-driven skipping.
 fn predicate(selectivity: &str) -> Expr {
-    let ts_mod = |m: i64| {
-        Expr::arith(ArithOp::Mod, Expr::field(0), Expr::lit(Scalar::Int64(m)))
-    };
+    let ts_mod = |m: i64| Expr::arith(ArithOp::Mod, Expr::field(0), Expr::lit(Scalar::Int64(m)));
     match selectivity {
         // Rows 0..100 of 100_000 — all inside the first row group.
         "0.1pct" => Expr::cmp(
@@ -138,9 +136,7 @@ fn bench_late_mat(c: &mut Criterion) {
     let mut g = c.benchmark_group("late_mat");
     g.throughput(Throughput::Elements(ROWS as u64));
     for selectivity in ["0.1pct", "18pct", "100pct"] {
-        for (proj_name, projection) in
-            [("all_cols", None), ("filter_col_only", Some(vec![0]))]
-        {
+        for (proj_name, projection) in [("all_cols", None), ("filter_col_only", Some(vec![0]))] {
             let plan = scan_plan(selectivity, projection);
             g.bench_function(
                 BenchmarkId::new(format!("{selectivity}/{proj_name}"), "eager"),

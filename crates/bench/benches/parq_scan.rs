@@ -20,7 +20,9 @@ fn file_bytes(rows: usize, codec: CodecKind) -> Vec<u8> {
         vec![
             Arc::new(Array::from_i64((0..rows as i64).collect())),
             Arc::new(Array::from_f64((0..rows).map(|i| i as f64 * 0.5).collect())),
-            Arc::new(Array::from_f64((0..rows).map(|i| i as f64 * 0.25).collect())),
+            Arc::new(Array::from_f64(
+                (0..rows).map(|i| i as f64 * 0.25).collect(),
+            )),
             Arc::new(Array::from_strs(tags.iter().map(|s| s.as_str()))),
         ],
     )

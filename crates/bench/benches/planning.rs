@@ -8,12 +8,7 @@ use ocs_bench::{build_stack, DatasetSelection, Scale};
 use workloads::queries;
 
 fn bench_planning(c: &mut Criterion) {
-    let stack = build_stack(
-        Scale::Small,
-        CodecKind::None,
-        DatasetSelection::all(),
-        None,
-    );
+    let stack = build_stack(Scale::Small, CodecKind::None, DatasetSelection::all(), None);
     let mut g = c.benchmark_group("planning");
 
     g.bench_function("sql_parse_tpch_q1", |b| {
@@ -21,9 +16,10 @@ fn bench_planning(c: &mut Criterion) {
     });
 
     for (name, sql, _) in queries::TABLE2 {
-        g.bench_function(format!("plan_{}", name.to_lowercase().replace(' ', "_")), |b| {
-            b.iter(|| stack.engine.plan(sql).unwrap())
-        });
+        g.bench_function(
+            format!("plan_{}", name.to_lowercase().replace(' ', "_")),
+            |b| b.iter(|| stack.engine.plan(sql).unwrap()),
+        );
     }
 
     // Substrait wire round-trip of the full Laghos pushdown plan.
@@ -35,9 +31,7 @@ fn bench_planning(c: &mut Criterion) {
         .downcast_ref::<ocs_connector::OcsTableHandle>()
     {
         let (ir, _) = ocs_connector::translate::to_substrait(h);
-        g.bench_function("substrait_encode", |b| {
-            b.iter(|| substrait_ir::encode(&ir))
-        });
+        g.bench_function("substrait_encode", |b| b.iter(|| substrait_ir::encode(&ir)));
         let bytes = substrait_ir::encode(&ir);
         g.bench_function("substrait_decode", |b| {
             b.iter(|| substrait_ir::decode(&bytes).unwrap())

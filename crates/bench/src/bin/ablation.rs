@@ -36,36 +36,41 @@ fn main() {
         "workload", "policy", "sim time", "pushed ops"
     )
     .unwrap();
-    for (table, sql) in [("deepwater", queries::DEEPWATER), ("lineitem", queries::TPCH_Q1)] {
+    for (table, sql) in [
+        ("deepwater", queries::DEEPWATER),
+        ("lineitem", queries::TPCH_Q1),
+    ] {
         let stack = build_stack(scale, CodecKind::None, DatasetSelection::only(table), None);
         // Blind filter+project vs cost-aware (projection declined above
         // weight 4: both workload projections involve division/multiplying
         // several columns, well above it).
-        stack
-            .engine
-            .register_connector(Arc::new(OcsConnector::new(
-                "cost-aware",
-                ocs_for(&stack),
-                stack.engine.cluster().clone(),
-                stack.engine.cost_params().clone(),
-                PushdownPolicy {
-                    max_project_weight: 4,
-                    ..PushdownPolicy::filter_project()
-                },
-            )));
+        stack.engine.register_connector(Arc::new(OcsConnector::new(
+            "cost-aware",
+            ocs_for(&stack),
+            stack.engine.cluster().clone(),
+            stack.engine.cost_params().clone(),
+            PushdownPolicy {
+                max_project_weight: 4,
+                ..PushdownPolicy::filter_project()
+            },
+        )));
         let blind = run_as(&stack, table, "pd-filter-proj", sql);
         let aware = run_as(&stack, table, "cost-aware", sql);
         writeln!(
             out,
             "{:<12} {:<18} {:>10.3} s {:>30}",
-            table, "blind f+proj", blind.simulated_seconds,
+            table,
+            "blind f+proj",
+            blind.simulated_seconds,
             handle_of(&blind)
         )
         .unwrap();
         writeln!(
             out,
             "{:<12} {:<18} {:>10.3} s {:>30}",
-            table, "cost-aware", aware.simulated_seconds,
+            table,
+            "cost-aware",
+            aware.simulated_seconds,
             handle_of(&aware)
         )
         .unwrap();
@@ -78,7 +83,11 @@ fn main() {
     writeln!(out).unwrap();
 
     // ---- 2. Symmetric cluster -------------------------------------------
-    writeln!(out, "## Ablation 2 — projection penalty vs cluster asymmetry").unwrap();
+    writeln!(
+        out,
+        "## Ablation 2 — projection penalty vs cluster asymmetry"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<22} {:>14} {:>14} {:>10}",
@@ -119,21 +128,24 @@ fn main() {
         "threshold", "time", "moved", "filter pushed?"
     )
     .unwrap();
-    let stack = build_stack(scale, CodecKind::None, DatasetSelection::only("laghos"), None);
+    let stack = build_stack(
+        scale,
+        CodecKind::None,
+        DatasetSelection::only("laghos"),
+        None,
+    );
     for threshold in [0.05, 0.1, 0.25, 0.5, 1.0] {
         let name = format!("thr-{threshold}");
-        stack
-            .engine
-            .register_connector(Arc::new(OcsConnector::new(
-                name.clone(),
-                ocs_for(&stack),
-                stack.engine.cluster().clone(),
-                stack.engine.cost_params().clone(),
-                PushdownPolicy {
-                    selectivity_threshold: threshold,
-                    ..PushdownPolicy::filter_only()
-                },
-            )));
+        stack.engine.register_connector(Arc::new(OcsConnector::new(
+            name.clone(),
+            ocs_for(&stack),
+            stack.engine.cluster().clone(),
+            stack.engine.cost_params().clone(),
+            PushdownPolicy {
+                selectivity_threshold: threshold,
+                ..PushdownPolicy::filter_only()
+            },
+        )));
         let r = run_as(&stack, "laghos", &name, queries::LAGHOS);
         let pushed = r.optimized_plan.contains("pushed=[Filter");
         writeln!(

@@ -41,7 +41,8 @@ const WORKLOADS: [WorkloadSpec; 3] = [
         table: "lineitem",
         sql: queries::TPCH_Q1,
         title: "Figure 5(c) — TPC-H Q1",
-        paper: "paper: none 11 s / filter 9 s (1.22x) / +proj 13.9 s (-55%) / +agg 2.21 s (4.07x); \
+        paper:
+            "paper: none 11 s / filter 9 s (1.22x) / +proj 13.9 s (-55%) / +agg 2.21 s (4.07x); \
                 movement 194 MB → 192 MB → 192 MB → 0.5 MB",
     },
 ];

@@ -43,7 +43,12 @@ fn main() {
         "## Table 3 — breakdown of execution time (single Laghos file, full pushdown)\n"
     )
     .unwrap();
-    writeln!(out, "{:<32} {:>12} {:>9}", "Execution Stage", "Time (ms)", "Share").unwrap();
+    writeln!(
+        out,
+        "{:<32} {:>12} {:>9}",
+        "Execution Stage", "Time (ms)", "Share"
+    )
+    .unwrap();
     for (label, secs, share) in r.ledger.breakdown() {
         writeln!(out, "{label:<32} {:>12.2} {share:>8.2} %", secs * 1000.0).unwrap();
     }

@@ -82,7 +82,10 @@ pub fn depth_connectors() -> Vec<(&'static str, PushdownPolicy)> {
     vec![
         ("pd-filter", PushdownPolicy::filter_only()),
         ("pd-filter-proj", PushdownPolicy::filter_project()),
-        ("pd-filter-proj-agg", PushdownPolicy::filter_project_aggregate()),
+        (
+            "pd-filter-proj-agg",
+            PushdownPolicy::filter_project_aggregate(),
+        ),
         ("pd-all", PushdownPolicy::all()),
     ]
 }

@@ -5,6 +5,8 @@
 
 use std::sync::Arc;
 
+use bytes::Bytes;
+
 use crate::bitmap::Bitmap;
 use crate::datatype::{DataType, Scalar};
 use crate::error::{ColumnarError, Result};
@@ -44,8 +46,9 @@ pub struct BooleanArray {
 pub struct Utf8Array {
     /// `offsets.len() == len + 1`; string `i` is `data[offsets[i]..offsets[i+1]]`.
     pub offsets: Vec<u32>,
-    /// Concatenated UTF-8 bytes.
-    pub data: Vec<u8>,
+    /// Concatenated UTF-8 bytes. A shared [`Bytes`] view so IPC decode can
+    /// alias the wire buffer instead of copying it.
+    pub data: Bytes,
     /// Validity bitmap; `None` means all valid.
     pub validity: Option<Bitmap>,
 }
@@ -105,7 +108,7 @@ impl Utf8Array {
         }
         Utf8Array {
             offsets,
-            data,
+            data: data.into(),
             validity: None,
         }
     }
@@ -178,10 +181,7 @@ impl Array {
     /// Approximate in-memory footprint in bytes (value buffers + validity),
     /// used by the cost model for data-movement accounting.
     pub fn byte_size(&self) -> usize {
-        let validity = self
-            .validity()
-            .map(|v| v.len().div_ceil(8))
-            .unwrap_or(0);
+        let validity = self.validity().map(|v| v.len().div_ceil(8)).unwrap_or(0);
         validity
             + match self {
                 Array::Int64(a) => a.values.len() * 8,
@@ -251,10 +251,7 @@ impl Array {
                 validity,
             }),
             DataType::Boolean => Array::Boolean(BooleanArray {
-                values: Bitmap::with_value(
-                    len,
-                    matches!(scalar, Scalar::Boolean(true)),
-                ),
+                values: Bitmap::with_value(len, matches!(scalar, Scalar::Boolean(true))),
                 validity,
             }),
             DataType::Utf8 => {

@@ -65,9 +65,7 @@ impl RecordBatch {
         let columns = schema
             .fields()
             .iter()
-            .map(|f| {
-                Arc::new(crate::builder::ArrayBuilder::new(f.data_type).finish())
-            })
+            .map(|f| Arc::new(crate::builder::ArrayBuilder::new(f.data_type).finish()))
             .collect();
         RecordBatch {
             schema,
@@ -169,8 +167,8 @@ impl fmt::Display for RecordBatch {
 mod tests {
     use super::*;
     use crate::datatype::DataType;
-    use crate::schema::Schema;
     use crate::schema::Field;
+    use crate::schema::Schema;
 
     fn sample() -> RecordBatch {
         let schema = Arc::new(Schema::new(vec![
@@ -191,11 +189,10 @@ mod tests {
     fn construction_validates() {
         let schema = Arc::new(Schema::new(vec![Field::new("id", DataType::Int64, false)]));
         // Wrong type.
-        assert!(RecordBatch::try_new(
-            schema.clone(),
-            vec![Arc::new(Array::from_f64(vec![1.0]))]
-        )
-        .is_err());
+        assert!(
+            RecordBatch::try_new(schema.clone(), vec![Arc::new(Array::from_f64(vec![1.0]))])
+                .is_err()
+        );
         // Wrong column count.
         assert!(RecordBatch::try_new(schema.clone(), vec![]).is_err());
         // Length mismatch.

@@ -83,14 +83,22 @@ impl Bitmap {
     /// Read bit `i`. Panics if out of bounds.
     #[inline]
     pub fn get(&self, i: usize) -> bool {
-        assert!(i < self.len, "bit index {i} out of bounds for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds for len {}",
+            self.len
+        );
         (self.words[i / 64] >> (i % 64)) & 1 == 1
     }
 
     /// Write bit `i`. Panics if out of bounds.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of bounds for len {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of bounds for len {}",
+            self.len
+        );
         let mask = 1u64 << (i % 64);
         if value {
             self.words[i / 64] |= mask;

@@ -165,7 +165,7 @@ impl ArrayBuilder {
             }),
             DataType::Utf8 => Array::Utf8(Utf8Array {
                 offsets: self.str_offsets,
-                data: self.str_data,
+                data: self.str_data.into(),
                 validity,
             }),
             DataType::Date32 => Array::Date32(Date32Array {

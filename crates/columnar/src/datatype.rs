@@ -176,7 +176,9 @@ impl Scalar {
                 .parse::<f64>()
                 .map(Scalar::Float64)
                 .map_err(|e| ColumnarError::Invalid(format!("cast '{s}' to Float64: {e}"))),
-            (s, t) => Err(ColumnarError::Invalid(format!("unsupported cast {s} to {t}"))),
+            (s, t) => Err(ColumnarError::Invalid(format!(
+                "unsupported cast {s} to {t}"
+            ))),
         }
     }
 }
@@ -263,10 +265,7 @@ mod tests {
 
     #[test]
     fn scalar_ordering_nulls_first() {
-        assert_eq!(
-            Scalar::Null.total_cmp(&Scalar::Int64(0)),
-            Ordering::Less
-        );
+        assert_eq!(Scalar::Null.total_cmp(&Scalar::Int64(0)), Ordering::Less);
         assert_eq!(
             Scalar::Int64(1).total_cmp(&Scalar::Int64(2)),
             Ordering::Less

@@ -13,7 +13,7 @@
 //! crc     : u32 (FNV-1a over everything before it)
 //! ```
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use bytes::{BufMut, Bytes, BytesMut};
 use std::sync::Arc;
 
 use crate::array::{Array, BooleanArray, Date32Array, Float64Array, Int64Array, Utf8Array};
@@ -95,16 +95,24 @@ pub fn encode_batch(batch: &RecordBatch) -> Bytes {
     buf.freeze()
 }
 
+/// Position-tracking cursor over a shared [`Bytes`] buffer: fixed-width
+/// reads borrow, while [`Reader::bytes_shared`] hands out zero-copy
+/// sub-views that keep the wire buffer alive.
 struct Reader<'a> {
-    buf: &'a [u8],
+    src: &'a Bytes,
+    pos: usize,
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> usize {
+        self.src.len() - self.pos
+    }
+
     fn need(&self, n: usize) -> Result<()> {
-        if self.buf.remaining() < n {
+        if self.remaining() < n {
             Err(ColumnarError::Corrupt(format!(
                 "unexpected end of IPC stream: need {n}, have {}",
-                self.buf.remaining()
+                self.remaining()
             )))
         } else {
             Ok(())
@@ -113,24 +121,37 @@ impl<'a> Reader<'a> {
 
     fn u8(&mut self) -> Result<u8> {
         self.need(1)?;
-        Ok(self.buf.get_u8())
+        let v = self.src[self.pos];
+        self.pos += 1;
+        Ok(v)
     }
 
     fn u32(&mut self) -> Result<u32> {
-        self.need(4)?;
-        Ok(self.buf.get_u32_le())
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        self.need(8)?;
-        Ok(self.buf.get_u64_le())
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
         self.need(n)?;
-        let (head, tail) = self.buf.split_at(n);
-        self.buf = tail;
+        let head = &self.src[self.pos..self.pos + n];
+        self.pos += n;
         Ok(head)
+    }
+
+    /// Like [`Reader::bytes`], but returns a shared view of the underlying
+    /// buffer instead of a borrow — the zero-copy receive path.
+    fn bytes_shared(&mut self, n: usize) -> Result<Bytes> {
+        self.need(n)?;
+        let view = self.src.slice(self.pos..self.pos + n);
+        self.pos += n;
+        Ok(view)
     }
 
     fn validity(&mut self, nrows: usize) -> Result<Option<Bitmap>> {
@@ -188,7 +209,7 @@ impl<'a> Reader<'a> {
                         ));
                     }
                 }
-                let data = self.bytes(data_len)?.to_vec();
+                let data = self.bytes_shared(data_len)?;
                 std::str::from_utf8(&data)
                     .map_err(|e| ColumnarError::Corrupt(format!("invalid utf8: {e}")))?;
                 // Offsets must be monotone and in range.
@@ -208,23 +229,29 @@ impl<'a> Reader<'a> {
 }
 
 /// Deserialize one batch (with CRC verification).
-pub fn decode_batch(bytes: &[u8]) -> Result<RecordBatch> {
+///
+/// Takes the shared [`Bytes`] wire buffer so variable-length payloads
+/// (Utf8 data) can be aliased zero-copy instead of re-allocated.
+pub fn decode_batch(bytes: &Bytes) -> Result<RecordBatch> {
     if bytes.len() < MAGIC.len() + 4 {
         return Err(ColumnarError::Corrupt("IPC message too short".into()));
     }
-    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let body = bytes.slice(..bytes.len() - 4);
+    let crc_bytes = &bytes[bytes.len() - 4..];
     let expect = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
-    if fnv1a(body) != expect {
+    if fnv1a(&body) != expect {
         return Err(ColumnarError::Corrupt("IPC checksum mismatch".into()));
     }
-    let mut r = Reader { buf: body };
+    let mut r = Reader { src: &body, pos: 0 };
     if r.bytes(4)? != MAGIC {
         return Err(ColumnarError::Corrupt("bad IPC magic".into()));
     }
     let ncols = r.u32()? as usize;
     let nrows = r.u64()? as usize;
     if ncols > 65_536 {
-        return Err(ColumnarError::Corrupt(format!("implausible column count {ncols}")));
+        return Err(ColumnarError::Corrupt(format!(
+            "implausible column count {ncols}"
+        )));
     }
     let mut fields = Vec::with_capacity(ncols);
     for _ in 0..ncols {
@@ -242,10 +269,10 @@ pub fn decode_batch(bytes: &[u8]) -> Result<RecordBatch> {
         let dt = schema.field(i).data_type;
         columns.push(Arc::new(r.array(dt, nrows)?));
     }
-    if !r.buf.is_empty() {
+    if r.remaining() != 0 {
         return Err(ColumnarError::Corrupt(format!(
             "{} trailing bytes after IPC payload",
-            r.buf.len()
+            r.remaining()
         )));
     }
     RecordBatch::try_new(schema, columns)
@@ -264,19 +291,23 @@ pub fn encode_batches(batches: &[RecordBatch]) -> Bytes {
 }
 
 /// Deserialize a stream written by [`encode_batches`].
-pub fn decode_batches(bytes: &[u8]) -> Result<Vec<RecordBatch>> {
-    let mut r = Reader { buf: bytes };
+pub fn decode_batches(bytes: &Bytes) -> Result<Vec<RecordBatch>> {
+    let mut r = Reader { src: bytes, pos: 0 };
     let n = r.u32()? as usize;
     if n > 1_000_000 {
-        return Err(ColumnarError::Corrupt(format!("implausible batch count {n}")));
+        return Err(ColumnarError::Corrupt(format!(
+            "implausible batch count {n}"
+        )));
     }
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
         let len = r.u32()? as usize;
-        out.push(decode_batch(r.bytes(len)?)?);
+        out.push(decode_batch(&r.bytes_shared(len)?)?);
     }
-    if !r.buf.is_empty() {
-        return Err(ColumnarError::Corrupt("trailing bytes after batch stream".into()));
+    if r.remaining() != 0 {
+        return Err(ColumnarError::Corrupt(
+            "trailing bytes after batch stream".into(),
+        ));
     }
     Ok(out)
 }
@@ -350,6 +381,7 @@ mod tests {
         let mut enc = encode_batch(&b).to_vec();
         let mid = enc.len() / 2;
         enc[mid] ^= 0xff;
+        let enc = Bytes::from(enc);
         assert!(matches!(decode_batch(&enc), Err(ColumnarError::Corrupt(_))));
     }
 
@@ -357,8 +389,24 @@ mod tests {
     fn truncation_detected() {
         let b = mixed_batch();
         let enc = encode_batch(&b);
-        assert!(decode_batch(&enc[..enc.len() - 8]).is_err());
-        assert!(decode_batch(&[]).is_err());
+        assert!(decode_batch(&enc.slice(..enc.len() - 8)).is_err());
+        assert!(decode_batch(&Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn decode_aliases_wire_buffer() {
+        // The Utf8 data buffer of a decoded batch must be a view of the
+        // encoded bytes, not a copy.
+        let b = mixed_batch();
+        let enc = encode_batch(&b);
+        let back = decode_batch(&enc).unwrap();
+        let utf8 = back.column(3).as_utf8().unwrap();
+        let data_ptr = utf8.data.as_ptr() as usize;
+        let enc_start = enc.as_ptr() as usize;
+        assert!(
+            data_ptr >= enc_start && data_ptr + utf8.data.len() <= enc_start + enc.len(),
+            "utf8 data was copied out of the wire buffer"
+        );
     }
 
     #[test]

@@ -183,11 +183,9 @@ pub fn arith(a: &Array, b: &Array, op: ArithOp) -> Result<Array> {
 /// Element-wise `a ⊕ scalar`.
 pub fn arith_scalar(a: &Array, s: &Scalar, op: ArithOp) -> Result<Array> {
     if s.is_null() {
-        let dt = op.result_type(
-            a.data_type(),
-            s.data_type().unwrap_or(DataType::Int64),
-        )
-        .unwrap_or(a.data_type());
+        let dt = op
+            .result_type(a.data_type(), s.data_type().unwrap_or(DataType::Int64))
+            .unwrap_or(a.data_type());
         return Array::from_scalar(&Scalar::Null, dt, a.len());
     }
     let b = Array::from_scalar(s, s.data_type().expect("non-null"), a.len())?;
@@ -273,9 +271,19 @@ mod tests {
         let price = Array::from_f64(vec![100.0]);
         let discount = Array::from_f64(vec![0.05]);
         let tax = Array::from_f64(vec![0.07]);
-        let one_minus = arith_scalar(&negate(&discount).unwrap(), &Scalar::Float64(1.0), ArithOp::Add).unwrap();
+        let one_minus = arith_scalar(
+            &negate(&discount).unwrap(),
+            &Scalar::Float64(1.0),
+            ArithOp::Add,
+        )
+        .unwrap();
         let one_plus = arith_scalar(&tax, &Scalar::Float64(1.0), ArithOp::Add).unwrap();
-        let out = arith(&arith(&price, &one_minus, ArithOp::Mul).unwrap(), &one_plus, ArithOp::Mul).unwrap();
+        let out = arith(
+            &arith(&price, &one_minus, ArithOp::Mul).unwrap(),
+            &one_plus,
+            ArithOp::Mul,
+        )
+        .unwrap();
         let v = out.scalar_at(0).as_f64().unwrap();
         assert!((v - 100.0 * 0.95 * 1.07).abs() < 1e-9);
     }

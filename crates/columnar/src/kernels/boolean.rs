@@ -91,9 +91,8 @@ mod tests {
 
     /// Build a mask from Option<bool> slots (None = NULL).
     fn mask(slots: &[Option<bool>]) -> BooleanArray {
-        let values = Bitmap::from_bools(
-            &slots.iter().map(|s| s.unwrap_or(false)).collect::<Vec<_>>(),
-        );
+        let values =
+            Bitmap::from_bools(&slots.iter().map(|s| s.unwrap_or(false)).collect::<Vec<_>>());
         let validity = Bitmap::from_bools(&slots.iter().map(|s| s.is_some()).collect::<Vec<_>>());
         BooleanArray {
             values,

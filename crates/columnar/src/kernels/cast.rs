@@ -44,7 +44,7 @@ pub fn cast(a: &Array, to: DataType) -> Result<Array> {
             }
             Array::Utf8(Utf8Array {
                 offsets,
-                data,
+                data: data.into(),
                 validity: arr.validity().cloned(),
             })
         }

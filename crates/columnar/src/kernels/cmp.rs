@@ -331,7 +331,14 @@ mod tests {
 
     #[test]
     fn flip_is_involutive_on_strict_ops() {
-        for op in [CmpOp::Eq, CmpOp::NotEq, CmpOp::Lt, CmpOp::LtEq, CmpOp::Gt, CmpOp::GtEq] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::NotEq,
+            CmpOp::Lt,
+            CmpOp::LtEq,
+            CmpOp::Gt,
+            CmpOp::GtEq,
+        ] {
             assert_eq!(op.flip().flip(), op);
         }
     }

@@ -3,11 +3,33 @@
 //! Uses an FxHash-style multiply-xor mix: cheap, stable across platforms,
 //! and good enough for power-of-two hash tables. Hashes are *combined*
 //! column-by-column so multi-key `GROUP BY` gets one u64 per row.
+//!
+//! Float values are canonicalized ([`canon_f64`]) before hashing so every
+//! SQL-equal value lands in the same group: `-0.0` hashes like `0.0` and
+//! every NaN bit pattern hashes like the canonical quiet NaN. NULL slots
+//! hash a marker *instead of* whatever bytes sit under the null, so NULLs
+//! group together no matter which kernel produced the array.
 
 use crate::array::Array;
 use crate::error::Result;
 
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The canonical quiet-NaN bit pattern all NaNs normalize to.
+const CANON_NAN_BITS: u64 = 0x7ff8_0000_0000_0000;
+
+/// Canonicalize a float for grouping/keying: `-0.0` becomes `0.0` and every
+/// NaN becomes the canonical quiet NaN, so SQL-equal values have equal bits.
+#[inline]
+pub fn canon_f64(v: f64) -> f64 {
+    if v == 0.0 {
+        0.0
+    } else if v.is_nan() {
+        f64::from_bits(CANON_NAN_BITS)
+    } else {
+        v
+    }
+}
 
 #[inline]
 fn mix(h: u64, v: u64) -> u64 {
@@ -36,42 +58,59 @@ const NULL_MARK: u64 = 0x6e_75_6c_6c_6e_75_6c_6c;
 
 /// Hash each row of `column`, combining into `hashes` (which must have one
 /// slot per row, pre-seeded — pass all-zeros for the first column).
+///
+/// NULL rows mix [`NULL_MARK`] in place of the value slot, so the bytes
+/// sitting under a null never influence the hash.
 pub fn hash_column_into(column: &Array, hashes: &mut [u64]) -> Result<()> {
     assert_eq!(column.len(), hashes.len(), "hash buffer length");
-    match column {
-        Array::Int64(a) => {
-            for (i, &v) in a.values.iter().enumerate() {
-                hashes[i] = mix(hashes[i], v as u64);
+    let validity = column.validity();
+    // Per-type value hashing; `valid` closure is only consulted when a
+    // validity bitmap exists (the no-nulls fast path skips the branch).
+    macro_rules! hash_loop {
+        ($iter:expr) => {
+            match validity {
+                None => {
+                    for (h, v) in hashes.iter_mut().zip($iter) {
+                        *h = mix(*h, v);
+                    }
+                }
+                Some(bm) => {
+                    for (i, (h, v)) in hashes.iter_mut().zip($iter).enumerate() {
+                        *h = mix(*h, if bm.get(i) { v } else { NULL_MARK });
+                    }
+                }
             }
-        }
-        Array::Float64(a) => {
-            for (i, &v) in a.values.iter().enumerate() {
-                // Normalize -0.0 to 0.0 so equal SQL values hash equal.
-                let v = if v == 0.0 { 0.0 } else { v };
-                hashes[i] = mix(hashes[i], v.to_bits());
-            }
-        }
-        Array::Date32(a) => {
-            for (i, &v) in a.values.iter().enumerate() {
-                hashes[i] = mix(hashes[i], v as u64);
-            }
-        }
-        Array::Boolean(a) => {
-            for (i, h) in hashes.iter_mut().enumerate() {
-                *h = mix(*h, a.values.get(i) as u64);
-            }
-        }
-        Array::Utf8(a) => {
-            for (i, h) in hashes.iter_mut().enumerate() {
-                *h = hash_bytes(*h, a.value(i).as_bytes());
-            }
-        }
+        };
     }
-    // NULL slots get the marker regardless of the value slot contents.
-    if let Some(validity) = column.validity() {
-        for (i, h) in hashes.iter_mut().enumerate() {
-            if !validity.get(i) {
-                *h = mix(*h, NULL_MARK);
+    match column {
+        Array::Int64(a) => hash_loop!(a.values.iter().map(|&v| v as u64)),
+        Array::Float64(a) => hash_loop!(a.values.iter().map(|&v| canon_f64(v).to_bits())),
+        Array::Date32(a) => hash_loop!(a.values.iter().map(|&v| v as u64)),
+        Array::Boolean(a) => hash_loop!((0..a.values.len()).map(|i| a.values.get(i) as u64)),
+        Array::Utf8(a) => {
+            // Hash raw offset slices: `value()` would re-validate UTF-8 on
+            // every row, and byte equality is what grouping needs anyway.
+            let data: &[u8] = &a.data;
+            let offsets = &a.offsets;
+            match validity {
+                None => {
+                    for (i, h) in hashes.iter_mut().enumerate() {
+                        let s = offsets[i] as usize;
+                        let e = offsets[i + 1] as usize;
+                        *h = hash_bytes(*h, &data[s..e]);
+                    }
+                }
+                Some(bm) => {
+                    for (i, h) in hashes.iter_mut().enumerate() {
+                        if bm.get(i) {
+                            let s = offsets[i] as usize;
+                            let e = offsets[i + 1] as usize;
+                            *h = hash_bytes(*h, &data[s..e]);
+                        } else {
+                            *h = mix(*h, NULL_MARK);
+                        }
+                    }
+                }
             }
         }
     }
@@ -120,6 +159,18 @@ mod tests {
     }
 
     #[test]
+    fn nan_bit_patterns_hash_equal() {
+        // A quiet NaN and a NaN with payload bits are SQL-equal for
+        // grouping; canonicalization makes them hash equal.
+        let weird_nan = f64::from_bits(0x7ff8_0000_0000_beef);
+        assert!(weird_nan.is_nan());
+        let a = Array::from_f64(vec![f64::NAN, weird_nan, 1.0]);
+        let h = hash_rows(&[&a]).unwrap();
+        assert_eq!(h[0], h[1]);
+        assert_ne!(h[0], h[2]);
+    }
+
+    #[test]
     fn nulls_hash_consistently_but_not_as_values() {
         let mut b1 = ArrayBuilder::new(DataType::Int64);
         b1.push_i64(0);
@@ -129,6 +180,21 @@ mod tests {
         let h = hash_rows(&[&a]).unwrap();
         assert_eq!(h[1], h[2], "NULL == NULL for grouping");
         assert_ne!(h[0], h[1], "NULL must not collide with the zero value");
+    }
+
+    #[test]
+    fn null_hash_ignores_bytes_under_the_null() {
+        // Two null slots with different garbage in the value buffer must
+        // hash identically — kernels (e.g. arithmetic) can leave arbitrary
+        // values under a null.
+        use crate::array::Int64Array;
+        use crate::bitmap::Bitmap;
+        let a = Array::Int64(Int64Array {
+            values: vec![7, 99],
+            validity: Some(Bitmap::from_bools(&[false, false])),
+        });
+        let h = hash_rows(&[&a]).unwrap();
+        assert_eq!(h[0], h[1]);
     }
 
     #[test]

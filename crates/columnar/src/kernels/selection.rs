@@ -133,10 +133,7 @@ pub fn filter(a: &Array, mask: &BooleanArray) -> Result<Array> {
 pub fn take_indices(a: &Array, indices: &[usize]) -> Result<Array> {
     let len = a.len();
     if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
-        return Err(ColumnarError::IndexOutOfBounds {
-            index: bad,
-            len,
-        });
+        return Err(ColumnarError::IndexOutOfBounds { index: bad, len });
     }
     Ok(match a {
         Array::Int64(x) => Array::Int64(Int64Array {
@@ -165,7 +162,7 @@ pub fn take_indices(a: &Array, indices: &[usize]) -> Result<Array> {
             }
             Array::Utf8(Utf8Array {
                 offsets,
-                data,
+                data: data.into(),
                 validity: filtered_validity(x.validity.as_ref(), indices),
             })
         }

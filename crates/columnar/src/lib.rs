@@ -17,7 +17,11 @@
 //!   (Presto would call this a *Page*).
 //! * [`kernels`] — vectorized compute: comparisons, arithmetic, boolean
 //!   logic, selection (filter/take), casting and hashing.
-//! * [`agg`] — aggregation accumulators (`SUM`/`MIN`/`MAX`/`AVG`/`COUNT`).
+//! * [`agg`] — aggregate functions and type-specialized columnar
+//!   accumulators (`SUM`/`MIN`/`MAX`/`AVG`/`COUNT`).
+//! * [`groupby`] — the vectorized group-id kernel and
+//!   [`groupby::GroupedAggregator`], the single grouped-aggregation engine
+//!   shared by the query engine and the OCS storage executor.
 //! * [`sort`] — multi-key lexicographic sorting and top-N selection.
 //! * [`ipc`] — a compact IPC-style wire format for shipping batches
 //!   (the "Arrow flight" of this reproduction).
@@ -56,6 +60,7 @@ pub mod bitmap;
 pub mod builder;
 pub mod datatype;
 pub mod error;
+pub mod groupby;
 pub mod ipc;
 pub mod kernels;
 pub mod schema;

@@ -177,10 +177,7 @@ mod tests {
     fn single_key_ascending() {
         let b = batch(vec![3, 1, 2], vec![0.3, 0.1, 0.2]);
         let s = sort_batch(&b, &[SortKey::asc(0)]).unwrap();
-        assert_eq!(
-            s.column(0).as_i64().unwrap().values,
-            vec![1, 2, 3]
-        );
+        assert_eq!(s.column(0).as_i64().unwrap().values, vec![1, 2, 3]);
     }
 
     #[test]
@@ -195,7 +192,10 @@ mod tests {
         let b = batch(vec![1, 2, 1, 2], vec![0.9, 0.1, 0.2, 0.8]);
         let s = sort_batch(&b, &[SortKey::asc(0), SortKey::desc(1)]).unwrap();
         assert_eq!(s.column(0).as_i64().unwrap().values, vec![1, 1, 2, 2]);
-        assert_eq!(s.column(1).as_f64().unwrap().values, vec![0.9, 0.2, 0.8, 0.1]);
+        assert_eq!(
+            s.column(1).as_f64().unwrap().values,
+            vec![0.9, 0.2, 0.8, 0.1]
+        );
     }
 
     #[test]

@@ -3,8 +3,11 @@
 
 use std::sync::Arc;
 
-use columnar::agg::{AggFunc, AggState};
+use std::collections::HashMap;
+
+use columnar::agg::{AggFunc, GroupAcc};
 use columnar::builder::ArrayBuilder;
+use columnar::groupby::GroupedAggregator;
 use columnar::ipc::{decode_batch, encode_batch};
 use columnar::kernels::{boolean, cmp, selection};
 use columnar::prelude::*;
@@ -36,6 +39,176 @@ fn scalars_eq(a: &Scalar, b: &Scalar) -> bool {
         (Scalar::Float64(x), Scalar::Float64(y)) if x.is_nan() && y.is_nan() => true,
         _ => a == b,
     }
+}
+
+/// Float comparison with a small epsilon: chunked merges re-associate float
+/// additions, which is allowed to drift in the last bits.
+fn scalars_close(a: &Scalar, b: &Scalar) -> bool {
+    match (a, b) {
+        (Scalar::Float64(x), Scalar::Float64(y)) if x.is_nan() && y.is_nan() => true,
+        (Scalar::Float64(x), Scalar::Float64(y)) => {
+            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0)
+        }
+        _ => a == b,
+    }
+}
+
+/// The f64 group-key pathologies: -0.0 vs 0.0 and distinct NaN payloads.
+fn weird_f64() -> impl Strategy<Value = Option<f64>> {
+    proptest::option::weighted(
+        0.85,
+        (0usize..16).prop_map(|i| match i {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::NAN,
+            3 => f64::from_bits(0x7ff8_0000_0000_beef),
+            4 => 1.5,
+            5 => -2.5,
+            _ => (i as f64 - 10.0) / 4.0,
+        }),
+    )
+}
+
+fn build_opt_f64(values: &[Option<f64>]) -> Array {
+    let mut b = ArrayBuilder::new(DataType::Float64);
+    for v in values {
+        match v {
+            Some(x) => b.push_f64(*x),
+            None => b.push_null(),
+        }
+    }
+    b.finish()
+}
+
+/// SQL-equality normalization for an f64 key, mirroring what the group-id
+/// kernel promises (`-0.0 == 0.0`, all NaNs equal).
+fn norm_bits(v: f64) -> u64 {
+    if v == 0.0 {
+        0.0f64.to_bits()
+    } else if v.is_nan() {
+        0x7ff8_0000_0000_0000
+    } else {
+        v.to_bits()
+    }
+}
+
+/// One generated row: `(k_int, k_f64, v, f)` — two group keys, an Int64
+/// measure, and a Float64 measure.
+type RefRow = (Option<i64>, Option<f64>, Option<i64>, Option<f64>);
+
+/// A deliberately naive row-at-a-time reference aggregator for
+/// `GROUP BY k_int, k_f64` computing
+/// `COUNT(*), COUNT(v), SUM(v), MIN(v), MAX(f), AVG(v)`.
+#[derive(Default, Clone)]
+struct RefState {
+    n_star: i64,
+    n_v: i64,
+    sum_v: i64,
+    sum_seen: bool,
+    min_v: Option<i64>,
+    max_f: Option<f64>,
+    avg_sum: f64,
+    avg_n: i64,
+}
+
+fn reference_rows(rows: &[RefRow]) -> Vec<Vec<Scalar>> {
+    let mut order: Vec<(Option<i64>, Option<u64>)> = Vec::new();
+    let mut groups: HashMap<(Option<i64>, Option<u64>), RefState> = HashMap::new();
+    for &(k1, k2, v, f) in rows {
+        let key = (k1, k2.map(norm_bits));
+        if !groups.contains_key(&key) {
+            order.push(key);
+        }
+        let st = groups.entry(key).or_default();
+        st.n_star += 1;
+        if let Some(v) = v {
+            st.n_v += 1;
+            st.sum_v = st.sum_v.wrapping_add(v);
+            st.sum_seen = true;
+            st.min_v = Some(st.min_v.map_or(v, |m| m.min(v)));
+            st.avg_sum += v as f64;
+            st.avg_n += 1;
+        }
+        if let Some(f) = f {
+            st.max_f = Some(match st.max_f {
+                None => f,
+                Some(m) => {
+                    if f.total_cmp(&m).is_gt() {
+                        f
+                    } else {
+                        m
+                    }
+                }
+            });
+        }
+    }
+    order
+        .iter()
+        .map(|key| {
+            let st = &groups[key];
+            vec![
+                key.0.map_or(Scalar::Null, Scalar::Int64),
+                key.1
+                    .map_or(Scalar::Null, |b| Scalar::Float64(f64::from_bits(b))),
+                Scalar::Int64(st.n_star),
+                Scalar::Int64(st.n_v),
+                if st.sum_seen {
+                    Scalar::Int64(st.sum_v)
+                } else {
+                    Scalar::Null
+                },
+                st.min_v.map_or(Scalar::Null, Scalar::Int64),
+                st.max_f.map_or(Scalar::Null, Scalar::Float64),
+                if st.avg_n == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float64(st.avg_sum / st.avg_n as f64)
+                },
+            ]
+        })
+        .collect()
+}
+
+fn grouped_fixture() -> GroupedAggregator {
+    GroupedAggregator::new(
+        vec![DataType::Int64, DataType::Float64],
+        &[
+            (AggFunc::Count, None),
+            (AggFunc::Count, Some(DataType::Int64)),
+            (AggFunc::Sum, Some(DataType::Int64)),
+            (AggFunc::Min, Some(DataType::Int64)),
+            (AggFunc::Max, Some(DataType::Float64)),
+            (AggFunc::Avg, Some(DataType::Int64)),
+        ],
+    )
+    .unwrap()
+}
+
+fn update_chunk(agg: &mut GroupedAggregator, rows: &[RefRow]) {
+    let k1 = build_int(&rows.iter().map(|r| r.0).collect::<Vec<_>>());
+    let k2 = build_opt_f64(&rows.iter().map(|r| r.1).collect::<Vec<_>>());
+    let v = build_int(&rows.iter().map(|r| r.2).collect::<Vec<_>>());
+    let f = build_opt_f64(&rows.iter().map(|r| r.3).collect::<Vec<_>>());
+    // COUNT(x) and the three v-aggregates share the v column; MAX takes f.
+    agg.update(
+        &[&k1, &k2],
+        &[None, Some(&v), Some(&v), Some(&v), Some(&f), Some(&v)],
+        rows.len(),
+    )
+    .unwrap();
+}
+
+fn result_rows(agg: GroupedAggregator) -> Vec<Vec<Scalar>> {
+    let n = agg.num_groups();
+    let (keys, measures) = agg.finish();
+    (0..n)
+        .map(|g| {
+            keys.iter()
+                .chain(measures.iter())
+                .map(|a| a.scalar_at(g))
+                .collect()
+        })
+        .collect()
 }
 
 proptest! {
@@ -122,31 +295,88 @@ proptest! {
     fn agg_merge_associative(
         chunks in proptest::collection::vec(int_col(60), 1..6),
     ) {
-        // Aggregating chunk-wise then merging == aggregating the concatenation.
+        // Aggregating chunk-wise then merging == aggregating the concatenation
+        // (single global group: all rows map to group ordinal 0).
         for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max, AggFunc::Count, AggFunc::Avg] {
-            let mut merged = AggState::new(func, Some(DataType::Int64)).unwrap();
+            let mut merged = GroupAcc::new(func, Some(DataType::Int64)).unwrap();
+            merged.resize(1);
             let mut flat: Vec<Option<i64>> = Vec::new();
             for ch in &chunks {
                 let arr = build_int(ch);
-                let mut st = AggState::new(func, Some(DataType::Int64)).unwrap();
-                for i in 0..arr.len() {
-                    st.update(Some(&arr), i);
-                }
-                merged.merge(&st).unwrap();
+                let mut st = GroupAcc::new(func, Some(DataType::Int64)).unwrap();
+                st.resize(1);
+                st.update(&vec![0u32; arr.len()], Some(&arr));
+                merged.merge(&st, &[0]).unwrap();
                 flat.extend_from_slice(ch);
             }
             let all = build_int(&flat);
-            let mut whole = AggState::new(func, Some(DataType::Int64)).unwrap();
-            for i in 0..all.len() {
-                whole.update(Some(&all), i);
-            }
-            let (m, w) = (merged.finish(), whole.finish());
+            let mut whole = GroupAcc::new(func, Some(DataType::Int64)).unwrap();
+            whole.resize(1);
+            whole.update(&vec![0u32; all.len()], Some(&all));
+            let (m, w) = (merged.finish_one(0), whole.finish_one(0));
             // AVG accumulates floats in a different association order; allow tiny eps.
             let ok = match (&m, &w) {
                 (Scalar::Float64(x), Scalar::Float64(y)) => (x - y).abs() < 1e-9,
                 _ => scalars_eq(&m, &w),
             };
             prop_assert!(ok, "{func:?}: merged {m:?} vs whole {w:?}");
+        }
+    }
+
+    /// The tentpole satellite: the vectorized grouped-aggregation engine must
+    /// agree with a naive row-at-a-time scalar reference on random batches —
+    /// including NULL keys, `-0.0`/NaN float keys, empty chunks, and a
+    /// partial→merge→finish pass over random batch splits.
+    #[test]
+    fn grouped_agg_matches_scalar_reference(
+        chunks in proptest::collection::vec(
+            proptest::collection::vec(
+                (
+                    proptest::option::weighted(0.85, -4i64..4),
+                    weird_f64(),
+                    proptest::option::weighted(0.85, -1000i64..1000),
+                    weird_f64(),
+                ),
+                0..80,
+            ),
+            0..6,
+        ),
+    ) {
+        let flat: Vec<_> = chunks.iter().flatten().copied().collect();
+        let expected = reference_rows(&flat);
+
+        // Whole-pass vectorized: identical row order, so results are exact.
+        let mut whole = grouped_fixture();
+        update_chunk(&mut whole, &flat);
+        let got = result_rows(whole);
+        prop_assert_eq!(got.len(), expected.len(), "group count (whole pass)");
+        for (g, (gr, er)) in got.iter().zip(&expected).enumerate() {
+            for (c, (gs, es)) in gr.iter().zip(er).enumerate() {
+                prop_assert!(scalars_eq(gs, es), "whole pass group {g} col {c}: {gs:?} vs {es:?}");
+            }
+        }
+
+        // Partial per chunk, merged into the first, then finished: group order
+        // is still first-seen over the concatenation, values match modulo
+        // float re-association.
+        let mut partials: Vec<GroupedAggregator> = chunks
+            .iter()
+            .map(|ch| {
+                let mut a = grouped_fixture();
+                update_chunk(&mut a, ch);
+                a
+            })
+            .collect();
+        let mut merged = grouped_fixture();
+        for p in partials.drain(..) {
+            merged.merge(&p).unwrap();
+        }
+        let got = result_rows(merged);
+        prop_assert_eq!(got.len(), expected.len(), "group count (merged)");
+        for (g, (gr, er)) in got.iter().zip(&expected).enumerate() {
+            for (c, (gs, es)) in gr.iter().zip(er).enumerate() {
+                prop_assert!(scalars_close(gs, es), "merged group {g} col {c}: {gs:?} vs {es:?}");
+            }
         }
     }
 

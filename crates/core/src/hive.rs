@@ -11,12 +11,12 @@ use std::any::Any;
 use std::sync::Arc;
 
 use columnar::{Scalar, SchemaRef};
-use dsq::error::{EngineError, EResult};
+use dsq::error::{EResult, EngineError};
 use dsq::expr::ScalarExpr;
 use dsq::plan::{LogicalPlan, TableScanNode};
 use dsq::spi::{
-    Connector, ConnectorPlanOptimizer, DefaultSplitManager, DefaultTableHandle,
-    OptimizerContext, PageSourceProvider, PageSourceResult, Split, SplitManager, TableHandle,
+    Connector, ConnectorPlanOptimizer, DefaultSplitManager, DefaultTableHandle, OptimizerContext,
+    PageSourceProvider, PageSourceResult, Split, SplitManager, TableHandle,
 };
 use lzcodec::CodecKind;
 use netsim::{ClusterSpec, CostParams, Work};
@@ -226,14 +226,11 @@ impl PageSourceProvider for HivePageSourceProvider {
         let storage_cpu_s = self.cluster.storage.core_seconds_for(storage_work);
         let storage_decompress_s = match codec {
             CodecKind::None => 0.0,
-            other => {
-                resp.stats.uncompressed_bytes as f64 / (other.spec().decompress_gbps * 1e9)
-            }
+            other => resp.stats.uncompressed_bytes as f64 / (other.spec().decompress_gbps * 1e9),
         };
-        let compute_deser_s = self
-            .cluster
-            .compute
-            .core_seconds_for(Work::decode(resp.stats.returned_bytes as f64 * self.cost.byte_deser));
+        let compute_deser_s = self.cluster.compute.core_seconds_for(Work::decode(
+            resp.stats.returned_bytes as f64 * self.cost.byte_deser,
+        ));
 
         Ok(PageSourceResult {
             batches: resp.batches,
@@ -332,7 +329,10 @@ mod tests {
         assert!(to_select_predicates(&pred, &s, &mut out).is_some());
         assert_eq!(out.len(), 2);
         assert!(matches!(&out[0], SelectPredicate::Between { column, .. } if column == "x"));
-        assert!(matches!(&out[1], SelectPredicate::Compare { op: CmpOp::Eq, .. }));
+        assert!(matches!(
+            &out[1],
+            SelectPredicate::Compare { op: CmpOp::Eq, .. }
+        ));
     }
 
     #[test]
@@ -361,6 +361,9 @@ mod tests {
         };
         let mut out = Vec::new();
         assert!(to_select_predicates(&pred, &s, &mut out).is_some());
-        assert!(matches!(&out[0], SelectPredicate::Compare { op: CmpOp::Lt, .. }));
+        assert!(matches!(
+            &out[0],
+            SelectPredicate::Compare { op: CmpOp::Lt, .. }
+        ));
     }
 }

@@ -79,7 +79,10 @@ impl PushdownHistory {
         if self.entries.is_empty() {
             return 0.0;
         }
-        self.entries.iter().map(|e| e.moved_bytes as f64).sum::<f64>()
+        self.entries
+            .iter()
+            .map(|e| e.moved_bytes as f64)
+            .sum::<f64>()
             / self.entries.len() as f64
     }
 

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use columnar::agg::AggFunc;
 use columnar::kernels::arith::ArithOp;
 use columnar::{DataType, Field, Schema, SchemaRef};
-use dsq::error::{EngineError, EResult};
+use dsq::error::{EResult, EngineError};
 use dsq::expr::{AggregateCall, ScalarExpr};
 use dsq::plan::{LogicalPlan, TableScanNode};
 use dsq::spi::{ConnectorPlanOptimizer, DefaultTableHandle, OptimizerContext};
@@ -69,9 +69,7 @@ pub fn groups_object_disjoint(
             }
         }
         ranges.sort_by(|a, b| a.0.total_cmp(&b.0));
-        let disjoint = ranges
-            .windows(2)
-            .all(|w| w[0].1.total_cmp(&w[1].0).is_lt());
+        let disjoint = ranges.windows(2).all(|w| w[0].1.total_cmp(&w[1].0).is_lt());
         if disjoint {
             return true;
         }
@@ -169,7 +167,9 @@ impl ConnectorPlanOptimizer for OcsPlanOptimizer {
                     if sel <= self.policy.selectivity_threshold {
                         pushed.filter = Some(match pushed.filter.take() {
                             None => predicate.clone(),
-                            Some(prev) => ScalarExpr::And(Arc::new(prev), Arc::new(predicate.clone())),
+                            Some(prev) => {
+                                ScalarExpr::And(Arc::new(prev), Arc::new(predicate.clone()))
+                            }
                         });
                         est_rows *= sel;
                         residuals.push(Residual::Removed);
@@ -241,8 +241,7 @@ impl ConnectorPlanOptimizer for OcsPlanOptimizer {
                     }
                 }
                 LogicalPlan::TopN { keys, limit, .. }
-                    if self.policy.topn
-                        && (pushed.aggregate.is_none() || aggregate_is_full) =>
+                    if self.policy.topn && (pushed.aggregate.is_none() || aggregate_is_full) =>
                 {
                     pushed.topn = Some((keys.clone(), *limit));
                     est_rows = est_rows.min(*limit as f64);
@@ -361,7 +360,11 @@ pub fn decompose_aggregate(
                 fields.push(Field::new(name.clone(), DataType::Int64, true));
                 finals.push(AggregateCall {
                     func: AggFunc::Sum,
-                    arg: Some(ScalarExpr::col(k + partials.len() - 1, name, DataType::Int64)),
+                    arg: Some(ScalarExpr::col(
+                        k + partials.len() - 1,
+                        name,
+                        DataType::Int64,
+                    )),
                     output_name: a.output_name.clone(),
                 });
             }
@@ -382,9 +385,10 @@ pub fn decompose_aggregate(
             }
             AggFunc::Avg => {
                 needs_avg = true;
-                let arg = a.arg.clone().ok_or_else(|| {
-                    EngineError::Analysis("AVG requires an argument".into())
-                })?;
+                let arg = a
+                    .arg
+                    .clone()
+                    .ok_or_else(|| EngineError::Analysis("AVG requires an argument".into()))?;
                 // Partial SUM must accumulate in f64 so the final division
                 // is exact SQL AVG semantics even for integer inputs.
                 let sum_arg = if arg.data_type() == DataType::Float64 {
@@ -443,12 +447,10 @@ pub fn decompose_aggregate(
         for a in aggs {
             match a.func {
                 AggFunc::Avg => {
-                    let sum = ScalarExpr::col(fpos, format!("{}__s", a.output_name), DataType::Float64);
-                    let cnt = ScalarExpr::col(
-                        fpos + 1,
-                        format!("{}__c", a.output_name),
-                        DataType::Int64,
-                    );
+                    let sum =
+                        ScalarExpr::col(fpos, format!("{}__s", a.output_name), DataType::Float64);
+                    let cnt =
+                        ScalarExpr::col(fpos + 1, format!("{}__c", a.output_name), DataType::Int64);
                     exprs.push((
                         ScalarExpr::Arith {
                             op: ArithOp::Div,
@@ -506,7 +508,10 @@ mod tests {
         let (partials, finals, avg_proj, schema) = decompose_aggregate(&keys, &aggs).unwrap();
         assert_eq!(partials.len(), 3);
         assert!(avg_proj.is_none());
-        assert_eq!(schema.names(), vec!["g", "__p0_min", "__p1_sum", "__p2_count"]);
+        assert_eq!(
+            schema.names(),
+            vec!["g", "__p0_min", "__p1_sum", "__p2_count"]
+        );
         // Finals preserve original output names; COUNT becomes SUM of counts.
         assert_eq!(finals[2].func, AggFunc::Sum);
         assert_eq!(finals[2].output_name, "n");
@@ -532,7 +537,13 @@ mod tests {
         let names: Vec<&str> = proj.iter().map(|(_, n)| n.as_str()).collect();
         assert_eq!(names, vec!["g", "a", "m"]);
         // The AVG expression divides final sum by final count.
-        assert!(matches!(proj[1].0, ScalarExpr::Arith { op: ArithOp::Div, .. }));
+        assert!(matches!(
+            proj[1].0,
+            ScalarExpr::Arith {
+                op: ArithOp::Div,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Substrait IR, dispatches to OCS over the byte-counted RPC boundary, and
 //! deserializes the Arrow results into engine pages.
 
-use dsq::error::{EngineError, EResult};
+use dsq::error::{EResult, EngineError};
 use dsq::spi::{PageSourceProvider, PageSourceResult, Split};
 use netsim::{ClusterSpec, CostParams, Work};
 use ocs::OcsClient;
@@ -45,10 +45,7 @@ impl PageSourceProvider for OcsPageSourceProvider {
                     .as_any()
                     .downcast_ref::<dsq::spi::DefaultTableHandle>()
                     .map(|h| {
-                        let projection = h
-                            .projection
-                            .clone()
-                            .unwrap_or_default();
+                        let projection = h.projection.clone().unwrap_or_default();
                         OcsTableHandle {
                             table: split.table.clone(),
                             base_schema: std::sync::Arc::new(columnar::Schema::empty()),
@@ -88,10 +85,9 @@ impl PageSourceProvider for OcsPageSourceProvider {
             .map_err(|e| EngineError::Connector(format!("ocs rpc: {e}")))?;
 
         // 3. Engine-side deserialization of the Arrow payload.
-        let compute_deser_s = self
-            .cluster
-            .compute
-            .core_seconds_for(Work::decode(resp.response_bytes as f64 * self.cost.byte_deser));
+        let compute_deser_s = self.cluster.compute.core_seconds_for(Work::decode(
+            resp.response_bytes as f64 * self.cost.byte_deser,
+        ));
 
         Ok(PageSourceResult {
             batches: resp.batches,

@@ -5,7 +5,7 @@
 
 use std::sync::Arc;
 
-use dsq::error::{EngineError, EResult};
+use dsq::error::{EResult, EngineError};
 use dsq::spi::{
     Connector, DefaultSplitManager, DefaultTableHandle, PageSourceProvider, PageSourceResult,
     Split, SplitManager,

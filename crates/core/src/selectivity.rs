@@ -93,17 +93,15 @@ impl<'a> SelectivityAnalyzer<'a> {
                     0.33
                 }
             }
-            ScalarExpr::Cmp { op, left, right } => {
-                match (left.as_ref(), right.as_ref()) {
-                    (ScalarExpr::Column { index, .. }, ScalarExpr::Literal(v)) => {
-                        self.cmp_selectivity(*index, *op, v)
-                    }
-                    (ScalarExpr::Literal(v), ScalarExpr::Column { index, .. }) => {
-                        self.cmp_selectivity(*index, op.flip(), v)
-                    }
-                    _ => 0.33,
+            ScalarExpr::Cmp { op, left, right } => match (left.as_ref(), right.as_ref()) {
+                (ScalarExpr::Column { index, .. }, ScalarExpr::Literal(v)) => {
+                    self.cmp_selectivity(*index, *op, v)
                 }
-            }
+                (ScalarExpr::Literal(v), ScalarExpr::Column { index, .. }) => {
+                    self.cmp_selectivity(*index, op.flip(), v)
+                }
+                _ => 0.33,
+            },
             ScalarExpr::IsNull(e) => {
                 if let ScalarExpr::Column { index, .. } = e.as_ref() {
                     if let Some(s) = self.stats_for(*index) {
@@ -345,10 +343,7 @@ mod tests {
         assert!((a.aggregate_selectivity(&[(col(1), "g".into())]) - 4e-5).abs() < 1e-9);
         // Expression keys fall back to row count (no reduction assumed).
         let expr_key = ScalarExpr::Negate(std::sync::Arc::new(col(0)));
-        assert_eq!(
-            a.aggregate_output_rows(&[(expr_key, "e".into())]),
-            100_000
-        );
+        assert_eq!(a.aggregate_output_rows(&[(expr_key, "e".into())]), 100_000);
     }
 
     #[test]
@@ -372,6 +367,9 @@ mod tests {
             left: std::sync::Arc::new(col(0)),
             right: std::sync::Arc::new(lit(1.0)),
         };
-        assert!((a.filter_selectivity(&eq) - 0.25).abs() < 1e-9, "NDV of g, not x");
+        assert!(
+            (a.filter_selectivity(&eq) - 0.25).abs() < 1e-9,
+            "NDV of g, not x"
+        );
     }
 }

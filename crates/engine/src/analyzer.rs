@@ -17,7 +17,7 @@ use columnar::{DataType, Scalar, Schema, SchemaRef};
 use sqlparse::ast::{AstExpr, BinaryOp, Query, UnaryOp};
 
 use crate::catalog::Metastore;
-use crate::error::{EngineError, EResult};
+use crate::error::{EResult, EngineError};
 use crate::expr::{AggregateCall, ScalarExpr};
 use crate::plan::{LogicalPlan, SortKey, TableScanNode};
 use crate::spi::DefaultTableHandle;
@@ -174,15 +174,15 @@ fn build_aggregate(
             other => {
                 // Must match a group key.
                 let e = resolve(other, scan_schema)?;
-                let pos = group_by
-                    .iter()
-                    .position(|(g, _)| *g == e)
-                    .ok_or_else(|| {
-                        EngineError::Analysis(format!(
-                            "select item '{other}' is neither aggregated nor in GROUP BY"
-                        ))
-                    })?;
-                let name = item.alias.clone().unwrap_or_else(|| group_by[pos].1.clone());
+                let pos = group_by.iter().position(|(g, _)| *g == e).ok_or_else(|| {
+                    EngineError::Analysis(format!(
+                        "select item '{other}' is neither aggregated nor in GROUP BY"
+                    ))
+                })?;
+                let name = item
+                    .alias
+                    .clone()
+                    .unwrap_or_else(|| group_by[pos].1.clone());
                 // Rename the key if aliased.
                 if item.alias.is_some() {
                     group_by[pos].1 = name.clone();
@@ -472,9 +472,8 @@ mod tests {
 
     #[test]
     fn deepwater_shape_has_project() {
-        let a = plan_for(
-            "SELECT MAX((id % 250000)/500), tag FROM points WHERE x > 0.1 GROUP BY tag",
-        );
+        let a =
+            plan_for("SELECT MAX((id % 250000)/500), tag FROM points WHERE x > 0.1 GROUP BY tag");
         assert_eq!(
             a.plan.chain_description(),
             "TableScan -> Filter -> Project -> Aggregation"
@@ -485,9 +484,8 @@ mod tests {
 
     #[test]
     fn group_key_alias_and_order() {
-        let a = plan_for(
-            "SELECT tag AS t, count(*) AS n FROM points GROUP BY tag ORDER BY n DESC, t",
-        );
+        let a =
+            plan_for("SELECT tag AS t, count(*) AS n FROM points GROUP BY tag ORDER BY n DESC, t");
         let schema = a.plan.schema().unwrap();
         assert_eq!(schema.names(), vec!["t", "n"]);
         match &a.plan {
@@ -502,9 +500,7 @@ mod tests {
 
     #[test]
     fn date_interval_arithmetic_resolves() {
-        let a = plan_for(
-            "SELECT id FROM points WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY",
-        );
+        let a = plan_for("SELECT id FROM points WHERE d <= DATE '1998-12-01' - INTERVAL '90' DAY");
         assert!(a.plan.chain_description().contains("Filter"));
     }
 
@@ -520,16 +516,22 @@ mod tests {
             EngineError::UnknownTable(_)
         ));
         assert!(bad("SELECT nope FROM points").to_string().contains("nope"));
-        assert!(bad("SELECT x FROM points WHERE x + 1").to_string().contains("Boolean"));
+        assert!(bad("SELECT x FROM points WHERE x + 1")
+            .to_string()
+            .contains("Boolean"));
         assert!(bad("SELECT x, count(*) FROM points GROUP BY id")
             .to_string()
             .contains("neither aggregated"));
-        assert!(bad("SELECT count(*) FROM points ORDER BY ghost").to_string().contains("ghost"));
+        assert!(bad("SELECT count(*) FROM points ORDER BY ghost")
+            .to_string()
+            .contains("ghost"));
         assert!(bad("SELECT median(x) FROM points GROUP BY id")
             .to_string()
             .contains("median"));
         // String arithmetic is rejected at analysis.
-        assert!(bad("SELECT tag + 1 FROM points").to_string().contains("arithmetic"));
+        assert!(bad("SELECT tag + 1 FROM points")
+            .to_string()
+            .contains("arithmetic"));
     }
 
     #[test]

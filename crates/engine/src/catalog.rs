@@ -11,7 +11,7 @@ use std::sync::Arc;
 use columnar::SchemaRef;
 use parq::ColumnStats;
 
-use crate::error::{EngineError, EResult};
+use crate::error::{EResult, EngineError};
 
 /// Where one table partition/object lives.
 #[derive(Debug, Clone, PartialEq, Default)]

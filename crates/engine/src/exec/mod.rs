@@ -13,7 +13,7 @@ use rayon::prelude::*;
 
 use crate::catalog::Metastore;
 use crate::cost::CostParams;
-use crate::error::{EngineError, EResult};
+use crate::error::{EResult, EngineError};
 use crate::plan::LogicalPlan;
 use crate::spi::Connector;
 use operators::{run_filter, run_limit, run_project, run_sort, run_topn, HashAggregator};
@@ -143,7 +143,7 @@ pub fn execute_plan(
             }
             let partial = match blocking {
                 Some(LogicalPlan::Aggregate { group_by, aggs, .. }) => {
-                    let mut agg = HashAggregator::new(group_by.clone(), aggs.clone());
+                    let mut agg = HashAggregator::new(group_by.clone(), aggs.clone())?;
                     for b in &batches {
                         agg.update(b, cost)?;
                     }
@@ -171,7 +171,8 @@ pub fn execute_plan(
                 network_requests: page.network_requests,
                 frontend_cpu_s: page.frontend_cpu_s,
                 substrait_gen_s: page.substrait_gen_s,
-                compute_cpu_s: page.compute_deser_s + cluster.compute.core_seconds_for(compute_work),
+                compute_cpu_s: page.compute_deser_s
+                    + cluster.compute.core_seconds_for(compute_work),
                 row_groups_skipped: page.row_groups_skipped,
                 decoded_bytes_avoided: page.decoded_bytes_avoided,
             })
@@ -220,13 +221,14 @@ pub fn execute_plan(
     let mut final_work = Work::zero();
     let mut current: Vec<RecordBatch> = match blocking {
         Some(LogicalPlan::Aggregate { group_by, aggs, .. }) => {
-            let mut merged = HashAggregator::new(group_by.clone(), aggs.clone());
+            let mut merged = HashAggregator::new(group_by.clone(), aggs.clone())?;
             for o in outputs {
                 if let Partial::Agg(agg) = o.partial {
                     let groups = agg.num_groups() as f64;
                     merged.merge(*agg)?;
-                    final_work
-                        .add(Work::vector(groups * cost.agg_update * aggs.len().max(1) as f64));
+                    final_work.add(Work::vector(
+                        groups * cost.agg_update * aggs.len().max(1) as f64,
+                    ));
                 }
             }
             merged.work = 0.0;
@@ -311,7 +313,7 @@ pub fn execute_plan(
                 next
             }
             LogicalPlan::Aggregate { group_by, aggs, .. } => {
-                let mut agg = HashAggregator::new(group_by.clone(), aggs.clone());
+                let mut agg = HashAggregator::new(group_by.clone(), aggs.clone())?;
                 for b in &current {
                     agg.update(b, cost)?;
                 }
@@ -343,7 +345,10 @@ pub fn execute_plan(
         };
     }
     // Final stage runs on a handful of driver threads; bill one lane.
-    ledger.add(Phase::ComputeCpu, cluster.compute.core_seconds_for(final_work));
+    ledger.add(
+        Phase::ComputeCpu,
+        cluster.compute.core_seconds_for(final_work),
+    );
 
     let schema = plan.schema()?;
     let batch = if current.is_empty() {
@@ -353,8 +358,7 @@ pub fn execute_plan(
         if all.schema() != &schema {
             // Names/nullability may differ slightly (e.g. empty vs non-empty
             // paths); rebuild against the plan schema for a stable contract.
-            RecordBatch::try_new(schema, all.columns().to_vec())
-                .unwrap_or(all)
+            RecordBatch::try_new(schema, all.columns().to_vec()).unwrap_or(all)
         } else {
             all
         }

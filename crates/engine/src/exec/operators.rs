@@ -5,17 +5,15 @@
 //! exactly the same computation in storage as it would at the compute
 //! layer — only the node executing it differs.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use columnar::agg::AggState;
-use columnar::builder::ArrayBuilder;
+use columnar::groupby::GroupedAggregator;
 use columnar::kernels::selection;
 use columnar::prelude::*;
 use columnar::sort::{self, SortKey as ColSortKey};
 
 use crate::cost::CostParams;
-use crate::error::{EngineError, EResult};
+use crate::error::{EResult, EngineError};
 use crate::expr::{AggregateCall, ScalarExpr};
 use crate::plan::SortKey;
 
@@ -53,65 +51,38 @@ pub fn run_project(
     Ok((out, work))
 }
 
-/// Canonical byte encoding of a scalar for group-key hashing.
-fn key_bytes(out: &mut Vec<u8>, s: &Scalar) {
-    match s {
-        Scalar::Null => out.push(0),
-        Scalar::Int64(v) => {
-            out.push(1);
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        Scalar::Float64(v) => {
-            out.push(2);
-            // Normalize -0.0 so SQL-equal values group together.
-            let v = if *v == 0.0 { 0.0 } else { *v };
-            out.extend_from_slice(&v.to_bits().to_le_bytes());
-        }
-        Scalar::Boolean(v) => out.extend_from_slice(&[3, *v as u8]),
-        Scalar::Utf8(v) => {
-            out.push(4);
-            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
-            out.extend_from_slice(v.as_bytes());
-        }
-        Scalar::Date32(v) => {
-            out.push(5);
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-    }
-}
-
 /// A two-phase (partial/final) hash aggregator.
+///
+/// This is a thin expression-evaluating wrapper around the shared
+/// vectorized kernel in [`columnar::groupby`]: key and argument
+/// expressions are evaluated once per batch, then rows are resolved to
+/// dense group ids and folded into columnar accumulators — the same code
+/// path the OCS storage executor runs, so a pushed-down aggregate computes
+/// exactly what the compute layer would.
 #[derive(Debug)]
 pub struct HashAggregator {
     group_by: Vec<(ScalarExpr, String)>,
     aggs: Vec<AggregateCall>,
-    groups: HashMap<Vec<u8>, (Vec<Scalar>, Vec<AggState>)>,
-    /// Insertion order of group keys, for deterministic output.
-    order: Vec<Vec<u8>>,
+    inner: GroupedAggregator,
     /// Accumulated work units.
     pub work: f64,
 }
 
 impl HashAggregator {
     /// New aggregator for the given keys and calls.
-    pub fn new(group_by: Vec<(ScalarExpr, String)>, aggs: Vec<AggregateCall>) -> Self {
-        HashAggregator {
+    pub fn new(group_by: Vec<(ScalarExpr, String)>, aggs: Vec<AggregateCall>) -> EResult<Self> {
+        let key_types = group_by.iter().map(|(e, _)| e.data_type()).collect();
+        let specs: Vec<_> = aggs
+            .iter()
+            .map(|a| (a.func, a.arg.as_ref().map(|e| e.data_type())))
+            .collect();
+        let inner = GroupedAggregator::new(key_types, &specs).map_err(EngineError::Columnar)?;
+        Ok(HashAggregator {
             group_by,
             aggs,
-            groups: HashMap::new(),
-            order: Vec::new(),
+            inner,
             work: 0.0,
-        }
-    }
-
-    fn new_states(&self) -> EResult<Vec<AggState>> {
-        self.aggs
-            .iter()
-            .map(|a| {
-                AggState::new(a.func, a.arg.as_ref().map(|e| e.data_type()))
-                    .map_err(EngineError::Columnar)
-            })
-            .collect()
+        })
     }
 
     /// Consume one batch.
@@ -132,56 +103,25 @@ impl HashAggregator {
             .iter()
             .map(|a| a.arg.as_ref().map(|e| e.eval(batch)).transpose())
             .collect::<EResult<Vec<_>>>()?;
-        let mut key_buf = Vec::with_capacity(32);
-        for row in 0..rows {
-            key_buf.clear();
-            for ka in &key_arrays {
-                key_bytes(&mut key_buf, &ka.scalar_at(row));
-            }
-            if !self.groups.contains_key(key_buf.as_slice()) {
-                let scalars = key_arrays.iter().map(|ka| ka.scalar_at(row)).collect();
-                let states = self.new_states()?;
-                self.order.push(key_buf.clone());
-                self.groups.insert(key_buf.clone(), (scalars, states));
-            }
-            let entry = self
-                .groups
-                .get_mut(key_buf.as_slice())
-                .expect("inserted above");
-            for (state, arg) in entry.1.iter_mut().zip(&arg_arrays) {
-                state.update(arg.as_ref(), row);
-            }
-        }
-        Ok(())
+        let key_refs: Vec<&Array> = key_arrays.iter().collect();
+        let arg_refs: Vec<Option<&Array>> = arg_arrays.iter().map(|a| a.as_ref()).collect();
+        self.inner
+            .update(&key_refs, &arg_refs, rows)
+            .map_err(EngineError::Columnar)
     }
 
     /// Merge a partial aggregator (distributed combine).
     pub fn merge(&mut self, other: HashAggregator) -> EResult<()> {
-        for key in other.order {
-            let (scalars, states) = other
-                .groups
-                .get(&key)
-                .cloned()
-                .expect("ordered key present");
-            match self.groups.get_mut(&key) {
-                Some((_, mine)) => {
-                    for (m, o) in mine.iter_mut().zip(&states) {
-                        m.merge(o).map_err(EngineError::Columnar)?;
-                    }
-                }
-                None => {
-                    self.order.push(key.clone());
-                    self.groups.insert(key, (scalars, states));
-                }
-            }
-        }
+        self.inner
+            .merge(&other.inner)
+            .map_err(EngineError::Columnar)?;
         self.work += other.work;
         Ok(())
     }
 
     /// Number of groups so far.
     pub fn num_groups(&self) -> usize {
-        self.groups.len()
+        self.inner.num_groups()
     }
 
     /// Produce the output batch: keys then measures, groups in first-seen
@@ -191,10 +131,8 @@ impl HashAggregator {
     /// row of initial states (`COUNT(*) = 0`, `SUM = NULL`, ...) per SQL
     /// semantics.
     pub fn finish(mut self) -> EResult<RecordBatch> {
-        if self.group_by.is_empty() && self.groups.is_empty() {
-            let states = self.new_states()?;
-            self.order.push(Vec::new());
-            self.groups.insert(Vec::new(), (Vec::new(), states));
+        if self.group_by.is_empty() {
+            self.inner.ensure_global_group();
         }
         let mut fields = Vec::with_capacity(self.group_by.len() + self.aggs.len());
         for (e, name) in &self.group_by {
@@ -204,26 +142,12 @@ impl HashAggregator {
             fields.push(Field::new(a.output_name.clone(), a.output_type()?, true));
         }
         let schema = Arc::new(Schema::new(fields));
-        let mut builders: Vec<ArrayBuilder> = schema
-            .fields()
-            .iter()
-            .map(|f| ArrayBuilder::new(f.data_type))
-            .collect();
-        for key in &self.order {
-            let (scalars, states) = &self.groups[key];
-            for (i, s) in scalars.iter().enumerate() {
-                builders[i].push(s.clone()).map_err(EngineError::Columnar)?;
-            }
-            for (j, st) in states.iter().enumerate() {
-                builders[self.group_by.len() + j]
-                    .push(st.finish())
-                    .map_err(EngineError::Columnar)?;
-            }
-        }
-        let columns = builders
+        let (keys, measures) = self.inner.finish();
+        let columns = keys
             .into_iter()
-            .map(|b| Arc::new(b.finish()))
-            .collect();
+            .chain(measures)
+            .map(Arc::new)
+            .collect::<Vec<_>>();
         RecordBatch::try_new(schema, columns).map_err(EngineError::Columnar)
     }
 }
@@ -259,8 +183,8 @@ pub fn run_topn(
 ) -> EResult<(RecordBatch, f64)> {
     let all = RecordBatch::concat(batches).map_err(EngineError::Columnar)?;
     let work = cost.topn_work(all.num_rows() as u64, keys.len(), limit);
-    let out = sort::top_n(&all, &to_col_keys(keys), limit as usize)
-        .map_err(EngineError::Columnar)?;
+    let out =
+        sort::top_n(&all, &to_col_keys(keys), limit as usize).map_err(EngineError::Columnar)?;
     Ok((out, work))
 }
 
@@ -287,6 +211,7 @@ pub fn run_limit(batches: &[RecordBatch], limit: u64) -> EResult<Vec<RecordBatch
 mod tests {
     use super::*;
     use columnar::agg::AggFunc;
+    use columnar::builder::ArrayBuilder;
     use columnar::kernels::cmp::CmpOp;
 
     fn batch(ids: Vec<i64>, vs: Vec<f64>) -> RecordBatch {
@@ -357,15 +282,24 @@ mod tests {
     #[test]
     fn hash_aggregation_basic() {
         let (keys, calls) = agg_fixture();
-        let mut agg = HashAggregator::new(keys, calls);
-        agg.update(&batch(vec![1, 2, 1, 2, 1], vec![1.0, 2.0, 3.0, 4.0, 5.0]), &cost())
-            .unwrap();
+        let mut agg = HashAggregator::new(keys, calls).unwrap();
+        agg.update(
+            &batch(vec![1, 2, 1, 2, 1], vec![1.0, 2.0, 3.0, 4.0, 5.0]),
+            &cost(),
+        )
+        .unwrap();
         assert_eq!(agg.num_groups(), 2);
         let out = agg.finish().unwrap();
         assert_eq!(out.num_rows(), 2);
         // First-seen order: group 1 then group 2.
-        assert_eq!(out.row(0), vec![Scalar::Int64(1), Scalar::Float64(9.0), Scalar::Int64(3)]);
-        assert_eq!(out.row(1), vec![Scalar::Int64(2), Scalar::Float64(6.0), Scalar::Int64(2)]);
+        assert_eq!(
+            out.row(0),
+            vec![Scalar::Int64(1), Scalar::Float64(9.0), Scalar::Int64(3)]
+        );
+        assert_eq!(
+            out.row(1),
+            vec![Scalar::Int64(2), Scalar::Float64(6.0), Scalar::Int64(2)]
+        );
     }
 
     #[test]
@@ -375,15 +309,15 @@ mod tests {
         let b2 = batch(vec![2, 3, 4], vec![20.0, 30.0, 40.0]);
 
         // Single pass.
-        let mut single = HashAggregator::new(keys.clone(), calls.clone());
+        let mut single = HashAggregator::new(keys.clone(), calls.clone()).unwrap();
         single.update(&b1, &cost()).unwrap();
         single.update(&b2, &cost()).unwrap();
         let expect = single.finish().unwrap();
 
         // Partial per "split", then merge.
-        let mut p1 = HashAggregator::new(keys.clone(), calls.clone());
+        let mut p1 = HashAggregator::new(keys.clone(), calls.clone()).unwrap();
         p1.update(&b1, &cost()).unwrap();
-        let mut p2 = HashAggregator::new(keys, calls);
+        let mut p2 = HashAggregator::new(keys, calls).unwrap();
         p2.update(&b2, &cost()).unwrap();
         p1.merge(p2).unwrap();
         let got = p1.finish().unwrap();
@@ -406,7 +340,8 @@ mod tests {
                 arg: None,
                 output_name: "n".into(),
             }],
-        );
+        )
+        .unwrap();
         agg.update(&b, &cost()).unwrap();
         let out = agg.finish().unwrap();
         // NULL is one group with count 2.
@@ -423,8 +358,10 @@ mod tests {
                 arg: Some(ScalarExpr::col(0, "id", DataType::Int64)),
                 output_name: "m".into(),
             }],
-        );
-        agg.update(&batch(vec![5, 9, 3], vec![0.0; 3]), &cost()).unwrap();
+        )
+        .unwrap();
+        agg.update(&batch(vec![5, 9, 3], vec![0.0; 3]), &cost())
+            .unwrap();
         let out = agg.finish().unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.row(0), vec![Scalar::Int64(9)]);

@@ -16,7 +16,7 @@ use columnar::kernels::cast::cast;
 use columnar::kernels::cmp::{self, CmpOp};
 use columnar::prelude::*;
 
-use crate::error::{EngineError, EResult};
+use crate::error::{EResult, EngineError};
 
 /// A typed, resolved scalar expression.
 #[derive(Debug, Clone, PartialEq)]
@@ -177,8 +177,7 @@ impl ScalarExpr {
             }
             ScalarExpr::Between { expr, lo, hi } => {
                 // Common fast path: literal bounds.
-                if let (ScalarExpr::Literal(l), ScalarExpr::Literal(h)) =
-                    (lo.as_ref(), hi.as_ref())
+                if let (ScalarExpr::Literal(l), ScalarExpr::Literal(h)) = (lo.as_ref(), hi.as_ref())
                 {
                     let x = expr.eval(batch)?;
                     return Ok(Array::Boolean(
@@ -300,9 +299,7 @@ impl ScalarExpr {
             }
             ScalarExpr::And(a, b) | ScalarExpr::Or(a, b) => 1 + a.weight() + b.weight(),
             ScalarExpr::Not(e) | ScalarExpr::Negate(e) => 1 + e.weight(),
-            ScalarExpr::Between { expr, lo, hi } => {
-                2 + expr.weight() + lo.weight() + hi.weight()
-            }
+            ScalarExpr::Between { expr, lo, hi } => 2 + expr.weight() + lo.weight() + hi.weight(),
             ScalarExpr::Cast { expr, .. } => 1 + expr.weight(),
             ScalarExpr::IsNull(e) | ScalarExpr::IsNotNull(e) => 1 + e.weight(),
         }

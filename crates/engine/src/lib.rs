@@ -42,5 +42,5 @@ pub mod plan;
 pub mod session;
 pub mod spi;
 
-pub use error::{EngineError, EResult};
+pub use error::{EResult, EngineError};
 pub use session::{Engine, EngineBuilder, QueryEvent, QueryResult};

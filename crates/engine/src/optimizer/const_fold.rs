@@ -114,9 +114,7 @@ pub fn fold_expr(e: &ScalarExpr) -> ScalarExpr {
             left: Arc::new(fold_expr(left)),
             right: Arc::new(fold_expr(right)),
         },
-        ScalarExpr::And(a, b) => {
-            ScalarExpr::And(Arc::new(fold_expr(a)), Arc::new(fold_expr(b)))
-        }
+        ScalarExpr::And(a, b) => ScalarExpr::And(Arc::new(fold_expr(a)), Arc::new(fold_expr(b))),
         ScalarExpr::Or(a, b) => ScalarExpr::Or(Arc::new(fold_expr(a)), Arc::new(fold_expr(b))),
         ScalarExpr::Not(x) => ScalarExpr::Not(Arc::new(fold_expr(x))),
         ScalarExpr::Between { expr, lo, hi } => ScalarExpr::Between {
@@ -145,10 +143,7 @@ pub fn fold_constants(plan: LogicalPlan) -> EResult<LogicalPlan> {
         },
         LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
             input: Box::new(fold_constants(*input)?),
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (fold_expr(&e), n))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (fold_expr(&e), n)).collect(),
         },
         LogicalPlan::Aggregate {
             input,

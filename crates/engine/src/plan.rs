@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use columnar::{Field, Schema, SchemaRef};
 
-use crate::error::{EngineError, EResult};
+use crate::error::{EResult, EngineError};
 use crate::expr::{AggregateCall, ScalarExpr};
 use crate::spi::TableHandle;
 
@@ -255,8 +255,7 @@ impl LogicalPlan {
                 input.fmt_indent(f, depth + 1)
             }
             LogicalPlan::Project { input, exprs } => {
-                let cols: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{n}:={e}")).collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{n}:={e}")).collect();
                 writeln!(f, "{pad}Project[{}]", cols.join(", "))?;
                 input.fmt_indent(f, depth + 1)
             }
@@ -265,8 +264,7 @@ impl LogicalPlan {
                 group_by,
                 aggs,
             } => {
-                let keys: Vec<String> =
-                    group_by.iter().map(|(e, n)| format!("{n}:={e}")).collect();
+                let keys: Vec<String> = group_by.iter().map(|(e, n)| format!("{n}:={e}")).collect();
                 let calls: Vec<String> = aggs
                     .iter()
                     .map(|a| format!("{}:={a}", a.output_name))

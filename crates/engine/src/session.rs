@@ -10,7 +10,7 @@ use parking_lot::RwLock;
 use crate::analyzer::{analyze, AnalyzedQuery};
 use crate::catalog::Metastore;
 use crate::cost::CostParams;
-use crate::error::{EngineError, EResult};
+use crate::error::{EResult, EngineError};
 use crate::exec::execute_plan;
 use crate::optimizer;
 use crate::plan::LogicalPlan;
@@ -209,7 +209,13 @@ impl Engine {
         let optimized_plan = plan.to_string();
         let chain = plan.chain_description();
 
-        let outcome = execute_plan(&plan, &self.metastore, &connectors, &self.cluster, &self.cost)?;
+        let outcome = execute_plan(
+            &plan,
+            &self.metastore,
+            &connectors,
+            &self.cluster,
+            &self.cost,
+        )?;
         outcome.ledger.add(
             Phase::PlanAnalysis,
             self.cluster.compute.core_seconds(analysis_work),
@@ -224,11 +230,9 @@ impl Engine {
             .zip(&analyzed.output_names)
             .map(|(f, name)| Field::new(name.clone(), f.data_type, f.nullable))
             .collect::<Vec<_>>();
-        let batch = RecordBatch::try_new(
-            Arc::new(Schema::new(fields)),
-            projected.columns().to_vec(),
-        )
-        .map_err(EngineError::Columnar)?;
+        let batch =
+            RecordBatch::try_new(Arc::new(Schema::new(fields)), projected.columns().to_vec())
+                .map_err(EngineError::Columnar)?;
 
         let simulated_seconds = outcome.ledger.total();
         let event = QueryEvent {

@@ -99,7 +99,9 @@ pub(crate) fn compress(data: &[u8], params: LzParams) -> Vec<u8> {
     for t in &tokens {
         match *t {
             Token::Literal(b) => {
-                table.encode(&mut w, LIT_BASE + b as usize).expect("literal coded");
+                table
+                    .encode(&mut w, LIT_BASE + b as usize)
+                    .expect("literal coded");
             }
             Token::Match { len, dist } => {
                 let (lb, lx, lv) = bucketize(len - MIN_MATCH as u32 + 1);
@@ -150,9 +152,7 @@ pub(crate) fn decompress(data: &[u8]) -> Result<Vec<u8>> {
             let len = (unbucketize(lb, lv) - 1) as usize + MIN_MATCH;
             let dsym = dec.decode(&mut r)? as usize;
             if !(DIST_BASE..ALPHABET).contains(&dsym) {
-                return Err(CodecError(format!(
-                    "expected distance symbol, got {dsym}"
-                )));
+                return Err(CodecError(format!("expected distance symbol, got {dsym}")));
             }
             let db = (dsym - DIST_BASE) as u32;
             let dx = db as u8;
@@ -227,7 +227,12 @@ mod tests {
             .collect();
         let gz = compress(&data, GZ_PARAMS);
         let snap = crate::snap::compress(&data);
-        assert!(gz.len() < snap.len(), "gz {} vs snap {}", gz.len(), snap.len());
+        assert!(
+            gz.len() < snap.len(),
+            "gz {} vs snap {}",
+            gz.len(),
+            snap.len()
+        );
     }
 
     #[test]

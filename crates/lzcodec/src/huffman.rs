@@ -46,10 +46,7 @@ pub fn build_lengths(freqs: &[u64]) -> Vec<u8> {
     }
     impl Ord for Node {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            other
-                .weight
-                .cmp(&self.weight)
-                .then(other.id.cmp(&self.id))
+            other.weight.cmp(&self.weight).then(other.id.cmp(&self.id))
         }
     }
     impl PartialOrd for Node {
@@ -108,10 +105,7 @@ pub fn build_lengths(freqs: &[u64]) -> Vec<u8> {
         // frequent short codes until it holds, then tighten.
         let kraft = |lengths: &[u8]| -> i64 {
             let unit = 1i64 << MAX_BITS;
-            present
-                .iter()
-                .map(|&i| unit >> lengths[i])
-                .sum::<i64>()
+            present.iter().map(|&i| unit >> lengths[i]).sum::<i64>()
         };
         let unit = 1i64 << MAX_BITS;
         let mut order: Vec<usize> = present.clone();
@@ -371,11 +365,7 @@ mod tests {
         }
         let lengths = build_lengths(&freqs);
         let unit = 1u64 << MAX_BITS;
-        let sum: u64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| unit >> l)
-            .sum();
+        let sum: u64 = lengths.iter().filter(|&&l| l > 0).map(|&l| unit >> l).sum();
         assert!(sum <= unit, "Kraft violated: {sum} > {unit}");
         assert!(lengths.iter().all(|&l| l <= MAX_BITS));
         // And it still decodes.

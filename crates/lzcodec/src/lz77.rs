@@ -239,8 +239,7 @@ mod tests {
             b"aaaaaaaaaaaaaaaaaaaaaaaaaaaa".to_vec(),
             b"abcabcabcabcabcabc".to_vec(),
             (0..255u8).collect(),
-            b"the quick brown fox jumps over the lazy dog, the quick brown fox"
-                .to_vec(),
+            b"the quick brown fox jumps over the lazy dog, the quick brown fox".to_vec(),
         ];
         for params in [presets::FAST, presets::BALANCED, presets::STRONG] {
             for c in &cases {
@@ -255,7 +254,10 @@ mod tests {
         let tokens = tokenize(&data, presets::FAST);
         // One literal + one (or few) overlapping matches, not 1000 literals.
         assert!(tokens.len() < 20, "got {} tokens", tokens.len());
-        assert!(matches!(tokens[1], Token::Match { dist: 1, .. } | Token::Match { .. }));
+        assert!(matches!(
+            tokens[1],
+            Token::Match { dist: 1, .. } | Token::Match { .. }
+        ));
     }
 
     #[test]
@@ -265,7 +267,9 @@ mod tests {
         data.extend_from_slice(b"0123456789abcdef");
         let tokens = tokenize(&data, presets::BALANCED);
         assert!(
-            tokens.iter().any(|t| matches!(t, Token::Match { len, .. } if *len >= 16)),
+            tokens
+                .iter()
+                .any(|t| matches!(t, Token::Match { len, .. } if *len >= 16)),
             "{tokens:?}"
         );
     }

@@ -152,9 +152,8 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>> {
                     if pos + 4 > data.len() {
                         return Err(CodecError("truncated copy distance".into()));
                     }
-                    let d = u32::from_le_bytes(
-                        data[pos..pos + 4].try_into().expect("4 bytes"),
-                    ) as usize;
+                    let d = u32::from_le_bytes(data[pos..pos + 4].try_into().expect("4 bytes"))
+                        as usize;
                     pos += 4;
                     d
                 };

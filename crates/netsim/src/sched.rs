@@ -27,10 +27,7 @@ pub fn makespan(durations: &[f64], lanes: usize) -> f64 {
             .expect("non-empty loads");
         loads[idx] += d;
     }
-    loads
-        .iter()
-        .cloned()
-        .fold(0.0, f64::max)
+    loads.iter().cloned().fold(0.0, f64::max)
 }
 
 #[cfg(test)]

@@ -271,18 +271,14 @@ mod tests {
         assert_eq!(c.storage.cores, 16);
         // Decode: storage beats compute in aggregate (native vs JVM) —
         // the filter-only pushdown win.
-        assert!(
-            c.storage.aggregate_decode_per_second() > c.compute.aggregate_decode_per_second()
-        );
+        assert!(c.storage.aggregate_decode_per_second() > c.compute.aggregate_decode_per_second());
         // Expressions: compute crushes storage — the projection-pushdown
         // loss.
         assert!(
-            c.compute.aggregate_expr_per_second()
-                > 5.0 * c.storage.aggregate_expr_per_second()
+            c.compute.aggregate_expr_per_second() > 5.0 * c.storage.aggregate_expr_per_second()
         );
         // Vector ops: same order of magnitude on both sides.
-        let r = c.compute.aggregate_vector_per_second()
-            / c.storage.aggregate_vector_per_second();
+        let r = c.compute.aggregate_vector_per_second() / c.storage.aggregate_vector_per_second();
         assert!((0.3..3.0).contains(&r), "vector ratio {r}");
     }
 
@@ -325,8 +321,6 @@ mod tests {
         let c = ClusterSpec::symmetric_testbed();
         assert_eq!(c.storage.cores, c.compute.cores);
         assert_eq!(c.storage.eff_expr, c.compute.eff_expr);
-        assert!(
-            c.storage.aggregate_expr_per_second() >= c.compute.aggregate_expr_per_second()
-        );
+        assert!(c.storage.aggregate_expr_per_second() >= c.compute.aggregate_expr_per_second());
     }
 }

@@ -66,7 +66,10 @@ impl fmt::Display for StoreError {
             StoreError::NoSuchKey(k) => write!(f, "no such key: {k}"),
             StoreError::BucketExists(b) => write!(f, "bucket already exists: {b}"),
             StoreError::InvalidRange { start, end, size } => {
-                write!(f, "invalid range [{start}, {end}) for object of {size} bytes")
+                write!(
+                    f,
+                    "invalid range [{start}, {end}) for object of {size} bytes"
+                )
             }
             StoreError::Select(m) => write!(f, "select error: {m}"),
         }
@@ -220,7 +223,10 @@ mod tests {
         );
         s.ensure_bucket("b"); // idempotent
         s.delete_bucket("b").unwrap();
-        assert!(matches!(s.delete_bucket("b"), Err(StoreError::NoSuchBucket(_))));
+        assert!(matches!(
+            s.delete_bucket("b"),
+            Err(StoreError::NoSuchBucket(_))
+        ));
     }
 
     #[test]
@@ -235,8 +241,12 @@ mod tests {
             s.put_object("nope", "x", Bytes::new()),
             Err(StoreError::NoSuchBucket(_))
         ));
-        s.put_object("b", "x", Bytes::from_static(b"hello")).unwrap();
-        assert_eq!(s.get_object("b", "x").unwrap(), Bytes::from_static(b"hello"));
+        s.put_object("b", "x", Bytes::from_static(b"hello"))
+            .unwrap();
+        assert_eq!(
+            s.get_object("b", "x").unwrap(),
+            Bytes::from_static(b"hello")
+        );
         assert_eq!(s.head("b", "x").unwrap().size, 5);
         // Overwrite.
         s.put_object("b", "x", Bytes::from_static(b"bye")).unwrap();
@@ -249,8 +259,12 @@ mod tests {
     fn range_reads() {
         let s = ObjectStore::new();
         s.create_bucket("b").unwrap();
-        s.put_object("b", "x", Bytes::from_static(b"0123456789")).unwrap();
-        assert_eq!(s.get_range("b", "x", 2, 5).unwrap(), Bytes::from_static(b"234"));
+        s.put_object("b", "x", Bytes::from_static(b"0123456789"))
+            .unwrap();
+        assert_eq!(
+            s.get_range("b", "x", 2, 5).unwrap(),
+            Bytes::from_static(b"234")
+        );
         assert_eq!(s.get_range("b", "x", 0, 0).unwrap().len(), 0);
         assert!(matches!(
             s.get_range("b", "x", 5, 11),
@@ -266,7 +280,12 @@ mod tests {
         for k in ["t/a", "t/b", "u/c", "t0"] {
             s.put_object("b", k, Bytes::from_static(b"x")).unwrap();
         }
-        let got: Vec<String> = s.list("b", "t/").unwrap().into_iter().map(|m| m.key).collect();
+        let got: Vec<String> = s
+            .list("b", "t/")
+            .unwrap()
+            .into_iter()
+            .map(|m| m.key)
+            .collect();
         assert_eq!(got, vec!["t/a", "t/b"]);
         assert_eq!(s.list("b", "").unwrap().len(), 4);
         assert_eq!(s.bucket_bytes("b").unwrap(), 4);
@@ -282,7 +301,8 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..100 {
                         let key = format!("k{t}-{i}");
-                        s.put_object("b", &key, Bytes::from(vec![t as u8; 10])).unwrap();
+                        s.put_object("b", &key, Bytes::from(vec![t as u8; 10]))
+                            .unwrap();
                         assert_eq!(s.get_object("b", &key).unwrap().len(), 10);
                     }
                 });

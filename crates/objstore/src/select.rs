@@ -151,7 +151,9 @@ pub fn select(
         stats.disk_bytes += reader
             .projected_compressed_bytes(rg, &read_set)
             .map_err(sel_err)?;
-        let batch = reader.read_row_group(rg, Some(&read_set)).map_err(sel_err)?;
+        let batch = reader
+            .read_row_group(rg, Some(&read_set))
+            .map_err(sel_err)?;
         stats.uncompressed_bytes += batch.byte_size() as u64;
         stats.rows_scanned += batch.num_rows() as u64;
 
@@ -237,7 +239,8 @@ mod tests {
         .unwrap();
         let s = ObjectStore::new();
         s.create_bucket("lake").unwrap();
-        s.put_object("lake", "t/part-0", Bytes::from(bytes)).unwrap();
+        s.put_object("lake", "t/part-0", Bytes::from(bytes))
+            .unwrap();
         s
     }
 
@@ -333,7 +336,12 @@ mod tests {
         let req = SelectRequest::default();
         let a = select(&raw, "lake", "t/part-0", &req).unwrap().stats;
         let b = select(&zst, "lake", "t/part-0", &req).unwrap().stats;
-        assert!(b.disk_bytes < a.disk_bytes, "{} vs {}", b.disk_bytes, a.disk_bytes);
+        assert!(
+            b.disk_bytes < a.disk_bytes,
+            "{} vs {}",
+            b.disk_bytes,
+            a.disk_bytes
+        );
         assert_eq!(a.rows_returned, b.rows_returned);
     }
 
@@ -350,7 +358,8 @@ mod tests {
             Err(StoreError::Select(_))
         ));
         // Not a parq object.
-        s.put_object("lake", "junk", Bytes::from_static(b"not parquet")).unwrap();
+        s.put_object("lake", "junk", Bytes::from_static(b"not parquet"))
+            .unwrap();
         assert!(select(&s, "lake", "junk", &SelectRequest::default()).is_err());
         // Missing object.
         assert!(matches!(

@@ -6,11 +6,9 @@
 //! plans to it). It shares the low-level kernels of the `columnar` crate
 //! and the work-unit cost vocabulary of `netsim::CostParams`.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use columnar::agg::AggState;
-use columnar::builder::ArrayBuilder;
+use columnar::groupby::GroupedAggregator;
 use columnar::kernels::selection::Selection;
 use columnar::kernels::{arith, boolean, cast, cmp, selection};
 use columnar::prelude::*;
@@ -160,8 +158,7 @@ fn prunable(e: &Expr, out: &mut Vec<RangePredicate>) {
                     op: *op,
                     value: v.clone(),
                 });
-            } else if let (Expr::Literal(v), Expr::FieldRef(col)) =
-                (left.as_ref(), right.as_ref())
+            } else if let (Expr::Literal(v), Expr::FieldRef(col)) = (left.as_ref(), right.as_ref())
             {
                 out.push(RangePredicate {
                     column: *col,
@@ -187,31 +184,6 @@ fn prunable(e: &Expr, out: &mut Vec<RangePredicate>) {
             }
         }
         _ => {}
-    }
-}
-
-fn key_bytes(out: &mut Vec<u8>, s: &Scalar) {
-    match s {
-        Scalar::Null => out.push(0),
-        Scalar::Int64(v) => {
-            out.push(1);
-            out.extend_from_slice(&v.to_le_bytes());
-        }
-        Scalar::Float64(v) => {
-            out.push(2);
-            let v = if *v == 0.0 { 0.0 } else { *v };
-            out.extend_from_slice(&v.to_bits().to_le_bytes());
-        }
-        Scalar::Boolean(v) => out.extend_from_slice(&[3, *v as u8]),
-        Scalar::Utf8(v) => {
-            out.push(4);
-            out.extend_from_slice(&(v.len() as u32).to_le_bytes());
-            out.extend_from_slice(v.as_bytes());
-        }
-        Scalar::Date32(v) => {
-            out.push(5);
-            out.extend_from_slice(&v.to_le_bytes());
-        }
     }
 }
 
@@ -317,7 +289,9 @@ impl<'a> Executor<'a> {
                 let weight: u32 = exprs.iter().map(|(e, _)| e.op_weight()).sum();
                 let mut out = Vec::with_capacity(batches.len());
                 for b in &batches {
-                    self.stats.work.add(Work::expr(self.cost.eval_work(b.num_rows() as u64, weight.max(1))));
+                    self.stats.work.add(Work::expr(
+                        self.cost.eval_work(b.num_rows() as u64, weight.max(1)),
+                    ));
                     let fields: Vec<Field> = {
                         let input_schema = b.schema();
                         exprs
@@ -358,7 +332,9 @@ impl<'a> Executor<'a> {
                     return Ok(batches);
                 }
                 let (all, cols) = self.sortable(&batches, keys)?;
-                self.stats.work.add(Work::vector(self.cost.sort_work(all.num_rows() as u64, keys.len())));
+                self.stats.work.add(Work::vector(
+                    self.cost.sort_work(all.num_rows() as u64, keys.len()),
+                ));
                 let sorted =
                     sort::sort_batch(&all, &cols).map_err(|e| OcsError::Exec(e.to_string()))?;
                 Ok(vec![sorted])
@@ -381,8 +357,8 @@ impl<'a> Executor<'a> {
                         keys.len(),
                         *offset + *limit,
                     )));
-                    let top = sort::top_n(&all, &cols, n)
-                        .map_err(|e| OcsError::Exec(e.to_string()))?;
+                    let top =
+                        sort::top_n(&all, &cols, n).map_err(|e| OcsError::Exec(e.to_string()))?;
                     return self.apply_offset_limit(vec![top], *offset, *limit);
                 }
                 let batches = self.run_rel(input)?;
@@ -413,7 +389,9 @@ impl<'a> Executor<'a> {
                 .map_err(|e| OcsError::Exec(e.to_string()))?;
             self.stats.uncompressed_bytes += batch.byte_size() as u64;
             self.stats.rows_scanned += batch.num_rows() as u64;
-            self.stats.work.add(Work::decode(batch.byte_size() as f64 * self.cost.byte_decode));
+            self.stats.work.add(Work::decode(
+                batch.byte_size() as f64 * self.cost.byte_decode,
+            ));
             out.push(batch);
         }
         Ok(out)
@@ -532,10 +510,8 @@ impl<'a> Executor<'a> {
                     }
                 }
                 work.add(Work::decode(payload_bytes as f64 * cost.byte_decode));
-                let fields: Vec<Field> = out_cols
-                    .iter()
-                    .map(|&c| schema.field(c).clone())
-                    .collect();
+                let fields: Vec<Field> =
+                    out_cols.iter().map(|&c| schema.field(c).clone()).collect();
                 let full = RecordBatch::try_new(
                     Arc::new(Schema::new(fields)),
                     cols.into_iter()
@@ -584,7 +560,9 @@ impl<'a> Executor<'a> {
         let weight = predicate.op_weight();
         let mut out = Vec::with_capacity(batches.len());
         for b in &batches {
-            self.stats.work.add(Work::vector(self.cost.eval_work(b.num_rows() as u64, weight)));
+            self.stats.work.add(Work::vector(
+                self.cost.eval_work(b.num_rows() as u64, weight),
+            ));
             let mask = eval_expr(predicate, b)?;
             let mask = mask.as_bool().map_err(|e| OcsError::Exec(e.to_string()))?;
             let f = selection::filter_batch(b, mask).map_err(|e| OcsError::Exec(e.to_string()))?;
@@ -630,8 +608,7 @@ impl<'a> Executor<'a> {
         let start = (offset as usize).min(all.num_rows());
         let end = (start + limit as usize).min(all.num_rows());
         let idx: Vec<usize> = (start..end).collect();
-        let out =
-            selection::take_batch(&all, &idx).map_err(|e| OcsError::Exec(e.to_string()))?;
+        let out = selection::take_batch(&all, &idx).map_err(|e| OcsError::Exec(e.to_string()))?;
         Ok(vec![out])
     }
 
@@ -644,20 +621,17 @@ impl<'a> Executor<'a> {
     ) -> OcsResult<Vec<RecordBatch>> {
         let err = |e: columnar::ColumnarError| OcsError::Exec(e.to_string());
         let plan_err = |e: substrait_ir::IrError| OcsError::Plan(e.to_string());
-        let mut groups: HashMap<Vec<u8>, (Vec<Scalar>, Vec<AggState>)> = HashMap::new();
-        let mut order: Vec<Vec<u8>> = Vec::new();
 
-        // Output schema and per-measure state types, from the *plan*
+        // Output schema and per-measure argument types, from the *plan*
         // (usable even when the filtered input is empty).
         let mut fields = Vec::with_capacity(group_by.len() + measures.len());
+        let mut key_types = Vec::with_capacity(group_by.len());
         for (e, n) in group_by {
-            fields.push(Field::new(
-                n.clone(),
-                e.output_type(input_schema).map_err(plan_err)?,
-                true,
-            ));
+            let dt = e.output_type(input_schema).map_err(plan_err)?;
+            fields.push(Field::new(n.clone(), dt, true));
+            key_types.push(dt);
         }
-        let mut arg_types = Vec::with_capacity(measures.len());
+        let mut specs = Vec::with_capacity(measures.len());
         for m in measures {
             let t = m
                 .arg
@@ -670,9 +644,14 @@ impl<'a> Executor<'a> {
                 m.func.result_type(t).map_err(err)?,
                 true,
             ));
-            arg_types.push(t);
+            specs.push((m.func, t));
         }
 
+        // The same vectorized kernel the compute-layer engine runs: dense
+        // group ids via the shared group-id kernel, then columnar
+        // accumulators — a pushed-down aggregate computes exactly what the
+        // engine would.
+        let mut agg = GroupedAggregator::new(key_types, &specs).map_err(err)?;
         for b in batches {
             self.stats.work.add(Work::vector(self.cost.agg_work(
                 b.num_rows() as u64,
@@ -687,64 +666,30 @@ impl<'a> Executor<'a> {
                 .iter()
                 .map(|m| m.arg.as_ref().map(|e| eval_expr(e, b)).transpose())
                 .collect::<OcsResult<Vec<_>>>()?;
-            let mut key_buf = Vec::with_capacity(32);
-            for row in 0..b.num_rows() {
-                key_buf.clear();
-                for k in &keys {
-                    key_bytes(&mut key_buf, &k.scalar_at(row));
-                }
-                if !groups.contains_key(key_buf.as_slice()) {
-                    let scalars = keys.iter().map(|k| k.scalar_at(row)).collect();
-                    let states = measures
-                        .iter()
-                        .zip(&arg_types)
-                        .map(|(m, t)| AggState::new(m.func, *t).map_err(err))
-                        .collect::<OcsResult<Vec<_>>>()?;
-                    order.push(key_buf.clone());
-                    groups.insert(key_buf.clone(), (scalars, states));
-                }
-                let entry = groups.get_mut(key_buf.as_slice()).expect("inserted");
-                for (state, arg) in entry.1.iter_mut().zip(&args) {
-                    state.update(arg.as_ref(), row);
-                }
-            }
+            let key_refs: Vec<&Array> = keys.iter().collect();
+            let arg_refs: Vec<Option<&Array>> = args.iter().map(|a| a.as_ref()).collect();
+            agg.update(&key_refs, &arg_refs, b.num_rows())
+                .map_err(err)?;
         }
 
         // A GLOBAL aggregate (no keys) over zero rows still emits one row
         // of initial states (COUNT = 0, SUM = NULL) so the engine's final
         // aggregation combines object totals correctly.
-        if group_by.is_empty() && groups.is_empty() {
-            let states = measures
-                .iter()
-                .zip(&arg_types)
-                .map(|(m, t)| AggState::new(m.func, *t).map_err(err))
-                .collect::<OcsResult<Vec<_>>>()?;
-            order.push(Vec::new());
-            groups.insert(Vec::new(), (Vec::new(), states));
+        if group_by.is_empty() {
+            agg.ensure_global_group();
         }
-        if groups.is_empty() {
+        if agg.num_groups() == 0 {
             // Keyed aggregate over an empty object: nothing to contribute.
             return Ok(vec![]);
         }
         let schema = Arc::new(Schema::new(fields));
-        let mut builders: Vec<ArrayBuilder> = schema
-            .fields()
-            .iter()
-            .map(|f| ArrayBuilder::new(f.data_type))
-            .collect();
-        for key in &order {
-            let (scalars, states) = &groups[key];
-            for (i, s) in scalars.iter().enumerate() {
-                builders[i].push(s.clone()).map_err(err)?;
-            }
-            for (j, st) in states.iter().enumerate() {
-                builders[group_by.len() + j].push(st.finish()).map_err(err)?;
-            }
-        }
-        let columns = builders.into_iter().map(|b| Arc::new(b.finish())).collect();
-        Ok(vec![
-            RecordBatch::try_new(schema, columns).map_err(err)?,
-        ])
+        let (keys, measures_out) = agg.finish();
+        let columns = keys
+            .into_iter()
+            .chain(measures_out)
+            .map(Arc::new)
+            .collect::<Vec<_>>();
+        Ok(vec![RecordBatch::try_new(schema, columns).map_err(err)?])
     }
 }
 
@@ -838,11 +783,7 @@ mod tests {
     fn filter_prunes_row_groups() {
         let plan = Plan::new(Rel::Filter {
             input: Box::new(Rel::read("t", base_schema(), None)),
-            predicate: Expr::cmp(
-                CmpOp::GtEq,
-                Expr::field(0),
-                Expr::lit(Scalar::Int64(950)),
-            ),
+            predicate: Expr::cmp(CmpOp::GtEq, Expr::field(0), Expr::lit(Scalar::Int64(950))),
         });
         let (batches, stats) = run(plan);
         let total: usize = batches.iter().map(|b| b.num_rows()).sum();
@@ -929,7 +870,10 @@ mod tests {
         });
         let (batches, stats) = run(plan);
         assert_eq!(batches[0].num_rows(), 5);
-        assert_eq!(batches[0].column(0).as_i64().unwrap().values, vec![999, 998, 997, 996, 995]);
+        assert_eq!(
+            batches[0].column(0).as_i64().unwrap().values,
+            vec![999, 998, 997, 996, 995]
+        );
         assert_eq!(stats.rows_emitted, 5);
     }
 
@@ -1034,8 +978,7 @@ mod tests {
         ] {
             let (late, late_stats) = run_with(&plan, true);
             let (eager, eager_stats) = run_with(&plan, false);
-            let rows =
-                |bs: &[RecordBatch]| bs.iter().map(|b| b.num_rows()).sum::<usize>();
+            let rows = |bs: &[RecordBatch]| bs.iter().map(|b| b.num_rows()).sum::<usize>();
             assert_eq!(rows(&late), rows(&eager));
             let flat = |bs: &[RecordBatch]| -> Vec<Vec<Scalar>> {
                 bs.iter()
@@ -1057,7 +1000,10 @@ mod tests {
         let (late, late_stats) = run_with(&plan, true);
         let (_, eager_stats) = run_with(&plan, false);
         assert_eq!(late.iter().map(|b| b.num_rows()).sum::<usize>(), 1000);
-        assert_eq!(late_stats.uncompressed_bytes, eager_stats.uncompressed_bytes);
+        assert_eq!(
+            late_stats.uncompressed_bytes,
+            eager_stats.uncompressed_bytes
+        );
         assert_eq!(late_stats.disk_bytes, eager_stats.disk_bytes);
         assert_eq!(late_stats.row_groups_skipped, 0);
         assert_eq!(late_stats.decoded_bytes_avoided, 0);

@@ -68,8 +68,7 @@ impl OcsFrontend {
     /// Handle one request: Substrait plan bytes in, Arrow bytes out.
     pub fn handle(&self, plan_bytes: &[u8], bucket: &str, key: &str) -> OcsResult<WireResponse> {
         // Parse the plan (real work, billed to the frontend).
-        let plan =
-            substrait_ir::decode(plan_bytes).map_err(|e| OcsError::Plan(e.to_string()))?;
+        let plan = substrait_ir::decode(plan_bytes).map_err(|e| OcsError::Plan(e.to_string()))?;
         let node = self.route(key);
         let resp = node.execute(&plan, bucket, key)?;
 
@@ -126,11 +125,18 @@ mod tests {
             cores: 16,
             ghz: 2.0,
             eff_decode: 0.06,
-                eff_vector: 0.12,
-                eff_expr: 0.03,
+            eff_vector: 0.12,
+            eff_expr: 0.03,
         };
         let storage: Vec<Arc<StorageNode>> = (0..nodes)
-            .map(|id| Arc::new(StorageNode::new(id, store.clone(), spec.clone(), cost.clone())))
+            .map(|id| {
+                Arc::new(StorageNode::new(
+                    id,
+                    store.clone(),
+                    spec.clone(),
+                    cost.clone(),
+                ))
+            })
             .collect();
         (
             OcsFrontend::new(
@@ -140,8 +146,8 @@ mod tests {
                     cores: 48,
                     ghz: 3.9,
                     eff_decode: 0.05,
-                eff_vector: 0.05,
-                eff_expr: 0.05,
+                    eff_vector: 0.05,
+                    eff_expr: 0.05,
                 },
                 cost,
             ),

@@ -155,11 +155,7 @@ impl Ocs {
             })
             .collect();
         Ocs {
-            frontend: Arc::new(OcsFrontend::new(
-                nodes,
-                config.frontend_node,
-                config.cost,
-            )),
+            frontend: Arc::new(OcsFrontend::new(nodes, config.frontend_node, config.cost)),
         }
     }
 

@@ -153,15 +153,18 @@ mod tests {
             cores: 16,
             ghz: 2.0,
             eff_decode: 0.06,
-                eff_vector: 0.12,
-                eff_expr: 0.03,
+            eff_vector: 0.12,
+            eff_expr: 0.03,
         };
         let raw = StorageNode::new(0, store_raw, spec.clone(), CostParams::default());
         let zst = StorageNode::new(0, store_zst, spec, CostParams::default());
         let plan = Plan::new(Rel::read("t", schema, None));
         let a = raw.execute(&plan, "lake", "t/0").unwrap();
         let b = zst.execute(&plan, "lake", "t/0").unwrap();
-        assert!(b.disk_bytes < a.disk_bytes, "compression shrinks disk reads");
+        assert!(
+            b.disk_bytes < a.disk_bytes,
+            "compression shrinks disk reads"
+        );
         assert!(b.decompress_s > 0.0);
         assert_eq!(
             a.batches.iter().map(|x| x.num_rows()).sum::<usize>(),

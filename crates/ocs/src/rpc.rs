@@ -104,7 +104,10 @@ mod tests {
         .unwrap();
         let bytes = parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();
         store.put_object("lake", "t/0", bytes.into()).unwrap();
-        (Ocs::new(store, OcsConfig::paper_testbed()), (*schema).clone())
+        (
+            Ocs::new(store, OcsConfig::paper_testbed()),
+            (*schema).clone(),
+        )
     }
 
     #[test]

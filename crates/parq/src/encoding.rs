@@ -5,7 +5,7 @@
 //! through an index array (chosen automatically for low-cardinality Utf8
 //! columns, like Parquet's dictionary pages).
 
-use bytes::{Buf, BufMut};
+use bytes::{Buf, BufMut, Bytes};
 use columnar::builder::ArrayBuilder;
 use columnar::ipc;
 use columnar::prelude::*;
@@ -66,15 +66,14 @@ pub fn choose_encoding(array: &Array) -> Encoding {
 }
 
 /// Encode `array` with `encoding` into bytes.
-pub fn encode_chunk(array: &Array, encoding: Encoding) -> Result<Vec<u8>> {
+pub fn encode_chunk(array: &Array, encoding: Encoding) -> Result<Bytes> {
     match encoding {
-        Encoding::Plain => Ok(ipc::encode_batch(&single_column_batch("c", array.clone())).to_vec()),
+        Encoding::Plain => Ok(ipc::encode_batch(&single_column_batch("c", array.clone()))),
         Encoding::Dictionary => {
             let a = array.as_utf8().map_err(ParqError::Columnar)?;
             // Build dictionary in first-appearance order. NULL slots get
             // index 0 (masked out by the validity bitmap on decode).
-            let mut lookup: std::collections::HashMap<&str, u32> =
-                std::collections::HashMap::new();
+            let mut lookup: std::collections::HashMap<&str, u32> = std::collections::HashMap::new();
             let mut dict: Vec<&str> = Vec::new();
             let mut indices: Vec<u32> = Vec::with_capacity(a.len());
             for i in 0..a.len() {
@@ -118,25 +117,27 @@ pub fn encode_chunk(array: &Array, encoding: Encoding) -> Result<Vec<u8>> {
             ));
             out.put_u32_le(dict_bytes.len() as u32);
             out.put_slice(&dict_bytes);
-            Ok(out)
+            Ok(out.into())
         }
     }
 }
 
-fn decode_single(bytes: &[u8]) -> Result<Array> {
+fn decode_single(bytes: &Bytes) -> Result<Array> {
     let batch = ipc::decode_batch(bytes).map_err(ParqError::Columnar)?;
     if batch.num_columns() != 1 {
-        return Err(ParqError::Corrupt("chunk batch must have one column".into()));
+        return Err(ParqError::Corrupt(
+            "chunk batch must have one column".into(),
+        ));
     }
     Ok(batch.column(0).as_ref().clone())
 }
 
 /// Decode a chunk back into an array.
-pub fn decode_chunk(bytes: &[u8], encoding: Encoding) -> Result<Array> {
+pub fn decode_chunk(bytes: &Bytes, encoding: Encoding) -> Result<Array> {
     match encoding {
         Encoding::Plain => decode_single(bytes),
         Encoding::Dictionary => {
-            let mut buf = bytes;
+            let mut buf: &[u8] = bytes;
             macro_rules! need {
                 ($n:expr) => {
                     if buf.remaining() < $n {
@@ -169,9 +170,7 @@ pub fn decode_chunk(bytes: &[u8], encoding: Encoding) -> Result<Array> {
                 let idx = match width {
                     1 => buf[off] as u32,
                     2 => u16::from_le_bytes([buf[off], buf[off + 1]]) as u32,
-                    _ => u32::from_le_bytes(
-                        buf[off..off + 4].try_into().expect("4 bytes"),
-                    ),
+                    _ => u32::from_le_bytes(buf[off..off + 4].try_into().expect("4 bytes")),
                 };
                 indices.push(idx);
             }
@@ -179,7 +178,8 @@ pub fn decode_chunk(bytes: &[u8], encoding: Encoding) -> Result<Array> {
             need!(4);
             let dlen = buf.get_u32_le() as usize;
             need!(dlen);
-            let dict = decode_single(&buf[..dlen])?;
+            let consumed = bytes.len() - buf.len();
+            let dict = decode_single(&bytes.slice(consumed..consumed + dlen))?;
             let dict = dict.as_utf8().map_err(ParqError::Columnar)?;
             let mut out = ArrayBuilder::new(DataType::Utf8);
             for (i, &id) in indices.iter().enumerate() {
@@ -233,7 +233,12 @@ mod tests {
         assert_eq!(back, arr);
         // Dictionary should be much smaller than plain for this data.
         let plain = encode_chunk(&arr, Encoding::Plain).unwrap();
-        assert!(bytes.len() * 2 < plain.len(), "{} vs {}", bytes.len(), plain.len());
+        assert!(
+            bytes.len() * 2 < plain.len(),
+            "{} vs {}",
+            bytes.len(),
+            plain.len()
+        );
     }
 
     #[test]
@@ -268,17 +273,17 @@ mod tests {
 
     #[test]
     fn corrupt_chunks_rejected() {
-        assert!(decode_chunk(&[], Encoding::Plain).is_err());
-        assert!(decode_chunk(&[1, 2, 3], Encoding::Dictionary).is_err());
+        assert!(decode_chunk(&Bytes::new(), Encoding::Plain).is_err());
+        assert!(decode_chunk(&Bytes::from_static(&[1, 2, 3]), Encoding::Dictionary).is_err());
         assert!(Encoding::from_tag(9).is_err());
         // Out-of-range dictionary index.
         let arr = Array::from_strs(["a", "a", "b"]);
         let bytes = encode_chunk(&arr, Encoding::Dictionary).unwrap();
         // Corrupting the index page should yield Err, not panic.
-        let mut bad = bytes.clone();
+        let mut bad = bytes.to_vec();
         if bad.len() > 40 {
             bad[30] ^= 0xff;
         }
-        let _ = decode_chunk(&bad, Encoding::Dictionary);
+        let _ = decode_chunk(&Bytes::from(bad), Encoding::Dictionary);
     }
 }

@@ -105,7 +105,9 @@ impl ParqReader {
         need!(4);
         let ncols = buf.get_u32_le() as usize;
         if ncols > 65_536 {
-            return Err(ParqError::Corrupt(format!("implausible column count {ncols}")));
+            return Err(ParqError::Corrupt(format!(
+                "implausible column count {ncols}"
+            )));
         }
         let mut fields = Vec::with_capacity(ncols);
         for _ in 0..ncols {
@@ -124,7 +126,9 @@ impl ParqReader {
         let codec = CodecKind::from_tag(buf.get_u8()).map_err(ParqError::Codec)?;
         let ngroups = buf.get_u32_le() as usize;
         if ngroups > 10_000_000 {
-            return Err(ParqError::Corrupt(format!("implausible row-group count {ngroups}")));
+            return Err(ParqError::Corrupt(format!(
+                "implausible row-group count {ngroups}"
+            )));
         }
         let mut row_groups = Vec::with_capacity(ngroups);
         for _ in 0..ngroups {
@@ -267,7 +271,7 @@ impl ParqReader {
             .ok_or_else(|| ParqError::Invalid(format!("column {col} out of range")))?;
         let start = ch.offset as usize;
         let end = start + ch.compressed_len as usize;
-        let raw = lzcodec::decompress(self.codec, &self.bytes[start..end])?;
+        let raw: Bytes = lzcodec::decompress(self.codec, &self.bytes[start..end])?.into();
         let array = decode_chunk(&raw, ch.encoding)?;
         if array.len() as u64 != g.rows {
             return Err(ParqError::Corrupt(format!(
@@ -426,7 +430,11 @@ mod tests {
         assert_eq!(merged.max, Scalar::Int64(249));
         assert_eq!(merged.row_count, 250);
         let tags = r.column_stats(2).unwrap();
-        assert!(tags.distinct >= 4 && tags.distinct <= 8, "{}", tags.distinct);
+        assert!(
+            tags.distinct >= 4 && tags.distinct <= 8,
+            "{}",
+            tags.distinct
+        );
     }
 
     #[test]
@@ -485,7 +493,10 @@ mod tests {
                 let has_match = (0..b.num_rows())
                     .any(|i| b.column(0).scalar_at(i).as_i64().unwrap() > threshold);
                 if has_match {
-                    assert!(kept.contains(&rg), "group {rg} wrongly pruned at {threshold}");
+                    assert!(
+                        kept.contains(&rg),
+                        "group {rg} wrongly pruned at {threshold}"
+                    );
                 }
             }
         }

@@ -31,32 +31,29 @@ pub struct ColumnStats {
 
 impl ColumnStats {
     /// Compute statistics for `array`.
+    ///
+    /// NDV is counted by inserting the vectorized column hash of each valid
+    /// row into a `HashSet<u64>` — no per-value allocation, and float values
+    /// are canonicalized by the hash kernel (`-0.0 == 0.0`, every NaN bit
+    /// pattern counts as one value).
     pub fn compute(array: &Array) -> ColumnStats {
         let (min, max) = array.min_max();
-        let mut set = std::collections::HashSet::new();
-        let mut distinct = 0u64;
-        for i in 0..array.len() {
+        let mut hashes = vec![0u64; array.len()];
+        columnar::kernels::hash::hash_column_into(array, &mut hashes)
+            .expect("hash buffer sized to array");
+        let mut set = std::collections::HashSet::with_capacity(1024);
+        let mut saturated = false;
+        for (i, &h) in hashes.iter().enumerate() {
             if !array.is_valid(i) {
                 continue;
             }
             if set.len() >= NDV_CAP {
-                distinct = NDV_CAP as u64;
+                saturated = true;
                 break;
             }
-            // Hash the scalar's canonical byte form.
-            let key = match array.scalar_at(i) {
-                Scalar::Int64(v) => (0u8, v.to_le_bytes().to_vec()),
-                Scalar::Float64(v) => (1u8, v.to_bits().to_le_bytes().to_vec()),
-                Scalar::Boolean(v) => (2u8, vec![v as u8]),
-                Scalar::Utf8(s) => (3u8, s.into_bytes()),
-                Scalar::Date32(v) => (4u8, v.to_le_bytes().to_vec()),
-                Scalar::Null => continue,
-            };
-            set.insert(key);
+            set.insert(h);
         }
-        if distinct == 0 {
-            distinct = set.len() as u64;
-        }
+        let distinct = if saturated { NDV_CAP } else { set.len() } as u64;
         ColumnStats {
             min,
             max,
@@ -318,6 +315,20 @@ mod tests {
         assert!(read_scalar(&mut buf).is_err());
         let mut empty: &[u8] = &[];
         assert!(read_scalar(&mut empty).is_err());
+    }
+
+    #[test]
+    fn ndv_normalizes_float_zeros_and_nans() {
+        let a = Array::from_f64(vec![
+            0.0,
+            -0.0,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_0000_beef),
+            1.5,
+        ]);
+        let s = ColumnStats::compute(&a);
+        // {0.0/-0.0}, {NaN payloads}, {1.5} — three distinct values.
+        assert_eq!(s.distinct, 3);
     }
 
     #[test]

@@ -166,11 +166,9 @@ impl fmt::Display for AstExpr {
                     write!(f, "{name}({})", parts.join(", "))
                 }
             }
-            AstExpr::IsNull { expr, negated } => write!(
-                f,
-                "({expr} IS {}NULL)",
-                if *negated { "NOT " } else { "" }
-            ),
+            AstExpr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
         }
     }
 }

@@ -80,52 +80,88 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                 }
             }
             b'(' => {
-                out.push(Spanned { token: Token::LParen, offset: i });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b')' => {
-                out.push(Spanned { token: Token::RParen, offset: i });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: i,
+                });
                 i += 1;
             }
             b',' => {
-                out.push(Spanned { token: Token::Comma, offset: i });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: i,
+                });
                 i += 1;
             }
             b'*' => {
-                out.push(Spanned { token: Token::Star, offset: i });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: i,
+                });
                 i += 1;
             }
             b'+' => {
-                out.push(Spanned { token: Token::Plus, offset: i });
+                out.push(Spanned {
+                    token: Token::Plus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'-' => {
-                out.push(Spanned { token: Token::Minus, offset: i });
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset: i,
+                });
                 i += 1;
             }
             b'/' => {
-                out.push(Spanned { token: Token::Slash, offset: i });
+                out.push(Spanned {
+                    token: Token::Slash,
+                    offset: i,
+                });
                 i += 1;
             }
             b'%' => {
-                out.push(Spanned { token: Token::Percent, offset: i });
+                out.push(Spanned {
+                    token: Token::Percent,
+                    offset: i,
+                });
                 i += 1;
             }
             b'.' => {
-                out.push(Spanned { token: Token::Dot, offset: i });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: i,
+                });
                 i += 1;
             }
             b';' => {
-                out.push(Spanned { token: Token::Semi, offset: i });
+                out.push(Spanned {
+                    token: Token::Semi,
+                    offset: i,
+                });
                 i += 1;
             }
             b'=' => {
-                out.push(Spanned { token: Token::Eq, offset: i });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset: i,
+                });
                 i += 1;
             }
             b'!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    out.push(Spanned {
+                        token: Token::NotEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
                     return Err(err("unexpected '!'", i));
@@ -133,22 +169,37 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
             }
             b'<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::LtEq, offset: i });
+                    out.push(Spanned {
+                        token: Token::LtEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Spanned { token: Token::NotEq, offset: i });
+                    out.push(Spanned {
+                        token: Token::NotEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Lt, offset: i });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
             b'>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::GtEq, offset: i });
+                    out.push(Spanned {
+                        token: Token::GtEq,
+                        offset: i,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Gt, offset: i });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset: i,
+                    });
                     i += 1;
                 }
             }
@@ -173,7 +224,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                     s.push(input[i..].chars().next().expect("in-bounds char"));
                     i += input[i..].chars().next().expect("char").len_utf8();
                 }
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -181,7 +235,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                     i += 1;
                 }
                 let mut is_float = false;
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
                 {
                     is_float = true;
                     i += 1;
@@ -214,13 +271,14 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>> {
                             .map_err(|e| err(format!("bad integer '{text}': {e}"), start))?,
                     )
                 };
-                out.push(Spanned { token, offset: start });
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 out.push(Spanned {
@@ -266,7 +324,10 @@ mod tests {
         assert_eq!(toks("1e3"), vec![Token::Float(1000.0)]);
         assert_eq!(toks("2.5e-2"), vec![Token::Float(0.025)]);
         // '5.' is Int then Dot (qualified-name friendly).
-        assert_eq!(toks("5.x"), vec![Token::Int(5), Token::Dot, Token::Ident("x".into())]);
+        assert_eq!(
+            toks("5.x"),
+            vec![Token::Int(5), Token::Dot, Token::Ident("x".into())]
+        );
     }
 
     #[test]

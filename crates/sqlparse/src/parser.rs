@@ -528,10 +528,7 @@ mod tests {
     fn between_binds_and_correctly() {
         let q = parse("SELECT a FROM t WHERE x BETWEEN 0.8 AND 3.2 AND y > 1").unwrap();
         let w = q.where_clause.unwrap();
-        assert_eq!(
-            w.to_string(),
-            "((x BETWEEN 0.8 AND 3.2) AND (y > 1))"
-        );
+        assert_eq!(w.to_string(), "((x BETWEEN 0.8 AND 3.2) AND (y > 1))");
     }
 
     #[test]
@@ -539,7 +536,13 @@ mod tests {
         let e = parse_expr("x NOT BETWEEN 1 AND 2").unwrap();
         assert!(matches!(e, AstExpr::Between { negated: true, .. }));
         let e = parse_expr("NOT x BETWEEN 1 AND 2").unwrap();
-        assert!(matches!(e, AstExpr::Unary { op: UnaryOp::Not, .. }));
+        assert!(matches!(
+            e,
+            AstExpr::Unary {
+                op: UnaryOp::Not,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -641,7 +644,10 @@ mod tests {
         assert!(parse("SELECT a").is_err(), "missing FROM");
         assert!(parse("SELECT a FROM t WHERE").is_err());
         assert!(parse("SELECT a FROM t LIMIT x").is_err());
-        assert!(parse("SELECT a FROM t GROUP a").is_err(), "GROUP without BY");
+        assert!(
+            parse("SELECT a FROM t GROUP a").is_err(),
+            "GROUP without BY"
+        );
         assert!(parse("SELECT a FROM t extra junk +").is_err());
     }
 

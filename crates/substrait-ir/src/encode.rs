@@ -402,8 +402,8 @@ impl<'a> Dec<'a> {
                 hi: Box::new(self.expr()?),
             },
             E_CAST => {
-                let to = DataType::from_tag(self.u8()?)
-                    .map_err(|e| IrError::Corrupt(e.to_string()))?;
+                let to =
+                    DataType::from_tag(self.u8()?).map_err(|e| IrError::Corrupt(e.to_string()))?;
                 Expr::Cast {
                     expr: Box::new(self.expr()?),
                     to,
@@ -426,8 +426,7 @@ impl<'a> Dec<'a> {
         let mut fields = Vec::with_capacity(n);
         for _ in 0..n {
             let name = self.str()?;
-            let dt = DataType::from_tag(self.u8()?)
-                .map_err(|e| IrError::Corrupt(e.to_string()))?;
+            let dt = DataType::from_tag(self.u8()?).map_err(|e| IrError::Corrupt(e.to_string()))?;
             let nullable = self.u8()? == 1;
             fields.push(Field::new(name, dt, nullable));
         }
@@ -636,9 +635,9 @@ mod tests {
                                     lo: Box::new(Expr::lit(Scalar::Float64(0.8))),
                                     hi: Box::new(Expr::lit(Scalar::Float64(3.2))),
                                 }),
-                                Box::new(Expr::Not(Box::new(Expr::IsNull(Box::new(
-                                    Expr::field(0),
-                                ))))),
+                                Box::new(Expr::Not(Box::new(Expr::IsNull(Box::new(Expr::field(
+                                    0,
+                                )))))),
                             ),
                             input: Box::new(Rel::read("t", schema, Some(vec![0, 1, 2, 3]))),
                         }),
@@ -716,6 +715,10 @@ mod tests {
     #[test]
     fn wire_size_is_compact() {
         let bytes = encode(&sample_plan());
-        assert!(bytes.len() < 400, "plan wire size {} too large", bytes.len());
+        assert!(
+            bytes.len() < 400,
+            "plan wire size {} too large",
+            bytes.len()
+        );
     }
 }

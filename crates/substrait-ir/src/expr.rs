@@ -114,9 +114,9 @@ impl Expr {
                     Ok(input.field(*i).data_type)
                 }
             }
-            Expr::Literal(s) => s.data_type().ok_or_else(|| {
-                IrError::Type("untyped NULL literal; wrap in Cast".into())
-            }),
+            Expr::Literal(s) => s
+                .data_type()
+                .ok_or_else(|| IrError::Type("untyped NULL literal; wrap in Cast".into())),
             Expr::Cmp { left, right, .. } => {
                 let (l, r) = (left.output_type(input)?, right.output_type(input)?);
                 let compatible = l == r || (l.is_numeric() && r.is_numeric());
@@ -226,14 +226,12 @@ impl Expr {
                 left: Box::new(left.remap_fields(map)),
                 right: Box::new(right.remap_fields(map)),
             },
-            Expr::And(a, b) => Expr::And(
-                Box::new(a.remap_fields(map)),
-                Box::new(b.remap_fields(map)),
-            ),
-            Expr::Or(a, b) => Expr::Or(
-                Box::new(a.remap_fields(map)),
-                Box::new(b.remap_fields(map)),
-            ),
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.remap_fields(map)), Box::new(b.remap_fields(map)))
+            }
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(a.remap_fields(map)), Box::new(b.remap_fields(map)))
+            }
             Expr::Not(e) => Expr::Not(Box::new(e.remap_fields(map))),
             Expr::Between { expr, lo, hi } => Expr::Between {
                 expr: Box::new(expr.remap_fields(map)),
@@ -350,9 +348,11 @@ mod tests {
             .output_type(&s)
             .is_err());
         // Boolean ops need boolean inputs.
-        assert!(Expr::And(Box::new(Expr::field(0)), Box::new(Expr::field(0)))
-            .output_type(&s)
-            .is_err());
+        assert!(
+            Expr::And(Box::new(Expr::field(0)), Box::new(Expr::field(0)))
+                .output_type(&s)
+                .is_err()
+        );
         // Out-of-range reference.
         assert!(matches!(
             Expr::field(9).output_type(&s),
@@ -397,7 +397,11 @@ mod tests {
         // The Deep Water projection: (rowid % 250000) / 500 — two divisions.
         let pricey = Expr::arith(
             ArithOp::Div,
-            Expr::arith(ArithOp::Mod, Expr::field(0), Expr::lit(Scalar::Int64(250_000))),
+            Expr::arith(
+                ArithOp::Mod,
+                Expr::field(0),
+                Expr::lit(Scalar::Int64(250_000)),
+            ),
             Expr::lit(Scalar::Int64(500)),
         );
         assert!(pricey.op_weight() > cheap.op_weight());

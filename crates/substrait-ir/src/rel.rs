@@ -64,7 +64,11 @@ pub enum Rel {
 
 impl Rel {
     /// Shorthand for a `Read`.
-    pub fn read(table: impl Into<String>, base_schema: Schema, projection: Option<Vec<usize>>) -> Rel {
+    pub fn read(
+        table: impl Into<String>,
+        base_schema: Schema,
+        projection: Option<Vec<usize>>,
+    ) -> Rel {
         Rel::Read {
             table: table.into(),
             base_schema,
@@ -112,9 +116,7 @@ impl Rel {
                 }
                 let fields = exprs
                     .iter()
-                    .map(|(e, name)| {
-                        Ok(Field::new(name.clone(), e.output_type(&schema)?, true))
-                    })
+                    .map(|(e, name)| Ok(Field::new(name.clone(), e.output_type(&schema)?, true)))
                     .collect::<Result<Vec<_>>>()?;
                 Ok(Schema::new(fields))
             }
@@ -134,11 +136,7 @@ impl Rel {
                     fields.push(Field::new(name.clone(), e.output_type(&schema)?, true));
                 }
                 for m in measures {
-                    let input_type = m
-                        .arg
-                        .as_ref()
-                        .map(|e| e.output_type(&schema))
-                        .transpose()?;
+                    let input_type = m.arg.as_ref().map(|e| e.output_type(&schema)).transpose()?;
                     let out = m
                         .func
                         .result_type(input_type)
@@ -196,10 +194,7 @@ impl Rel {
                 input.fmt_indent(f, depth + 1)
             }
             Rel::Project { input, exprs } => {
-                let cols: Vec<String> = exprs
-                    .iter()
-                    .map(|(e, n)| format!("{n}={e}"))
-                    .collect();
+                let cols: Vec<String> = exprs.iter().map(|(e, n)| format!("{n}={e}")).collect();
                 writeln!(f, "{pad}Project[{}]", cols.join(", "))?;
                 input.fmt_indent(f, depth + 1)
             }
@@ -208,10 +203,7 @@ impl Rel {
                 group_by,
                 measures,
             } => {
-                let keys: Vec<String> = group_by
-                    .iter()
-                    .map(|(e, n)| format!("{n}={e}"))
-                    .collect();
+                let keys: Vec<String> = group_by.iter().map(|(e, n)| format!("{n}={e}")).collect();
                 let ms: Vec<String> = measures
                     .iter()
                     .map(|m| {
@@ -226,15 +218,18 @@ impl Rel {
                         )
                     })
                     .collect();
-                writeln!(f, "{pad}Aggregate[keys=({}) measures=({})]", keys.join(", "), ms.join(", "))?;
+                writeln!(
+                    f,
+                    "{pad}Aggregate[keys=({}) measures=({})]",
+                    keys.join(", "),
+                    ms.join(", ")
+                )?;
                 input.fmt_indent(f, depth + 1)
             }
             Rel::Sort { input, keys } => {
                 let ks: Vec<String> = keys
                     .iter()
-                    .map(|k| {
-                        format!("{} {}", k.expr, if k.ascending { "ASC" } else { "DESC" })
-                    })
+                    .map(|k| format!("{} {}", k.expr, if k.ascending { "ASC" } else { "DESC" }))
                     .collect();
                 writeln!(f, "{pad}Sort[{}]", ks.join(", "))?;
                 input.fmt_indent(f, depth + 1)

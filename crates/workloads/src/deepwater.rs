@@ -141,7 +141,12 @@ mod tests {
         };
         let b = generate_file(&config, 0);
         let ids = b.column(0).as_i64().unwrap();
-        let max_y = ids.values.iter().map(|&r| (r % 250_000) / 500).max().unwrap();
+        let max_y = ids
+            .values
+            .iter()
+            .map(|&r| (r % 250_000) / 500)
+            .max()
+            .unwrap();
         assert_eq!(max_y, 499);
     }
 }

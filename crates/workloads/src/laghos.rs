@@ -62,8 +62,7 @@ pub fn schema() -> SchemaRef {
 pub fn generate_file(config: &LaghosConfig, file_idx: usize) -> RecordBatch {
     let n = config.rows_per_file;
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ (file_idx as u64).wrapping_mul(0x9e37));
-    let vertex_base =
-        (file_idx * config.rows_per_file / config.rows_per_vertex.max(1)) as i64;
+    let vertex_base = (file_idx * config.rows_per_file / config.rows_per_vertex.max(1)) as i64;
 
     let mut vertex_id = Vec::with_capacity(n);
     let mut cols: Vec<Vec<f64>> = (0..9).map(|_| Vec::with_capacity(n)).collect();
@@ -151,7 +150,10 @@ mod tests {
         let b1 = generate_file(&config, 1);
         let max0 = b0.column(0).min_max().1.as_i64().unwrap();
         let min1 = b1.column(0).min_max().0.as_i64().unwrap();
-        assert!(max0 < min1, "file ranges must not overlap: {max0} vs {min1}");
+        assert!(
+            max0 < min1,
+            "file ranges must not overlap: {max0} vs {min1}"
+        );
         // Multiplicity 8 within a file.
         let ids = b0.column(0).as_i64().unwrap();
         let first = ids.values[0];

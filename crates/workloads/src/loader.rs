@@ -83,7 +83,12 @@ impl<'a> TableLoader<'a> {
                     },
                 )
                 .expect("generated batch matches schema");
-                (format!("{table}/part-{i:05}.parq"), bytes, rows, uncompressed)
+                (
+                    format!("{table}/part-{i:05}.parq"),
+                    bytes,
+                    rows,
+                    uncompressed,
+                )
             })
             .collect();
 
@@ -150,11 +155,8 @@ mod tests {
         let store = ObjectStore::new();
         let meta = Metastore::new();
         let loader = TableLoader::new(&store, &meta);
-        let schema: SchemaRef = Arc::new(Schema::new(vec![Field::new(
-            "v",
-            DataType::Int64,
-            false,
-        )]));
+        let schema: SchemaRef =
+            Arc::new(Schema::new(vec![Field::new("v", DataType::Int64, false)]));
         let ds = loader.load("demo", schema, 3, |i| {
             RecordBatch::try_new(
                 Arc::new(Schema::new(vec![Field::new("v", DataType::Int64, false)])),
@@ -181,11 +183,8 @@ mod tests {
         let meta = Metastore::new();
         let mut loader = TableLoader::new(&store, &meta);
         loader.codec = CodecKind::Zst;
-        let schema: SchemaRef = Arc::new(Schema::new(vec![Field::new(
-            "v",
-            DataType::Int64,
-            false,
-        )]));
+        let schema: SchemaRef =
+            Arc::new(Schema::new(vec![Field::new("v", DataType::Int64, false)]));
         let ds = loader.load("zc", schema, 1, |_| {
             RecordBatch::try_new(
                 Arc::new(Schema::new(vec![Field::new("v", DataType::Int64, false)])),

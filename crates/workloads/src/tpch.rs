@@ -76,10 +76,24 @@ const SHIP_INSTRUCT: [&str; 4] = [
 ];
 const SHIP_MODE: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const NOUNS: [&str; 8] = [
-    "packages", "requests", "accounts", "deposits", "foxes", "ideas", "theodolites", "pinto beans",
+    "packages",
+    "requests",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "theodolites",
+    "pinto beans",
 ];
 const VERBS: [&str; 8] = [
-    "sleep", "wake", "haggle", "nag", "cajole", "integrate", "detect", "boost",
+    "sleep",
+    "wake",
+    "haggle",
+    "nag",
+    "cajole",
+    "integrate",
+    "detect",
+    "boost",
 ];
 
 /// Generate the batch for lineitem file `file_idx`.
@@ -246,12 +260,12 @@ mod tests {
         assert!(t.1.as_f64().unwrap() <= 0.08 + 1e-9);
         // receiptdate after shipdate.
         let ship = b.column_by_name("shipdate").unwrap().as_date32().unwrap();
-        let rcpt = b.column_by_name("receiptdate").unwrap().as_date32().unwrap();
-        assert!(ship
-            .values
-            .iter()
-            .zip(&rcpt.values)
-            .all(|(s, r)| r > s));
+        let rcpt = b
+            .column_by_name("receiptdate")
+            .unwrap()
+            .as_date32()
+            .unwrap();
+        assert!(ship.values.iter().zip(&rcpt.values).all(|(s, r)| r > s));
     }
 
     #[test]

@@ -17,12 +17,12 @@ use std::sync::Arc;
 use columnar::kernels::{boolean, cmp, selection};
 use columnar::prelude::*;
 use dsq::catalog::{ObjectLocation, TableMeta, TableStats};
-use dsq::error::{EngineError, EResult};
+use dsq::error::{EResult, EngineError};
 use dsq::expr::ScalarExpr;
 use dsq::plan::{LogicalPlan, TableScanNode};
 use dsq::spi::{
-    Connector, ConnectorPlanOptimizer, DefaultSplitManager, OptimizerContext,
-    PageSourceProvider, PageSourceResult, Split, SplitManager, TableHandle,
+    Connector, ConnectorPlanOptimizer, DefaultSplitManager, OptimizerContext, PageSourceProvider,
+    PageSourceResult, Split, SplitManager, TableHandle,
 };
 use dsq::EngineBuilder;
 use parking_lot::Mutex;
@@ -158,7 +158,7 @@ fn main() {
             key: "weather".into(),
             rows: data.num_rows() as u64,
             bytes: data.byte_size() as u64,
-                ..Default::default()
+            ..Default::default()
         }],
         stats: TableStats {
             row_count: data.num_rows() as u64,

@@ -56,7 +56,10 @@ fn main() {
     let depths: Vec<(&str, PushdownPolicy)> = vec![
         ("filter", PushdownPolicy::filter_only()),
         ("filter+proj", PushdownPolicy::filter_project()),
-        ("filter+proj+agg", PushdownPolicy::filter_project_aggregate()),
+        (
+            "filter+proj+agg",
+            PushdownPolicy::filter_project_aggregate(),
+        ),
         ("all ops", PushdownPolicy::all()),
     ];
     for (name, policy) in &depths {
@@ -69,7 +72,10 @@ fn main() {
         )));
     }
 
-    for (table, sql) in [("laghos", queries::LAGHOS), ("deepwater", queries::DEEPWATER)] {
+    for (table, sql) in [
+        ("laghos", queries::LAGHOS),
+        ("deepwater", queries::DEEPWATER),
+    ] {
         println!("\n=== {table} ===");
         println!("{sql}\n");
         println!(

@@ -40,7 +40,9 @@ fn main() {
     .unwrap();
     let file = parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();
     let file_len = file.len() as u64;
-    store.put_object("lake", "points/part-0.parq", file.into()).unwrap();
+    store
+        .put_object("lake", "points/part-0.parq", file.into())
+        .unwrap();
 
     // 3. Register the table in the metastore (schema + statistics, like a
     //    Hive metastore entry).
@@ -67,7 +69,7 @@ fn main() {
             key: "points/part-0.parq".into(),
             rows: n as u64,
             bytes: file_len,
-                ..Default::default()
+            ..Default::default()
         }],
         stats: TableStats {
             row_count: n as u64,
@@ -91,7 +93,10 @@ fn main() {
     println!("operator chain: {}", result.chain);
     println!("\nresult ({} rows):", result.batch.num_rows());
     print!("{}", result.batch);
-    println!("\nsimulated execution time: {:.4} s", result.simulated_seconds);
+    println!(
+        "\nsimulated execution time: {:.4} s",
+        result.simulated_seconds
+    );
     println!(
         "data moved storage → compute: {} (of {} stored)",
         netsim::meter::human_bytes(result.moved_bytes),

@@ -89,7 +89,10 @@ fn main() {
     println!("\npushdown monitor (sliding window):");
     monitor.with_history(|h| {
         println!("  executions remembered : {}", h.len());
-        println!("  pushdown rate         : {:.0} %", h.pushdown_rate() * 100.0);
+        println!(
+            "  pushdown rate         : {:.0} %",
+            h.pushdown_rate() * 100.0
+        );
         println!(
             "  mean data movement    : {}",
             human_bytes(h.mean_moved_bytes() as u64)

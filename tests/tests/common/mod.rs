@@ -19,11 +19,7 @@ pub struct Stack {
 /// `"raw"`, `"hive"`, `"ocs"` (with `policy`), plus one extra OCS
 /// connector per named policy in `extra` (so one stack can compare
 /// pushdown depths by rebinding tables).
-pub fn stack(
-    policy: PushdownPolicy,
-    codec: CodecKind,
-    extra: &[(&str, PushdownPolicy)],
-) -> Stack {
+pub fn stack(policy: PushdownPolicy, codec: CodecKind, extra: &[(&str, PushdownPolicy)]) -> Stack {
     let engine = EngineBuilder::new().build();
     let store = Arc::new(ObjectStore::new());
     {

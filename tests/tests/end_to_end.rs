@@ -15,7 +15,10 @@ fn policies() -> Vec<(&'static str, PushdownPolicy)> {
         ("none", PushdownPolicy::none()),
         ("filter", PushdownPolicy::filter_only()),
         ("filter+proj", PushdownPolicy::filter_project()),
-        ("filter+proj+agg", PushdownPolicy::filter_project_aggregate()),
+        (
+            "filter+proj+agg",
+            PushdownPolicy::filter_project_aggregate(),
+        ),
         ("all", PushdownPolicy::all()),
     ]
 }

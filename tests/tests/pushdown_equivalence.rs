@@ -56,15 +56,14 @@ fn setup(seed: u64, files: usize, rows_per_file: usize) -> Engine {
         for (c, stat) in stats_cols.iter_mut().enumerate() {
             *stat = stat.merge(&ColumnStats::compute(batch.column(c)));
         }
-        let bytes =
-            parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();
+        let bytes = parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();
         let key = format!("t/{f}");
         objects.push(ObjectLocation {
             bucket: "lake".into(),
             key: key.clone(),
             rows: rows_per_file as u64,
             bytes: bytes.len() as u64,
-                ..Default::default()
+            ..Default::default()
         });
         total += rows_per_file as u64;
         store.put_object("lake", &key, bytes.into()).unwrap();
@@ -131,10 +130,18 @@ fn render(q: &QuerySpec) -> String {
     } else if q.project_expr {
         // ORDER BY resolves against the SELECT output (engine contract).
         sql.push_str(" ORDER BY ");
-        sql.push_str(if q.order_desc { "s DESC, k, m" } else { "s, k, m" });
+        sql.push_str(if q.order_desc {
+            "s DESC, k, m"
+        } else {
+            "s, k, m"
+        });
     } else {
         sql.push_str(" ORDER BY ");
-        sql.push_str(if q.order_desc { "v DESC, k, w" } else { "v, k, w" });
+        sql.push_str(if q.order_desc {
+            "v DESC, k, w"
+        } else {
+            "v, k, w"
+        });
     }
     if let Some(n) = q.limit {
         sql.push_str(&format!(" LIMIT {n}"));

@@ -62,7 +62,7 @@ fn setup() -> Engine {
             key: key.clone(),
             rows: b.num_rows() as u64,
             bytes: bytes.len() as u64,
-                ..Default::default()
+            ..Default::default()
         });
         store.put_object("lake", &key, bytes.into()).unwrap();
     }
@@ -202,9 +202,7 @@ fn group_by_expression_key() {
 #[test]
 fn limit_without_order() {
     let engine = setup();
-    let r = engine
-        .execute("SELECT city FROM weather LIMIT 4")
-        .unwrap();
+    let r = engine.execute("SELECT city FROM weather LIMIT 4").unwrap();
     assert_eq!(r.batch.num_rows(), 4);
 }
 

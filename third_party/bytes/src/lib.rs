@@ -61,7 +61,11 @@ impl Bytes {
             Bound::Excluded(&n) => n,
             Bound::Unbounded => self.len,
         };
-        assert!(start <= end && end <= self.len, "slice {start}..{end} out of range for {}", self.len);
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of range for {}",
+            self.len
+        );
         Bytes {
             repr: self.repr.clone(),
             offset: self.offset + start,

@@ -123,17 +123,17 @@ pub mod strategy {
         /// Generate from the small pattern language this workspace uses:
         /// `.{m,n}` (printable ASCII), `[class]{m,n}`, or a literal string.
         fn generate(&self, rng: &mut TestRng) -> String {
-            let (choices, rest): (Vec<char>, &str) =
-                if let Some(stripped) = self.strip_prefix('[') {
-                    let end = stripped
-                        .find(']')
-                        .unwrap_or_else(|| panic!("unterminated char class in {self:?}"));
-                    (expand_class(&stripped[..end]), &stripped[end + 1..])
-                } else if let Some(stripped) = self.strip_prefix('.') {
-                    ((' '..='~').collect(), stripped)
-                } else {
-                    return (*self).to_string();
-                };
+            let (choices, rest): (Vec<char>, &str) = if let Some(stripped) = self.strip_prefix('[')
+            {
+                let end = stripped
+                    .find(']')
+                    .unwrap_or_else(|| panic!("unterminated char class in {self:?}"));
+                (expand_class(&stripped[..end]), &stripped[end + 1..])
+            } else if let Some(stripped) = self.strip_prefix('.') {
+                ((' '..='~').collect(), stripped)
+            } else {
+                return (*self).to_string();
+            };
             let (m, n) = parse_quantifier(rest);
             let len = rng.gen_range(m..=n);
             (0..len)
@@ -370,9 +370,7 @@ pub mod test_runner {
                     );
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    panic!(
-                        "property '{name}' failed at case {accepted} (seed {seed:#x}):\n{msg}"
-                    );
+                    panic!("property '{name}' failed at case {accepted} (seed {seed:#x}):\n{msg}");
                 }
             }
         }

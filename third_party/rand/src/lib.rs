@@ -28,8 +28,12 @@ pub trait SeedableRng: Sized {
 /// the upstream crate's inference behavior.
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draw from `[lo, hi)` when `inclusive` is false, `[lo, hi]` otherwise.
-    fn sample_between<G: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut G)
-        -> Self;
+    fn sample_between<G: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        inclusive: bool,
+        rng: &mut G,
+    ) -> Self;
 }
 
 macro_rules! int_sample_uniform {
@@ -107,7 +111,10 @@ pub trait Rng: RngCore {
     where
         Self: Sized,
     {
-        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
         unit_f64(self) < p
     }
 }
