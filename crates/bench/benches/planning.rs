@@ -37,6 +37,32 @@ fn bench_planning(c: &mut Criterion) {
             b.iter(|| substrait_ir::decode(&bytes).unwrap())
         });
     }
+
+    // Planck verifier overhead on the three paper plan shapes: the full
+    // pass pipeline must stay a small fraction of the `plan_*` times
+    // above (EXPERIMENTS.md records the ratio).
+    for (name, sql) in [
+        ("tpch_q1", queries::TPCH_Q1),
+        ("laghos", queries::LAGHOS),
+        ("dwi", queries::DEEPWATER),
+    ] {
+        let (_, plan) = stack.engine.plan(sql).unwrap();
+        let Some(h) = plan
+            .scan()
+            .handle
+            .as_any()
+            .downcast_ref::<ocs_connector::OcsTableHandle>()
+        else {
+            continue;
+        };
+        let (ir, _) = ocs_connector::translate::to_substrait(h);
+        g.bench_function(format!("planck_verify_{name}"), |b| {
+            b.iter(|| ocs_connector::planck::verify(&ir).unwrap())
+        });
+        g.bench_function(format!("planck_verify_pushdown_{name}"), |b| {
+            b.iter(|| ocs_connector::planck::verify_pushdown(&ir).unwrap())
+        });
+    }
     g.finish();
 }
 

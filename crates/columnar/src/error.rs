@@ -33,8 +33,6 @@ pub enum ColumnarError {
     },
     /// Malformed bytes during IPC decoding.
     Corrupt(String),
-    /// Arithmetic error such as division by zero on integers.
-    Arithmetic(String),
     /// Anything else.
     Invalid(String),
 }
@@ -53,7 +51,6 @@ impl fmt::Display for ColumnarError {
                 write!(f, "index {index} out of bounds for length {len}")
             }
             ColumnarError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
-            ColumnarError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
             ColumnarError::Invalid(msg) => write!(f, "invalid operation: {msg}"),
         }
     }

@@ -77,6 +77,9 @@ pub use optimizer::OcsPlanOptimizer;
 pub use policy::PushdownPolicy;
 pub use raw::RawConnector;
 pub use selectivity::SelectivityAnalyzer;
+// The static plan verifier lives in `substrait-ir`; re-exported so the
+// engine side names one crate for the whole trust boundary.
+pub use substrait_ir::planck;
 
 use std::sync::Arc;
 

@@ -279,6 +279,25 @@ impl ConnectorPlanOptimizer for OcsPlanOptimizer {
             pushed,
             output_schema: scan_output.clone(),
         };
+
+        // Layer-1 enforcement: verify the exact Substrait plan this handle
+        // will ship. A rejection here is a rewrite bug in this optimizer —
+        // debug builds fail loudly; under the `verify-plans` feature the
+        // query hard-errors instead of shipping a plan storage would
+        // reject.
+        #[cfg(any(debug_assertions, feature = "verify-plans"))]
+        if let Err(d) = crate::translate::to_substrait_verified(&handle) {
+            if cfg!(feature = "verify-plans") {
+                return Err(EngineError::Analysis(format!(
+                    "pushdown rewrite produced an illegal storage plan: {d}"
+                )));
+            }
+            debug_assert!(
+                false,
+                "pushdown rewrite produced an illegal storage plan: {d}"
+            );
+        }
+
         let mut rebuilt = LogicalPlan::TableScan(TableScanNode {
             table: scan.table.clone(),
             connector: scan.connector.clone(),

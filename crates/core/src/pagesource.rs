@@ -71,18 +71,34 @@ impl PageSourceProvider for OcsPageSourceProvider {
         }
 
         // 1. Reconstruct + translate the pushdown plan (Table 3's
-        //    "Substrait IR Generation", billed to the coordinator).
-        let (plan, ir_nodes) = to_substrait(&handle);
+        //    "Substrait IR Generation", billed to the coordinator). Debug
+        //    builds and `verify-plans` builds run the planck pushdown
+        //    verifier on the generated IR before it ships.
+        let (plan, ir_nodes) = if cfg!(any(debug_assertions, feature = "verify-plans")) {
+            crate::translate::to_substrait_verified(&handle).map_err(|d| {
+                EngineError::Connector(format!("refusing to ship illegal plan: {d}"))
+            })?
+        } else {
+            to_substrait(&handle)
+        };
         let substrait_gen_s = self
             .cluster
             .compute
             .core_seconds_for(Work::vector(ir_nodes as f64 * self.cost.substrait_node_gen));
 
-        // 2. Ship to OCS and execute in storage.
+        // 2. Ship to OCS and execute in storage. A plan rejection comes
+        //    back as a structured diagnostic — log the offending node's
+        //    path and code, not just a flattened message.
         let resp = self
             .client
             .execute(&plan, &split.bucket, &split.key)
-            .map_err(|e| EngineError::Connector(format!("ocs rpc: {e}")))?;
+            .map_err(|e| match e.diagnostic() {
+                Some(d) => EngineError::Connector(format!(
+                    "ocs rejected the shipped plan at {} [{}]: {}",
+                    d.path, d.code, d.message
+                )),
+                None => EngineError::Connector(format!("ocs rpc: {e}")),
+            })?;
 
         // 3. Engine-side deserialization of the Arrow payload.
         let compute_deser_s = self.cluster.compute.core_seconds_for(Work::decode(

@@ -6,6 +6,7 @@
 
 use dsq::expr::ScalarExpr;
 use dsq::plan::SortKey;
+use substrait_ir::planck;
 use substrait_ir::{Expr, Measure, Plan, Rel, SortField};
 
 use crate::handle::OcsTableHandle;
@@ -198,6 +199,17 @@ pub fn to_substrait(handle: &OcsTableHandle) -> (Plan, u64) {
     (Plan::new(rel), nodes)
 }
 
+/// [`to_substrait`] followed by the planck pushdown verifier — the single
+/// post-translate check on everything the connector ships: structure,
+/// typing, operator shape and pushdown legality (Fetch at root, offset 0,
+/// one Aggregate, deterministic expressions). Returns the primary
+/// diagnostic on failure so callers can log the offending plan node.
+pub fn to_substrait_verified(handle: &OcsTableHandle) -> Result<(Plan, u64), planck::Diagnostic> {
+    let (plan, nodes) = to_substrait(handle);
+    planck::verify_pushdown(&plan).map_err(planck::primary)?;
+    Ok((plan, nodes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,9 +277,9 @@ mod tests {
     }
 
     #[test]
-    fn builds_validating_plan() {
-        let (plan, nodes) = to_substrait(&handle());
-        let schema = plan.validate().expect("generated plan must validate");
+    fn builds_verifying_plan() {
+        let (plan, nodes) = to_substrait_verified(&handle()).expect("generated plan must verify");
+        let schema = planck::verify_pushdown(&plan).expect("pushdown-legal");
         // Read → Filter → Aggregate → Sort → Fetch.
         assert_eq!(plan.root.operator_count(), 5);
         assert!(nodes > 10);
@@ -297,9 +309,8 @@ mod tests {
         let mut h = handle();
         h.pushed = PushedOps::default();
         h.output_schema = Arc::new(h.base_schema.project(&[0, 1, 2]).unwrap());
-        let (plan, nodes) = to_substrait(&h);
+        let (plan, nodes) = to_substrait_verified(&h).unwrap();
         assert_eq!(plan.root.operator_count(), 1);
         assert_eq!(nodes, 4); // ReadRel + 3 projection entries
-        plan.validate().unwrap();
     }
 }

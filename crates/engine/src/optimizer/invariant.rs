@@ -1,0 +1,152 @@
+//! Differential invariant checking for optimizer rewrite rules.
+//!
+//! Every rule in [`super::optimize`] must preserve two invariants:
+//!
+//! 1. the rewritten plan still validates ([`LogicalPlan::validate`]), and
+//! 2. its inferred root schema — field names and types — is unchanged
+//!    from the pre-rewrite plan (a rewrite may reshape the tree but never
+//!    what the query returns).
+//!
+//! [`checked`] wraps each rule application so a broken rule is caught *at
+//! the rule that introduced the damage*, not three rules later when the
+//! plan reaches the connector or, worse, the storage-side verifier. This
+//! subsumes the single trailing `validate()` the pipeline used to run.
+
+use columnar::SchemaRef;
+
+use crate::error::{EResult, EngineError};
+use crate::plan::LogicalPlan;
+
+/// Verify that `after` (the output of rewrite rule `rule`) still validates
+/// and that its inferred output schema matches `baseline` field-for-field
+/// (names and types; nullability is a physical property rules may refine).
+pub fn check_rewrite(rule: &str, baseline: &SchemaRef, after: &LogicalPlan) -> EResult<()> {
+    after.validate().map_err(|e| {
+        EngineError::Analysis(format!(
+            "optimizer rule `{rule}` produced an invalid plan: {e}"
+        ))
+    })?;
+    let now = after.schema()?;
+    if now.len() != baseline.len() {
+        return Err(EngineError::Analysis(format!(
+            "optimizer rule `{rule}` changed the output arity: {} -> {}",
+            baseline.len(),
+            now.len()
+        )));
+    }
+    for (before, after_f) in baseline.fields().iter().zip(now.fields()) {
+        if before.name != after_f.name || before.data_type != after_f.data_type {
+            return Err(EngineError::Analysis(format!(
+                "optimizer rule `{rule}` changed output field `{}: {:?}` \
+                 to `{}: {:?}`",
+                before.name, before.data_type, after_f.name, after_f.data_type
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Apply the differential check to a rule's output, passing the plan
+/// through unchanged on success. The check is cheap (schema inference on
+/// a short linear chain), so it runs in every build — a rewrite bug is a
+/// wrong-answer bug, and those never get a release-mode pass.
+pub fn checked(rule: &str, baseline: &SchemaRef, after: LogicalPlan) -> EResult<LogicalPlan> {
+    check_rewrite(rule, baseline, &after)?;
+    Ok(after)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ScalarExpr;
+    use crate::plan::TableScanNode;
+    use crate::spi::DefaultTableHandle;
+    use columnar::{DataType, Field, Scalar, Schema};
+    use std::sync::Arc;
+
+    fn project_plan() -> LogicalPlan {
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("a", DataType::Int64, false),
+            Field::new("b", DataType::Float64, false),
+        ]));
+        LogicalPlan::Project {
+            input: Box::new(LogicalPlan::TableScan(TableScanNode {
+                table: "t".into(),
+                connector: "raw".into(),
+                output_schema: schema,
+                handle: Arc::new(DefaultTableHandle::all_columns()),
+            })),
+            exprs: vec![
+                (ScalarExpr::col(0, "a", DataType::Int64), "a".into()),
+                (ScalarExpr::col(1, "b", DataType::Float64), "b".into()),
+            ],
+        }
+    }
+
+    /// A deliberately broken "rule": drops the second projection column.
+    fn bad_rule_drops_column(plan: LogicalPlan) -> LogicalPlan {
+        match plan {
+            LogicalPlan::Project { input, mut exprs } => {
+                exprs.truncate(1);
+                LogicalPlan::Project { input, exprs }
+            }
+            other => other,
+        }
+    }
+
+    /// A deliberately broken "rule": silently retypes a column.
+    fn bad_rule_retypes(plan: LogicalPlan) -> LogicalPlan {
+        match plan {
+            LogicalPlan::Project { input, mut exprs } => {
+                exprs[0].0 = ScalarExpr::lit(Scalar::Utf8("oops".into()));
+                LogicalPlan::Project { input, exprs }
+            }
+            other => other,
+        }
+    }
+
+    #[test]
+    fn identity_rewrite_passes() {
+        let plan = project_plan();
+        let baseline = plan.schema().unwrap();
+        let out = checked("identity", &baseline, plan).unwrap();
+        assert_eq!(out.schema().unwrap(), baseline);
+    }
+
+    #[test]
+    fn arity_change_is_caught_at_the_rule() {
+        let plan = project_plan();
+        let baseline = plan.schema().unwrap();
+        let err = checked("bad_rule", &baseline, bad_rule_drops_column(plan)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad_rule"), "{msg}");
+        assert!(msg.contains("arity"), "{msg}");
+    }
+
+    #[test]
+    fn type_change_is_caught_at_the_rule() {
+        let plan = project_plan();
+        let baseline = plan.schema().unwrap();
+        let err = checked("retyper", &baseline, bad_rule_retypes(plan)).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("retyper"), "{msg}");
+        assert!(msg.contains("Int64"), "{msg}");
+        assert!(msg.contains("Utf8"), "{msg}");
+    }
+
+    #[test]
+    fn invalid_plan_is_caught_even_with_matching_schema() {
+        // An empty projection fails validate() before any schema diff.
+        let plan = project_plan();
+        let baseline = plan.schema().unwrap();
+        let broken = match plan {
+            LogicalPlan::Project { input, .. } => LogicalPlan::Project {
+                input,
+                exprs: vec![],
+            },
+            _ => unreachable!(),
+        };
+        let err = check_rewrite("emptier", &baseline, &broken).unwrap_err();
+        assert!(err.to_string().contains("emptier"), "{err}");
+    }
+}

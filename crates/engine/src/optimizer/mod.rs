@@ -14,9 +14,11 @@
 //! *after* these, from [`crate::session::Engine`].
 
 mod const_fold;
+pub mod invariant;
 mod prune;
 
 pub use const_fold::fold_constants;
+pub use invariant::{check_rewrite, checked};
 pub use prune::prune_projection;
 
 use crate::error::EResult;
@@ -45,11 +47,17 @@ pub fn merge_sort_limit(plan: LogicalPlan) -> LogicalPlan {
 }
 
 /// Run the full global rule pipeline.
+///
+/// Every rule runs under the differential [`invariant`] check: the
+/// rewritten plan must re-validate and its inferred output schema must be
+/// unchanged, so a broken rule is caught at the rule that introduced it
+/// (the trailing whole-plan `validate()` this pipeline used to run could
+/// only say *that* something broke, never *which rule* broke it).
 pub fn optimize(plan: LogicalPlan) -> EResult<LogicalPlan> {
-    let plan = fold_constants(plan)?;
-    let plan = merge_sort_limit(plan);
-    let plan = prune_projection(plan)?;
-    plan.validate()?;
+    let baseline = plan.schema()?;
+    let plan = checked("fold_constants", &baseline, fold_constants(plan)?)?;
+    let plan = checked("merge_sort_limit", &baseline, merge_sort_limit(plan))?;
+    let plan = checked("prune_projection", &baseline, prune_projection(plan)?)?;
     Ok(plan)
 }
 

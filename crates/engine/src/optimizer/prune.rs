@@ -90,13 +90,18 @@ pub fn prune_projection(plan: LogicalPlan) -> EResult<LogicalPlan> {
         return Ok(plan); // nothing to prune
     }
     let new_schema = Arc::new(scan.output_schema.project(&needed)?);
-    // Old index → new index.
+    // Old index → new index. By construction every column the chain
+    // references is in `needed` (the collection pass above walked the same
+    // nodes), so the lookup cannot miss; if a future edit breaks that, the
+    // sentinel makes the reference out-of-range and the per-rule invariant
+    // check in [`super::optimize`] reports a structured error naming this
+    // rule instead of panicking mid-rewrite.
     let needed_for_map = needed.clone();
     let map = move |old: usize| -> usize {
         needed_for_map
             .iter()
             .position(|&c| c == old)
-            .expect("pruned column referenced")
+            .unwrap_or(usize::MAX)
     };
 
     // Rebuild the chain bottom-up.

@@ -210,7 +210,8 @@ impl LogicalPlan {
         1 + self.input().map(|i| i.node_count()).unwrap_or(0)
     }
 
-    /// Validate sort keys are in range (TopN/Sort nodes).
+    /// Validate plan shape: sort keys and expression column references in
+    /// range of the input arity, non-empty Project/Aggregate.
     pub fn validate(&self) -> EResult<()> {
         if let Some(input) = self.input() {
             input.validate()?;
@@ -227,13 +228,35 @@ impl LogicalPlan {
                     }
                 }
             }
-            LogicalPlan::Project { exprs, .. } if exprs.is_empty() => {
-                return Err(EngineError::Analysis("empty projection".into()));
+            LogicalPlan::Filter { input, predicate } => {
+                expr_refs_in_range(predicate, input.schema()?.len(), "filter predicate")?;
             }
-            LogicalPlan::Aggregate { group_by, aggs, .. }
-                if group_by.is_empty() && aggs.is_empty() =>
-            {
-                return Err(EngineError::Analysis("empty aggregation".into()));
+            LogicalPlan::Project { input, exprs } => {
+                if exprs.is_empty() {
+                    return Err(EngineError::Analysis("empty projection".into()));
+                }
+                let arity = input.schema()?.len();
+                for (e, _) in exprs {
+                    expr_refs_in_range(e, arity, "projection")?;
+                }
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                if group_by.is_empty() && aggs.is_empty() {
+                    return Err(EngineError::Analysis("empty aggregation".into()));
+                }
+                let arity = input.schema()?.len();
+                for (e, _) in group_by {
+                    expr_refs_in_range(e, arity, "group-by key")?;
+                }
+                for a in aggs {
+                    if let Some(arg) = &a.arg {
+                        expr_refs_in_range(arg, arity, "aggregate argument")?;
+                    }
+                }
             }
             _ => {}
         }
@@ -299,6 +322,19 @@ impl LogicalPlan {
             }
         }
     }
+}
+
+/// Every column `e` references must be `< arity` (the engine-side mirror
+/// of the storage verifier's field-bounds pass).
+fn expr_refs_in_range(e: &ScalarExpr, arity: usize, node: &str) -> EResult<()> {
+    let mut refs = Vec::new();
+    e.referenced_columns(&mut refs);
+    if let Some(&bad) = refs.iter().find(|&&c| c >= arity) {
+        return Err(EngineError::Analysis(format!(
+            "{node} references column #{bad} but its input has arity {arity}"
+        )));
+    }
+    Ok(())
 }
 
 impl fmt::Display for LogicalPlan {

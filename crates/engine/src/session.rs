@@ -157,7 +157,11 @@ impl Engine {
         let query = sqlparse::parse(sql)?;
         let analyzed = analyze(&query, &self.metastore)?;
         let plan = optimizer::optimize(analyzed.plan.clone())?;
-        // Connector-specific local optimization (the paper's hook).
+        // Connector-specific local optimization (the paper's hook). A
+        // connector rewrite is a rule like any other: it must preserve the
+        // plan's output schema, so it runs under the same differential
+        // invariant check as the global rules.
+        let baseline = plan.schema()?;
         let scan_connector = plan.scan().connector.clone();
         let plan = match self
             .connectors
@@ -170,11 +174,10 @@ impl Engine {
                     metastore: &self.metastore,
                     cost: &self.cost,
                 };
-                opt.optimize(plan, &ctx)?
+                optimizer::checked("connector pushdown", &baseline, opt.optimize(plan, &ctx)?)?
             }
             None => plan,
         };
-        plan.validate()?;
         Ok((analyzed, plan))
     }
 
@@ -190,6 +193,7 @@ impl Engine {
         // traversal itself always happens.
         let analysis_work = self.cost.plan_node_analyze * pre.node_count() as f64;
 
+        let baseline = pre.schema()?;
         let scan_connector = pre.scan().connector.clone();
         let connectors = self.connectors.read().clone();
         let plan = match connectors
@@ -201,11 +205,10 @@ impl Engine {
                     metastore: &self.metastore,
                     cost: &self.cost,
                 };
-                opt.optimize(pre, &ctx)?
+                optimizer::checked("connector pushdown", &baseline, opt.optimize(pre, &ctx)?)?
             }
             None => pre,
         };
-        plan.validate()?;
         let optimized_plan = plan.to_string();
         let chain = plan.chain_description();
 

@@ -16,6 +16,7 @@ use columnar::sort::{self, SortKey};
 use netsim::{CostParams, Work};
 use parq::{ParqReader, RangePredicate};
 use rayon::prelude::*;
+use substrait_ir::planck::{self, Diagnostic};
 use substrait_ir::{Expr, Measure, Plan, Rel};
 
 use crate::{OcsError, OcsResult};
@@ -234,8 +235,13 @@ impl<'a> Executor<'a> {
     }
 
     /// Execute `plan`, returning result batches and resource stats.
+    ///
+    /// Every plan is hard-verified by `planck` first — the executor
+    /// relies on its guarantees (field references in bounds, operand
+    /// types agreed, sort keys plain field references) and carries no
+    /// per-operator shape checks of its own.
     pub fn run(mut self, plan: &Plan) -> OcsResult<(Vec<RecordBatch>, ExecStats)> {
-        plan.validate().map_err(|e| OcsError::Plan(e.to_string()))?;
+        planck::verify(plan).map_err(|ds| OcsError::Plan(planck::primary(ds)))?;
         let batches = self.run_rel(&plan.root)?;
         self.stats.rows_emitted = batches.iter().map(|b| b.num_rows() as u64).sum();
         Ok((batches, self.stats))
@@ -285,6 +291,22 @@ impl<'a> Executor<'a> {
                 self.apply_filter(batches, predicate)
             }
             Rel::Project { input, exprs } => {
+                // Output field types come from the plan, inferred once —
+                // planck verified the typing up front, so the old
+                // per-batch re-inference was redundant.
+                let input_schema = input
+                    .output_schema()
+                    .map_err(|e| OcsError::Plan(Diagnostic::from_ir(&e, "exec.project")))?;
+                let fields = exprs
+                    .iter()
+                    .map(|(e, n)| {
+                        let dt = e
+                            .output_type(&input_schema)
+                            .map_err(|e| OcsError::Plan(Diagnostic::from_ir(&e, "exec.project")))?;
+                        Ok(Field::new(n.clone(), dt, true))
+                    })
+                    .collect::<OcsResult<Vec<Field>>>()?;
+                let out_schema = Arc::new(Schema::new(fields));
                 let batches = self.run_rel(input)?;
                 let weight: u32 = exprs.iter().map(|(e, _)| e.op_weight()).sum();
                 let mut out = Vec::with_capacity(batches.len());
@@ -292,24 +314,12 @@ impl<'a> Executor<'a> {
                     self.stats.work.add(Work::expr(
                         self.cost.eval_work(b.num_rows() as u64, weight.max(1)),
                     ));
-                    let fields: Vec<Field> = {
-                        let input_schema = b.schema();
-                        exprs
-                            .iter()
-                            .map(|(e, n)| {
-                                let dt = e
-                                    .output_type(input_schema)
-                                    .map_err(|e| OcsError::Plan(e.to_string()))?;
-                                Ok(Field::new(n.clone(), dt, true))
-                            })
-                            .collect::<OcsResult<_>>()?
-                    };
                     let columns = exprs
                         .iter()
                         .map(|(e, _)| eval_expr(e, b).map(Arc::new))
                         .collect::<OcsResult<Vec<_>>>()?;
                     out.push(
-                        RecordBatch::try_new(Arc::new(Schema::new(fields)), columns)
+                        RecordBatch::try_new(out_schema.clone(), columns)
                             .map_err(|e| OcsError::Exec(e.to_string()))?,
                     );
                 }
@@ -322,7 +332,7 @@ impl<'a> Executor<'a> {
             } => {
                 let input_schema = input
                     .output_schema()
-                    .map_err(|e| OcsError::Plan(e.to_string()))?;
+                    .map_err(|e| OcsError::Plan(Diagnostic::from_ir(&e, "exec.aggregate")))?;
                 let batches = self.run_rel(input)?;
                 self.aggregate(&input_schema, &batches, group_by, measures)
             }
@@ -418,12 +428,8 @@ impl<'a> Executor<'a> {
             Some(p) => p.to_vec(),
             None => (0..self.reader.schema().len()).collect(),
         };
-        if let Some(&bad) = filter_pos.iter().find(|&&p| p >= out_cols.len()) {
-            return Err(OcsError::Exec(format!(
-                "filter references field #{bad} outside the scan's {} columns",
-                out_cols.len()
-            )));
-        }
+        // planck verified field-reference bounds before execution, so
+        // every position in `filter_pos` indexes into `out_cols`.
         // Rewrite the predicate from scan-output positions to positions in
         // the narrow filter-column batch.
         let local_pred = predicate.remap_fields(&|i| {
@@ -587,8 +593,10 @@ impl<'a> Executor<'a> {
                     ascending: k.ascending,
                     nulls_first: k.nulls_first,
                 }),
-                other => Err(OcsError::Plan(format!(
-                    "sort keys must be field references, got {other}"
+                other => Err(OcsError::Plan(Diagnostic::new(
+                    planck::DiagCode::SortKeyNotFieldRef,
+                    "exec.sort",
+                    format!("sort keys must be field references, got {other}"),
                 ))),
             })
             .collect::<OcsResult<Vec<_>>>()?;
@@ -620,7 +628,8 @@ impl<'a> Executor<'a> {
         measures: &[Measure],
     ) -> OcsResult<Vec<RecordBatch>> {
         let err = |e: columnar::ColumnarError| OcsError::Exec(e.to_string());
-        let plan_err = |e: substrait_ir::IrError| OcsError::Plan(e.to_string());
+        let plan_err =
+            |e: substrait_ir::IrError| OcsError::Plan(Diagnostic::from_ir(&e, "exec.aggregate"));
 
         // Output schema and per-measure argument types, from the *plan*
         // (usable even when the filtered input is empty).

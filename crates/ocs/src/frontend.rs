@@ -10,7 +10,7 @@ use bytes::Bytes;
 use netsim::{CostParams, NodeSpec};
 
 use crate::node::StorageNode;
-use crate::{OcsError, OcsResult};
+use crate::{planck, OcsError, OcsResult};
 
 /// A frontend response on the wire: Arrow-IPC bytes + resource accounting.
 #[derive(Debug, Clone)]
@@ -66,9 +66,17 @@ impl OcsFrontend {
     }
 
     /// Handle one request: Substrait plan bytes in, Arrow bytes out.
+    ///
+    /// The bytes come from an untrusted peer, so the decoded plan is
+    /// always hard-verified — structure, typing, operator shape *and*
+    /// resource caps ([`planck::Limits::untrusted`]) — before any
+    /// storage node touches it. A rejection carries the structured
+    /// [`planck::Diagnostic`] back across the error frame.
     pub fn handle(&self, plan_bytes: &[u8], bucket: &str, key: &str) -> OcsResult<WireResponse> {
         // Parse the plan (real work, billed to the frontend).
-        let plan = substrait_ir::decode(plan_bytes).map_err(|e| OcsError::Plan(e.to_string()))?;
+        let plan = substrait_ir::decode(plan_bytes)
+            .map_err(|e| OcsError::Plan(planck::Diagnostic::from_ir(&e, "root")))?;
+        planck::verify_untrusted(&plan).map_err(|ds| OcsError::Plan(planck::primary(ds)))?;
         let node = self.route(key);
         let resp = node.execute(&plan, bucket, key)?;
 
@@ -179,10 +187,32 @@ mod tests {
     #[test]
     fn rejects_garbage_plans() {
         let (fe, _) = frontend(1);
-        assert!(matches!(
-            fe.handle(b"not a plan", "lake", "t/0"),
-            Err(OcsError::Plan(_))
-        ));
+        let err = fe.handle(b"not a plan", "lake", "t/0").unwrap_err();
+        let diag = err.diagnostic().expect("garbage is a plan error");
+        assert_eq!(diag.code, substrait_ir::DiagCode::Corrupt);
+    }
+
+    #[test]
+    fn decoded_plans_are_hard_verified_with_diagnostics() {
+        let (fe, schema) = frontend(1);
+        // Decodes fine, but references a field outside the scan arity —
+        // the untrusted verify pass must reject it with code + path.
+        let plan = Plan::new(Rel::Filter {
+            input: Box::new(Rel::read("t", schema, None)),
+            predicate: Expr::cmp(
+                columnar::kernels::cmp::CmpOp::Eq,
+                Expr::field(40),
+                Expr::lit(Scalar::Int64(0)),
+            ),
+        });
+        let bytes = substrait_ir::encode(&plan);
+        let err = fe.handle(&bytes, "lake", "t/0").unwrap_err();
+        let diag = err.diagnostic().expect("invalid plan is a plan error");
+        assert_eq!(diag.code, substrait_ir::DiagCode::FieldOutOfRange);
+        assert_eq!(diag.path, "root.predicate.left");
+        // The rendered error names the offending node for engine logs.
+        assert!(err.to_string().contains("P200"), "{err}");
+        assert!(err.to_string().contains("root.predicate.left"), "{err}");
     }
 
     #[test]

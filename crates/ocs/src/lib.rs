@@ -67,6 +67,9 @@ pub mod rpc;
 pub use frontend::OcsFrontend;
 pub use node::StorageNode;
 pub use rpc::{OcsClient, OcsResponse};
+// Storage-side plan verification is the planck module of `substrait-ir`;
+// re-exported so callers name one crate for the whole trust boundary.
+pub use substrait_ir::planck;
 
 use netsim::{CostParams, DiskSpec, NodeSpec};
 use objstore::ObjectStore;
@@ -76,18 +79,31 @@ use std::sync::Arc;
 /// Errors from OCS request handling.
 #[derive(Debug)]
 pub enum OcsError {
-    /// Malformed or unsupported Substrait plan.
-    Plan(String),
+    /// Malformed or unsupported Substrait plan. Carries the structured
+    /// verifier diagnostic — stable code plus the plan path of the
+    /// offending node — so the engine side can log exactly *which* node
+    /// of the shipped plan was rejected, not just a flattened string.
+    Plan(planck::Diagnostic),
     /// Storage access failed.
     Storage(objstore::StoreError),
     /// Execution failed.
     Exec(String),
 }
 
+impl OcsError {
+    /// The rejected-plan diagnostic, when this is a plan error.
+    pub fn diagnostic(&self) -> Option<&planck::Diagnostic> {
+        match self {
+            OcsError::Plan(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for OcsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OcsError::Plan(m) => write!(f, "plan error: {m}"),
+            OcsError::Plan(d) => write!(f, "plan rejected: {d}"),
             OcsError::Storage(e) => write!(f, "storage error: {e}"),
             OcsError::Exec(m) => write!(f, "execution error: {m}"),
         }
@@ -99,6 +115,12 @@ impl std::error::Error for OcsError {}
 impl From<objstore::StoreError> for OcsError {
     fn from(e: objstore::StoreError) -> Self {
         OcsError::Storage(e)
+    }
+}
+
+impl From<planck::Diagnostic> for OcsError {
+    fn from(d: planck::Diagnostic) -> Self {
+        OcsError::Plan(d)
     }
 }
 

@@ -145,6 +145,26 @@ mod tests {
     }
 
     #[test]
+    fn rejected_plans_carry_diagnostics_across_the_error_frame() {
+        let (ocs, schema) = deployment();
+        // SUM over a group key of the wrong kind: measure arg is utf8-free
+        // here, so use a field reference past the scan arity instead.
+        let plan = Plan::new(Rel::Aggregate {
+            input: Box::new(Rel::read("t", schema, None)),
+            group_by: vec![(Expr::field(0), "g".into())],
+            measures: vec![Measure {
+                func: AggFunc::Sum,
+                arg: Some(Expr::field(9)),
+                name: "s".into(),
+            }],
+        });
+        let err = ocs.client().execute(&plan, "lake", "t/0").unwrap_err();
+        let diag = err.diagnostic().expect("plan rejection is structured");
+        assert_eq!(diag.code, substrait_ir::DiagCode::FieldOutOfRange);
+        assert_eq!(diag.path, "root.measures[0].arg");
+    }
+
+    #[test]
     fn results_match_direct_execution() {
         let (ocs, schema) = deployment();
         let plan = Plan::new(Rel::Filter {

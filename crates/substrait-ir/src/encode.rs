@@ -316,11 +316,34 @@ impl<'a> Dec<'a> {
         }
     }
 
-    fn str(&mut self) -> Result<String> {
+    /// Read a fixed-width little-endian payload without panicking paths:
+    /// `bytes` has already bounds-checked, so the array conversion is by
+    /// construction rather than `expect`.
+    fn fixed<const N: usize>(&mut self) -> Result<[u8; N]> {
+        let raw = self.bytes(N)?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(raw);
+        Ok(out)
+    }
+
+    /// Read a sequence-length prefix and reject it *before allocating*
+    /// when the count exceeds `cap` or could not possibly fit in the
+    /// remaining buffer (every element costs at least `min_item_bytes`).
+    /// A truncated or hostile frame therefore errors instead of driving
+    /// a huge `Vec::with_capacity`.
+    fn seq_len(&mut self, cap: usize, min_item_bytes: usize, what: &str) -> Result<usize> {
         let n = self.varint()? as usize;
-        if n > 1 << 20 {
-            return Err(IrError::Corrupt("implausible string length".into()));
+        let remaining = self.buf.len() - self.pos;
+        if n > cap || n.saturating_mul(min_item_bytes) > remaining {
+            return Err(IrError::Corrupt(format!(
+                "implausible {what} length {n} for {remaining} remaining bytes"
+            )));
         }
+        Ok(n)
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.seq_len(1 << 20, 1, "string")?;
         let raw = self.bytes(n)?;
         std::str::from_utf8(raw)
             .map(|s| s.to_string())
@@ -334,17 +357,11 @@ impl<'a> Dec<'a> {
         }
         let dt = DataType::from_tag(tag).map_err(|e| IrError::Corrupt(e.to_string()))?;
         Ok(match dt {
-            DataType::Int64 => Scalar::Int64(i64::from_le_bytes(
-                self.bytes(8)?.try_into().expect("8 bytes"),
-            )),
-            DataType::Float64 => Scalar::Float64(f64::from_le_bytes(
-                self.bytes(8)?.try_into().expect("8 bytes"),
-            )),
+            DataType::Int64 => Scalar::Int64(i64::from_le_bytes(self.fixed::<8>()?)),
+            DataType::Float64 => Scalar::Float64(f64::from_le_bytes(self.fixed::<8>()?)),
             DataType::Boolean => Scalar::Boolean(self.u8()? == 1),
             DataType::Utf8 => Scalar::Utf8(self.str()?),
-            DataType::Date32 => Scalar::Date32(i32::from_le_bytes(
-                self.bytes(4)?.try_into().expect("4 bytes"),
-            )),
+            DataType::Date32 => Scalar::Date32(i32::from_le_bytes(self.fixed::<4>()?)),
         })
     }
 
@@ -419,10 +436,9 @@ impl<'a> Dec<'a> {
     }
 
     fn schema(&mut self) -> Result<Schema> {
-        let n = self.varint()? as usize;
-        if n > 65_536 {
-            return Err(IrError::Corrupt("implausible schema width".into()));
-        }
+        // Every field costs at least a name-length varint, a type tag and
+        // a nullability byte.
+        let n = self.seq_len(65_536, 3, "schema")?;
         let mut fields = Vec::with_capacity(n);
         for _ in 0..n {
             let name = self.str()?;
@@ -441,10 +457,7 @@ impl<'a> Dec<'a> {
                 let table = self.str()?;
                 let base_schema = self.schema()?;
                 let projection = if self.u8()? == 1 {
-                    let n = self.varint()? as usize;
-                    if n > 65_536 {
-                        return Err(IrError::Corrupt("implausible projection width".into()));
-                    }
+                    let n = self.seq_len(65_536, 1, "projection")?;
                     let mut p = Vec::with_capacity(n);
                     for _ in 0..n {
                         p.push(self.varint()? as usize);
@@ -467,10 +480,9 @@ impl<'a> Dec<'a> {
                 }
             }
             R_PROJECT => {
-                let n = self.varint()? as usize;
-                if n > 65_536 {
-                    return Err(IrError::Corrupt("implausible projection count".into()));
-                }
+                // Each column costs at least a name-length varint and an
+                // expression tag.
+                let n = self.seq_len(65_536, 2, "projection list")?;
                 let mut exprs = Vec::with_capacity(n);
                 for _ in 0..n {
                     let name = self.str()?;
@@ -482,19 +494,15 @@ impl<'a> Dec<'a> {
                 }
             }
             R_AGG => {
-                let ng = self.varint()? as usize;
-                if ng > 65_536 {
-                    return Err(IrError::Corrupt("implausible group-by count".into()));
-                }
+                let ng = self.seq_len(65_536, 2, "group-by list")?;
                 let mut group_by = Vec::with_capacity(ng);
                 for _ in 0..ng {
                     let name = self.str()?;
                     group_by.push((self.expr()?, name));
                 }
-                let nm = self.varint()? as usize;
-                if nm > 65_536 {
-                    return Err(IrError::Corrupt("implausible measure count".into()));
-                }
+                // Each measure costs at least a function tag, a name-length
+                // varint and an argument-presence flag.
+                let nm = self.seq_len(65_536, 3, "measure list")?;
                 let mut measures = Vec::with_capacity(nm);
                 for _ in 0..nm {
                     let func = match self.u8()? {
@@ -520,10 +528,8 @@ impl<'a> Dec<'a> {
                 }
             }
             R_SORT => {
-                let n = self.varint()? as usize;
-                if n > 65_536 {
-                    return Err(IrError::Corrupt("implausible sort-key count".into()));
-                }
+                // Each key costs at least two flag bytes and an expr tag.
+                let n = self.seq_len(65_536, 3, "sort-key list")?;
                 let mut keys = Vec::with_capacity(n);
                 for _ in 0..n {
                     let ascending = self.u8()? == 1;

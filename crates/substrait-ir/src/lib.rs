@@ -42,10 +42,12 @@
 
 pub mod encode;
 pub mod expr;
+pub mod planck;
 pub mod rel;
 
 pub use encode::{decode, encode};
 pub use expr::{Expr, Measure, SortField};
+pub use planck::{DiagCode, Diagnostic};
 pub use rel::{Plan, Rel};
 
 use std::fmt;

