@@ -1,0 +1,114 @@
+//! The streaming boundary's pipeline overlap, on a TPC-H-Q1-shaped
+//! multi-split scan + aggregation.
+//!
+//! The table is written with small row groups so every split streams many
+//! batch frames through the bounded client window; the query runs with
+//! filter-only pushdown so the engine consumes frames through streaming
+//! partial aggregation — the configuration where overlap matters most.
+//!
+//! The harness verifies the two acceptance gates before timing anything:
+//!
+//! * the overlapped makespan the pipeline scheduler bills must beat the
+//!   additive six-barrier model by >= 1.5x;
+//! * engine-side peak buffered bytes under the bounded frame window must
+//!   be >= 4x lower than whole-result buffering (the full response).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq::EngineBuilder;
+use lzcodec::CodecKind;
+use netsim::meter::human_bytes;
+use objstore::ObjectStore;
+use ocs_connector::{register_ocs_stack, OcsConnector, PushdownPolicy};
+use workloads::{queries, TableLoader, TpchConfig};
+
+const FILES: usize = 16;
+const ROWS_PER_FILE: usize = 64 * 1024;
+const ROW_GROUP_ROWS: usize = 2 * 1024;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let engine = EngineBuilder::new().build();
+    let store = Arc::new(ObjectStore::new());
+    {
+        let mut loader = TableLoader::new(&store, engine.metastore());
+        loader.codec = CodecKind::None;
+        loader.row_group_rows = ROW_GROUP_ROWS;
+        workloads::tpch::load(
+            &loader,
+            &TpchConfig {
+                files: FILES,
+                rows_per_file: ROWS_PER_FILE,
+                ..Default::default()
+            },
+        );
+    }
+    let ocs = register_ocs_stack(&engine, store.clone(), PushdownPolicy::all());
+    engine.register_connector(Arc::new(OcsConnector::new(
+        "pd-filter",
+        ocs,
+        engine.cluster().clone(),
+        engine.cost_params().clone(),
+        PushdownPolicy::filter_only(),
+    )));
+
+    let sql = queries::TPCH_Q1;
+    engine
+        .metastore()
+        .rebind_connector("lineitem", "pd-filter")
+        .unwrap();
+    let r = engine.execute(sql).expect("q1 via streaming boundary");
+    let p = &r.pipeline;
+
+    // Gate 1: pipeline overlap must beat the additive barrier model.
+    assert!(
+        p.overlapped_s > 0.0 && p.additive_s >= p.overlapped_s * 1.5,
+        "overlap gate: additive {:.4}s vs overlapped {:.4}s ({:.2}x, need >= 1.5x)",
+        p.additive_s,
+        p.overlapped_s,
+        p.additive_s / p.overlapped_s
+    );
+    // Gate 2: the bounded frame window must cap engine-side buffering at
+    // a quarter of what whole-result buffering holds (the full response).
+    assert!(
+        p.peak_buffered_bytes > 0 && p.peak_buffered_bytes * 4 <= r.moved_bytes,
+        "backpressure gate: peak {} vs whole-result {} ({:.2}x, need >= 4x)",
+        p.peak_buffered_bytes,
+        r.moved_bytes,
+        r.moved_bytes as f64 / p.peak_buffered_bytes as f64
+    );
+    println!(
+        "pipeline overlap check: additive {:.4}s vs overlapped {:.4}s \
+         ({:.2}x faster), {} frames over {} splits, first batch at {:.5}s, \
+         peak buffer {} vs whole-result {} ({:.1}x lower)",
+        p.additive_s,
+        p.overlapped_s,
+        p.additive_s / p.overlapped_s,
+        p.frames,
+        r.splits,
+        p.time_to_first_batch_s,
+        human_bytes(p.peak_buffered_bytes),
+        human_bytes(r.moved_bytes),
+        r.moved_bytes as f64 / p.peak_buffered_bytes as f64,
+    );
+
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function("q1_stream_filter_only", |b| {
+        b.iter(|| engine.execute(sql).unwrap().pipeline.overlapped_s)
+    });
+    engine
+        .metastore()
+        .rebind_connector("lineitem", "ocs")
+        .unwrap();
+    g.bench_function("q1_full_pushdown", |b| {
+        b.iter(|| engine.execute(sql).unwrap().pipeline.overlapped_s)
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pipeline
+}
+criterion_main!(benches);

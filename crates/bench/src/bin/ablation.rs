@@ -2,8 +2,12 @@
 //!
 //! 1. **cost-aware projection guard** — with `max_project_weight` set, the
 //!    Selectivity Analyzer declines the harmful projection pushdown the
-//!    paper observed (Deep Water −7 %, TPC-H −55 %) while keeping
-//!    everything else;
+//!    paper observed (Deep Water −7 %, TPC-H −55 %). Under the streamed
+//!    batch boundary the penalty is workload-dependent: TPC-H's heavy
+//!    expression projection still loses (weak storage cores on the
+//!    critical path), while Deep Water's milder projection now *hides*
+//!    inside the pipeline and pushing it wins — both directions are
+//!    asserted;
 //! 2. **symmetric cluster** — give the storage node the compute node's
 //!    resources and the projection penalty disappears, confirming the
 //!    effect comes from the resource asymmetry, not the mechanism;
@@ -74,12 +78,32 @@ fn main() {
             handle_of(&aware)
         )
         .unwrap();
-        assert!(
-            aware.simulated_seconds <= blind.simulated_seconds + 1e-9,
-            "declining the projection must not be slower"
-        );
+        if table == "lineitem" {
+            // TPC-H's expression projection stays harmful: the weight
+            // guard must win by declining it.
+            assert!(
+                aware.simulated_seconds <= blind.simulated_seconds + 1e-9,
+                "declining the TPC-H projection must not be slower"
+            );
+        } else {
+            // Deep Water flips under the streamed boundary: the milder
+            // projection overlaps with the engine's serial per-split
+            // aggregation chain, so pushing it is now the faster plan and
+            // the weight-only guard is measurably conservative here.
+            assert!(
+                blind.simulated_seconds <= aware.simulated_seconds + 1e-9,
+                "streamed Deep Water projection pushdown must not be slower"
+            );
+        }
         assert_eq!(aware.batch.num_rows(), blind.batch.num_rows());
     }
+    writeln!(
+        out,
+        "(TPC-H's heavy projection still loses on the weak storage node; Deep \
+         Water's milder projection now hides inside the streamed pipeline, so \
+         the weight-only guard is conservative there)"
+    )
+    .unwrap();
     writeln!(out).unwrap();
 
     // ---- 2. Symmetric cluster -------------------------------------------
@@ -90,8 +114,8 @@ fn main() {
     .unwrap();
     writeln!(
         out,
-        "{:<22} {:>14} {:>14} {:>10}",
-        "cluster", "filter-only", "filter+proj", "penalty"
+        "{:<22} {:>14} {:>14} {:>12} {:>12}",
+        "cluster", "filter-only", "filter+proj", "streamed", "additive"
     )
     .unwrap();
     for (name, cluster) in [
@@ -101,22 +125,27 @@ fn main() {
         let stack = build_stack(
             scale,
             CodecKind::None,
-            DatasetSelection::only("deepwater"),
+            DatasetSelection::only("lineitem"),
             cluster,
         );
-        let f = run_as(&stack, "deepwater", "pd-filter", queries::DEEPWATER);
-        let fp = run_as(&stack, "deepwater", "pd-filter-proj", queries::DEEPWATER);
-        let penalty = (fp.simulated_seconds / f.simulated_seconds - 1.0) * 100.0;
+        let f = run_as(&stack, "lineitem", "pd-filter", queries::TPCH_Q1);
+        let fp = run_as(&stack, "lineitem", "pd-filter-proj", queries::TPCH_Q1);
+        let streamed = (fp.simulated_seconds / f.simulated_seconds - 1.0) * 100.0;
+        let additive = (fp.pipeline.additive_s / f.pipeline.additive_s - 1.0) * 100.0;
         writeln!(
             out,
-            "{:<22} {:>12.3} s {:>12.3} s {:>9.1} %",
-            name, f.simulated_seconds, fp.simulated_seconds, penalty
+            "{:<22} {:>12.3} s {:>12.3} s {:>10.1} % {:>10.1} %",
+            name, f.simulated_seconds, fp.simulated_seconds, streamed, additive
         )
         .unwrap();
     }
     writeln!(
         out,
-        "(the projection-pushdown slowdown is a property of the weak storage node)\n"
+        "(under the paper's additive stage barriers the penalty is dominated by \
+         the weak storage node's expression evaluation and shrinks on a \
+         symmetric cluster; the streamed pipeline hides most of that CPU time, \
+         leaving the residual penalty of the *wider computed columns* crossing \
+         the wire, which no amount of storage CPU removes)\n"
     )
     .unwrap();
 
@@ -181,6 +210,7 @@ fn ocs_for(stack: &ocs_bench::BenchStack) -> Arc<ocs::Ocs> {
             frontend_node: stack.engine.cluster().frontend.clone(),
             cost: stack.engine.cost_params().clone(),
             storage_nodes: 1,
+            frame_window: ocs::DEFAULT_FRAME_WINDOW,
         },
     ))
 }

@@ -2,7 +2,20 @@
 //! in the paper: a compact, columnar, self-describing binary encoding used
 //! to return OCS results to the engine.
 //!
-//! Layout (all integers little-endian):
+//! Two layers live here:
+//!
+//! * the **batch encoding** (`encode_batch`/`decode_batch`) — one
+//!   self-describing `b"CIP1"` message per batch;
+//! * the **frame stream** (`encode_schema_frame`/`encode_batch_frame`/
+//!   `encode_trailer_frame` + [`FrameDecoder`]) — the streaming boundary's
+//!   unit of transfer: a schema frame, then one frame per batch as the
+//!   storage executor emits them, then a trailer frame carrying the
+//!   request's execution statistics. Frames are length-prefixed,
+//!   bound-checked and individually checksummed so a consumer can decode
+//!   incrementally as bytes arrive and fail structurally (never panic) on
+//!   truncation or corruption.
+//!
+//! Batch layout (all integers little-endian):
 //!
 //! ```text
 //! magic   : 4 bytes  b"CIP1"
@@ -11,6 +24,16 @@
 //! fields  : per column — name_len u32, name bytes, type tag u8, nullable u8
 //! columns : per column — has_validity u8, [validity bytes], value buffers
 //! crc     : u32 (FNV-1a over everything before it)
+//! ```
+//!
+//! Frame layout:
+//!
+//! ```text
+//! magic   : 4 bytes  b"CFR1"
+//! kind    : u8 (1 = schema, 2 = batch, 3 = trailer)
+//! len     : u32 payload length (bound-checked against MAX_FRAME_BYTES)
+//! payload : len bytes (schema fields / one CIP1 batch / opaque stats)
+//! crc     : u32 (FNV-1a over magic..payload)
 //! ```
 
 use bytes::{BufMut, Bytes, BytesMut};
@@ -21,7 +44,7 @@ use crate::batch::RecordBatch;
 use crate::bitmap::Bitmap;
 use crate::datatype::DataType;
 use crate::error::{ColumnarError, Result};
-use crate::schema::{Field, Schema};
+use crate::schema::{Field, Schema, SchemaRef};
 
 const MAGIC: &[u8; 4] = b"CIP1";
 
@@ -32,6 +55,16 @@ fn fnv1a(bytes: &[u8]) -> u32 {
         h = h.wrapping_mul(0x0100_0193);
     }
     h
+}
+
+/// Little-endian u32 from the first four bytes of a length-checked slice.
+fn le_u32(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Little-endian u64 from the first eight bytes of a length-checked slice.
+fn le_u64(b: &[u8]) -> u64 {
+    u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]])
 }
 
 fn put_validity(buf: &mut BytesMut, validity: Option<&Bitmap>) {
@@ -127,15 +160,11 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self) -> Result<u32> {
-        Ok(u32::from_le_bytes(
-            self.bytes(4)?.try_into().expect("4 bytes"),
-        ))
+        Ok(le_u32(self.bytes(4)?))
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(
-            self.bytes(8)?.try_into().expect("8 bytes"),
-        ))
+        Ok(le_u64(self.bytes(8)?))
     }
 
     fn bytes(&mut self, n: usize) -> Result<&'a [u8]> {
@@ -168,26 +197,20 @@ impl<'a> Reader<'a> {
         Ok(match dt {
             DataType::Int64 => {
                 let raw = self.bytes(nrows * 8)?;
-                let values = raw
-                    .chunks_exact(8)
-                    .map(|c| i64::from_le_bytes(c.try_into().expect("chunk")))
-                    .collect();
+                let values = raw.chunks_exact(8).map(|c| le_u64(c) as i64).collect();
                 Array::Int64(Int64Array { values, validity })
             }
             DataType::Float64 => {
                 let raw = self.bytes(nrows * 8)?;
                 let values = raw
                     .chunks_exact(8)
-                    .map(|c| f64::from_le_bytes(c.try_into().expect("chunk")))
+                    .map(|c| f64::from_bits(le_u64(c)))
                     .collect();
                 Array::Float64(Float64Array { values, validity })
             }
             DataType::Date32 => {
                 let raw = self.bytes(nrows * 4)?;
-                let values = raw
-                    .chunks_exact(4)
-                    .map(|c| i32::from_le_bytes(c.try_into().expect("chunk")))
-                    .collect();
+                let values = raw.chunks_exact(4).map(|c| le_u32(c) as i32).collect();
                 Array::Date32(Date32Array { values, validity })
             }
             DataType::Boolean => {
@@ -197,10 +220,7 @@ impl<'a> Reader<'a> {
             }
             DataType::Utf8 => {
                 let raw = self.bytes((nrows + 1) * 4)?;
-                let offsets: Vec<u32> = raw
-                    .chunks_exact(4)
-                    .map(|c| u32::from_le_bytes(c.try_into().expect("chunk")))
-                    .collect();
+                let offsets: Vec<u32> = raw.chunks_exact(4).map(le_u32).collect();
                 let data_len = self.u32()? as usize;
                 if let Some(&last) = offsets.last() {
                     if last as usize != data_len {
@@ -237,8 +257,7 @@ pub fn decode_batch(bytes: &Bytes) -> Result<RecordBatch> {
         return Err(ColumnarError::Corrupt("IPC message too short".into()));
     }
     let body = bytes.slice(..bytes.len() - 4);
-    let crc_bytes = &bytes[bytes.len() - 4..];
-    let expect = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    let expect = le_u32(&bytes[bytes.len() - 4..]);
     if fnv1a(&body) != expect {
         return Err(ColumnarError::Corrupt("IPC checksum mismatch".into()));
     }
@@ -309,6 +328,191 @@ pub fn decode_batches(bytes: &Bytes) -> Result<Vec<RecordBatch>> {
             "trailing bytes after batch stream".into(),
         ));
     }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Frame stream: the streaming boundary's unit of transfer.
+// ---------------------------------------------------------------------------
+
+const FRAME_MAGIC: &[u8; 4] = b"CFR1";
+/// Fixed frame header size: magic + kind + payload length.
+const FRAME_HEADER: usize = 4 + 1 + 4;
+/// Upper bound on a single frame's payload — rejects absurd length
+/// prefixes before any allocation happens.
+pub const MAX_FRAME_BYTES: usize = 1 << 28;
+
+const KIND_SCHEMA: u8 = 1;
+const KIND_BATCH: u8 = 2;
+const KIND_TRAILER: u8 = 3;
+
+/// One decoded frame of a streaming response.
+#[derive(Debug, Clone)]
+pub enum Frame {
+    /// Stream header: the schema every following batch conforms to.
+    Schema(SchemaRef),
+    /// One record batch.
+    Batch(RecordBatch),
+    /// Stream footer: an opaque stats payload (the wire layer above
+    /// decides its encoding) marking a complete, well-terminated stream.
+    Trailer(Bytes),
+}
+
+fn encode_frame(kind: u8, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER + payload.len() + 4);
+    buf.put_slice(FRAME_MAGIC);
+    buf.put_u8(kind);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_slice(payload);
+    let crc = fnv1a(&buf);
+    buf.put_u32_le(crc);
+    buf.freeze()
+}
+
+/// Encode a schema frame (the first frame of every stream).
+pub fn encode_schema_frame(schema: &Schema) -> Bytes {
+    let mut payload = BytesMut::new();
+    payload.put_u32_le(schema.fields().len() as u32);
+    for field in schema.fields() {
+        payload.put_u32_le(field.name.len() as u32);
+        payload.put_slice(field.name.as_bytes());
+        payload.put_u8(field.data_type.tag());
+        payload.put_u8(field.nullable as u8);
+    }
+    encode_frame(KIND_SCHEMA, &payload)
+}
+
+/// Encode one batch frame (payload is a full CIP1 message, so each batch
+/// frame is independently verifiable).
+pub fn encode_batch_frame(batch: &RecordBatch) -> Bytes {
+    encode_frame(KIND_BATCH, &encode_batch(batch))
+}
+
+/// Encode the trailer frame closing a stream. The payload is opaque to
+/// this layer (the OCS wire protocol stores its encoded `ExecStats` here).
+pub fn encode_trailer_frame(payload: &[u8]) -> Bytes {
+    encode_frame(KIND_TRAILER, payload)
+}
+
+fn decode_schema_payload(payload: &Bytes) -> Result<SchemaRef> {
+    let mut r = Reader {
+        src: payload,
+        pos: 0,
+    };
+    let ncols = r.u32()? as usize;
+    if ncols > 65_536 {
+        return Err(ColumnarError::Corrupt(format!(
+            "implausible column count {ncols} in schema frame"
+        )));
+    }
+    let mut fields = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let name_len = r.u32()? as usize;
+        let name = std::str::from_utf8(r.bytes(name_len)?)
+            .map_err(|e| ColumnarError::Corrupt(format!("field name not utf8: {e}")))?
+            .to_string();
+        let dt = DataType::from_tag(r.u8()?)?;
+        let nullable = r.u8()? == 1;
+        fields.push(Field::new(name, dt, nullable));
+    }
+    if r.remaining() != 0 {
+        return Err(ColumnarError::Corrupt(
+            "trailing bytes after schema frame".into(),
+        ));
+    }
+    Ok(Arc::new(Schema::new(fields)))
+}
+
+/// Incremental frame decoder: feed it wire bytes in arbitrary chunks and
+/// pull complete [`Frame`]s out as they become available.
+///
+/// `next_frame` returns `Ok(None)` while the buffered bytes do not yet
+/// form a complete frame; a malformed prefix (bad magic, oversized length,
+/// checksum mismatch, unknown kind) is a structured [`ColumnarError`] —
+/// never a panic. [`FrameDecoder::finish`] reports bytes left dangling
+/// after the producer claims the stream is complete (truncation check).
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// New decoder with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append wire bytes (any chunking, including byte-at-a-time).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered but not yet consumed as frames.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to decode the next complete frame. `Ok(None)` means "need more
+    /// bytes"; errors are fatal for the stream.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        if self.buf.len() < FRAME_HEADER {
+            return Ok(None);
+        }
+        if &self.buf[..4] != FRAME_MAGIC {
+            return Err(ColumnarError::Corrupt("bad frame magic".into()));
+        }
+        let kind = self.buf[4];
+        let payload_len = le_u32(&self.buf[5..9]) as usize;
+        if payload_len > MAX_FRAME_BYTES {
+            return Err(ColumnarError::Corrupt(format!(
+                "frame payload of {payload_len} bytes exceeds the {MAX_FRAME_BYTES} byte bound"
+            )));
+        }
+        let total = FRAME_HEADER + payload_len + 4;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = self.buf.split_to(total).freeze();
+        let body = frame.slice(..total - 4);
+        let expect = le_u32(&frame[total - 4..]);
+        if fnv1a(&body) != expect {
+            return Err(ColumnarError::Corrupt("frame checksum mismatch".into()));
+        }
+        let payload = frame.slice(FRAME_HEADER..total - 4);
+        match kind {
+            KIND_SCHEMA => Ok(Some(Frame::Schema(decode_schema_payload(&payload)?))),
+            KIND_BATCH => Ok(Some(Frame::Batch(decode_batch(&payload)?))),
+            KIND_TRAILER => Ok(Some(Frame::Trailer(payload))),
+            other => Err(ColumnarError::Corrupt(format!(
+                "unknown frame kind {other}"
+            ))),
+        }
+    }
+
+    /// Assert the stream ended cleanly: no partial frame left in the
+    /// buffer. Call after the producer signals end-of-stream.
+    pub fn finish(&self) -> Result<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(ColumnarError::Corrupt(format!(
+                "{} dangling bytes after end of frame stream (truncated frame)",
+                self.buf.len()
+            )))
+        }
+    }
+}
+
+/// Decode a fully-buffered frame sequence (convenience over
+/// [`FrameDecoder`] for tests and the buffered compatibility path).
+pub fn decode_frames(bytes: &Bytes) -> Result<Vec<Frame>> {
+    let mut dec = FrameDecoder::new();
+    dec.feed(bytes);
+    let mut out = Vec::new();
+    while let Some(f) = dec.next_frame()? {
+        out.push(f);
+    }
+    dec.finish()?;
     Ok(out)
 }
 
@@ -428,5 +632,139 @@ mod tests {
         // Wire size should be within a small constant + buffer sizes.
         assert!(enc.len() >= b.byte_size());
         assert!(enc.len() <= b.byte_size() + 512);
+    }
+
+    fn stream_bytes(batches: usize) -> (Vec<u8>, RecordBatch) {
+        let b = mixed_batch();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode_schema_frame(b.schema()));
+        for _ in 0..batches {
+            wire.extend_from_slice(&encode_batch_frame(&b));
+        }
+        wire.extend_from_slice(&encode_trailer_frame(b"stats-payload"));
+        (wire, b)
+    }
+
+    #[test]
+    fn frame_stream_roundtrip_under_random_chunking() {
+        let (wire, b) = stream_bytes(3);
+        // Feed in deterministic-but-odd chunk sizes, including 1-byte.
+        for chunk in [1usize, 3, 7, 64, 1009, wire.len()] {
+            let mut dec = FrameDecoder::new();
+            let mut frames = Vec::new();
+            for piece in wire.chunks(chunk) {
+                dec.feed(piece);
+                while let Some(f) = dec.next_frame().unwrap() {
+                    frames.push(f);
+                }
+            }
+            dec.finish().unwrap();
+            assert_eq!(frames.len(), 5, "chunk size {chunk}");
+            assert!(matches!(&frames[0], Frame::Schema(s) if **s == **b.schema()));
+            for f in &frames[1..4] {
+                match f {
+                    Frame::Batch(back) => assert_eq!(back.num_rows(), b.num_rows()),
+                    other => panic!("expected batch frame, got {other:?}"),
+                }
+            }
+            assert!(matches!(&frames[4], Frame::Trailer(t) if t.as_ref() == b"stats-payload"));
+        }
+    }
+
+    #[test]
+    fn frame_truncation_is_detected_not_panicked() {
+        let (wire, _) = stream_bytes(2);
+        // Every proper prefix either yields fewer frames + a finish error,
+        // or a structured decode error — never a panic.
+        for cut in [1usize, 8, 9, wire.len() / 2, wire.len() - 1] {
+            let mut dec = FrameDecoder::new();
+            dec.feed(&wire[..cut]);
+            let mut ok = true;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                assert!(dec.finish().is_err(), "cut at {cut} looked complete");
+            }
+        }
+    }
+
+    #[test]
+    fn frame_bitflips_are_structured_errors() {
+        let (wire, _) = stream_bytes(1);
+        for pos in 0..wire.len() {
+            let mut bad = wire.clone();
+            bad[pos] ^= 0x01;
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bad);
+            let mut failed = false;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => break,
+                    Err(ColumnarError::Corrupt(_)) => {
+                        failed = true;
+                        break;
+                    }
+                    Err(e) => panic!("unexpected error class at byte {pos}: {e}"),
+                }
+            }
+            if !failed {
+                // A flip may land in a payload length prefix such that the
+                // stream just looks incomplete; finish() must flag it.
+                assert!(dec.finish().is_err(), "bit flip at {pos} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(FRAME_MAGIC);
+        frame.push(KIND_BATCH);
+        frame.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        assert!(dec.next_frame().is_err());
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_rejected() {
+        let enc = encode_frame(9, b"zzz");
+        let mut dec = FrameDecoder::new();
+        dec.feed(&enc);
+        assert!(matches!(dec.next_frame(), Err(ColumnarError::Corrupt(_))));
+    }
+
+    #[test]
+    fn decode_frames_convenience() {
+        let (wire, _) = stream_bytes(2);
+        let frames = decode_frames(&Bytes::from(wire)).unwrap();
+        assert_eq!(frames.len(), 4);
+        assert!(decode_frames(&Bytes::from_static(b"CFR1")).is_err());
+        assert!(decode_frames(&Bytes::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_frames_alias_wire_buffer() {
+        // Zero-copy must survive the framing layer: a decoded batch's Utf8
+        // data should point into the frame bytes fed to the decoder.
+        let b = mixed_batch();
+        let frame = encode_batch_frame(&b);
+        let mut dec = FrameDecoder::new();
+        dec.feed(&frame);
+        let decoded = match dec.next_frame().unwrap() {
+            Some(Frame::Batch(batch)) => batch,
+            other => panic!("expected batch, got {other:?}"),
+        };
+        let utf8 = decoded.column(3).as_utf8().unwrap();
+        assert_eq!(std::str::from_utf8(&utf8.data).unwrap(), "hello");
     }
 }

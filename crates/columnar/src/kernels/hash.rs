@@ -59,7 +59,7 @@ const NULL_MARK: u64 = 0x6e_75_6c_6c_6e_75_6c_6c;
 /// Hash each row of `column`, combining into `hashes` (which must have one
 /// slot per row, pre-seeded — pass all-zeros for the first column).
 ///
-/// NULL rows mix [`NULL_MARK`] in place of the value slot, so the bytes
+/// NULL rows mix a fixed null marker in place of the value slot, so the bytes
 /// sitting under a null never influence the hash.
 pub fn hash_column_into(column: &Array, hashes: &mut [u64]) -> Result<()> {
     assert_eq!(column.len(), hashes.len(), "hash buffer length");

@@ -10,7 +10,7 @@
 //!
 //! * [`datatype`] — the logical type system ([`DataType`], [`Scalar`]).
 //! * [`bitmap`] — packed validity/selection bitmaps.
-//! * [`array`] — immutable typed arrays and the [`Array`] enum.
+//! * [`array`](mod@array) — immutable typed arrays and the [`Array`] enum.
 //! * [`builder`] — incremental array construction.
 //! * [`schema`] — [`Field`] / [`Schema`].
 //! * [`batch`] — [`RecordBatch`], the unit of vectorized execution

@@ -15,11 +15,11 @@ use dsq::error::{EResult, EngineError};
 use dsq::expr::ScalarExpr;
 use dsq::plan::{LogicalPlan, TableScanNode};
 use dsq::spi::{
-    Connector, ConnectorPlanOptimizer, DefaultSplitManager, DefaultTableHandle, OptimizerContext,
-    PageSourceProvider, PageSourceResult, Split, SplitManager, TableHandle,
+    BufferedPageStream, Connector, ConnectorPlanOptimizer, DefaultSplitManager, DefaultTableHandle,
+    OptimizerContext, PageSourceProvider, PageSourceResult, Split, SplitManager, TableHandle,
 };
 use lzcodec::CodecKind;
-use netsim::{ClusterSpec, CostParams, Work};
+use netsim::{ClusterSpec, CostParams, ExecStats, Work};
 use objstore::{ObjectStore, SelectPredicate, SelectRequest};
 
 /// Scan handle carrying the select-API request.
@@ -232,17 +232,25 @@ impl PageSourceProvider for HivePageSourceProvider {
             resp.stats.returned_bytes as f64 * self.cost.byte_deser,
         ));
 
+        let rows_returned: u64 = resp.batches.iter().map(|b| b.num_rows() as u64).sum();
+        // The select API hands back one monolithic response — a single
+        // indivisible frame as far as the pipeline scheduler is concerned.
         Ok(PageSourceResult {
-            batches: resp.batches,
-            storage_cpu_s,
-            storage_decompress_s,
-            disk_bytes: resp.stats.disk_bytes,
-            network_bytes: resp.stats.returned_bytes,
-            network_requests: 1,
-            frontend_cpu_s: 0.0,
+            stream: BufferedPageStream::whole_result(
+                resp.batches,
+                ExecStats {
+                    storage_cpu_s,
+                    storage_decompress_s,
+                    disk_bytes: resp.stats.disk_bytes,
+                    rows_scanned: resp.stats.rows_scanned,
+                    rows_returned,
+                    ..Default::default()
+                },
+                resp.stats.returned_bytes,
+                1,
+                compute_deser_s,
+            ),
             substrait_gen_s: 0.0,
-            compute_deser_s,
-            ..Default::default()
         })
     }
 }

@@ -161,6 +161,7 @@ pub fn register_ocs_stack(
             frontend_node: cluster.frontend.clone(),
             cost: cost.clone(),
             storage_nodes: 1,
+            frame_window: ocs::DEFAULT_FRAME_WINDOW,
         },
     ));
     engine.register_connector(Arc::new(OcsConnector::new(

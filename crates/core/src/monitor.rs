@@ -27,6 +27,12 @@ pub struct HistoryEntry {
     pub row_groups_skipped: u64,
     /// Encoded bytes the storage scan never decoded.
     pub decoded_bytes_avoided: u64,
+    /// Pipeline completion time of the earliest batch frame.
+    pub time_to_first_batch_s: f64,
+    /// Peak encoded bytes buffered engine-side across split streams.
+    pub peak_buffered_bytes: u64,
+    /// Frames that crossed the storage boundary.
+    pub frames: u64,
 }
 
 /// Sliding window of recent executions.
@@ -104,6 +110,54 @@ impl PushdownHistory {
     pub fn total_decoded_bytes_avoided(&self) -> u64 {
         self.entries.iter().map(|e| e.decoded_bytes_avoided).sum()
     }
+
+    /// Mean pipeline time-to-first-batch over the window — how quickly the
+    /// streaming boundary starts delivering rows to the final stage.
+    pub fn mean_time_to_first_batch_s(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries
+            .iter()
+            .map(|e| e.time_to_first_batch_s)
+            .sum::<f64>()
+            / self.entries.len() as f64
+    }
+
+    /// Largest engine-side stream buffer any remembered query needed —
+    /// bounded by `frame window × frame size × splits`, and the number the
+    /// backpressure window exists to keep small.
+    pub fn max_peak_buffered_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| e.peak_buffered_bytes)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean frames per remembered query (schema + batch + trailer frames
+    /// across all splits).
+    pub fn mean_frames_per_query(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries.iter().map(|e| e.frames as f64).sum::<f64>() / self.entries.len() as f64
+    }
+
+    /// One-line operator-facing summary of the window.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} queries: pushdown {:.0}%, mean {:.3}s, mean moved {:.0} B, \
+             first batch {:.4}s, {:.1} frames/query, peak stream buffer {} B",
+            self.len(),
+            self.pushdown_rate() * 100.0,
+            self.mean_seconds(),
+            self.mean_moved_bytes(),
+            self.mean_time_to_first_batch_s(),
+            self.mean_frames_per_query(),
+            self.max_peak_buffered_bytes(),
+        )
+    }
 }
 
 /// The `EventListener` feeding the history.
@@ -138,6 +192,9 @@ impl EventListener for PushdownMonitor {
             pushed,
             row_groups_skipped: event.row_groups_skipped,
             decoded_bytes_avoided: event.decoded_bytes_avoided,
+            time_to_first_batch_s: event.time_to_first_batch_s,
+            peak_buffered_bytes: event.peak_buffered_bytes,
+            frames: event.frames,
         });
     }
 }
@@ -161,6 +218,9 @@ mod tests {
             breakdown: vec![],
             row_groups_skipped: if pushed { 3 } else { 0 },
             decoded_bytes_avoided: if pushed { 4096 } else { 0 },
+            time_to_first_batch_s: 0.25,
+            peak_buffered_bytes: bytes / 4,
+            frames: 12,
         }
     }
 
@@ -189,6 +249,14 @@ mod tests {
             assert_eq!(h.mean_seconds(), 3.0);
             assert_eq!(h.total_row_groups_skipped(), 3);
             assert_eq!(h.total_decoded_bytes_avoided(), 4096);
+            assert_eq!(h.mean_time_to_first_batch_s(), 0.25);
+            assert_eq!(h.max_peak_buffered_bytes(), 75);
+            assert_eq!(h.mean_frames_per_query(), 12.0);
+            let s = h.summary();
+            assert!(s.contains("2 queries"));
+            assert!(s.contains("50%"));
+            assert!(s.contains("12.0 frames/query"));
+            assert!(s.contains("peak stream buffer 75 B"));
         });
         let empty = PushdownMonitor::new(5);
         empty.with_history(|h| {

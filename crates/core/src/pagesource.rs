@@ -1,12 +1,16 @@
 //! The OCS PageSourceProvider (paper §3.4 steps 3–5): reconstructs the
 //! pushed-down operators from the table handle, translates them to
-//! Substrait IR, dispatches to OCS over the byte-counted RPC boundary, and
-//! deserializes the Arrow results into engine pages.
+//! Substrait IR, dispatches to OCS over the framed streaming RPC
+//! boundary, and hands the engine a lazy batch stream so split workers
+//! consume results frame-at-a-time while storage is still producing.
 
+use std::sync::Arc;
+
+use columnar::{RecordBatch, Schema};
 use dsq::error::{EResult, EngineError};
-use dsq::spi::{PageSourceProvider, PageSourceResult, Split};
+use dsq::spi::{PageMetrics, PageSourceProvider, PageSourceResult, PageStream, Split};
 use netsim::{ClusterSpec, CostParams, Work};
-use ocs::OcsClient;
+use ocs::{BatchStream, OcsClient, OcsError};
 
 use crate::handle::OcsTableHandle;
 use crate::translate::to_substrait;
@@ -29,6 +33,50 @@ impl OcsPageSourceProvider {
     }
 }
 
+fn map_ocs_err(e: OcsError) -> EngineError {
+    // A plan rejection comes back as a structured diagnostic — log the
+    // offending node's path and code, not just a flattened message.
+    match e.diagnostic() {
+        Some(d) => EngineError::Connector(format!(
+            "ocs rejected the shipped plan at {} [{}]: {}",
+            d.path, d.code, d.message
+        )),
+        None => EngineError::Connector(format!("ocs rpc: {e}")),
+    }
+}
+
+/// A [`PageStream`] over the OCS streaming boundary: each `next_batch`
+/// pulls one framed batch through the client's bounded in-flight window;
+/// `finish` converts the stream trailer into engine-side accounting.
+struct OcsPageStream {
+    stream: BatchStream,
+    cluster: ClusterSpec,
+    cost: CostParams,
+}
+
+impl PageStream for OcsPageStream {
+    fn next_batch(&mut self) -> EResult<Option<RecordBatch>> {
+        self.stream.next_batch().map_err(map_ocs_err)
+    }
+
+    fn finish(self: Box<Self>) -> EResult<PageMetrics> {
+        let this = *self;
+        let summary = this.stream.finish().map_err(map_ocs_err)?;
+        // Engine-side deserialization of the framed Arrow payload.
+        let compute_deser_s = this.cluster.compute.core_seconds_for(Work::decode(
+            summary.response_bytes as f64 * this.cost.byte_deser,
+        ));
+        Ok(PageMetrics {
+            stats: summary.stats,
+            network_bytes: summary.request_bytes + summary.response_bytes,
+            network_requests: 1,
+            compute_deser_s,
+            frames: summary.timings,
+            peak_buffered_bytes: summary.peak_buffered_bytes,
+        })
+    }
+}
+
 impl PageSourceProvider for OcsPageSourceProvider {
     fn create(&self, split: &Split) -> EResult<PageSourceResult> {
         let handle = split
@@ -39,19 +87,27 @@ impl PageSourceProvider for OcsPageSourceProvider {
             .or_else(|| {
                 // A scan the connector optimizer never rewrote (e.g. the
                 // policy declined everything): treat the default handle as
-                // a plain projected read through OCS.
+                // a plain projected read through OCS, built against the
+                // split's base schema.
                 split
                     .handle
                     .as_any()
                     .downcast_ref::<dsq::spi::DefaultTableHandle>()
                     .map(|h| {
-                        let projection = h.projection.clone().unwrap_or_default();
+                        let projection = h
+                            .projection
+                            .clone()
+                            .unwrap_or_else(|| (0..split.schema.fields().len()).collect());
+                        let fields = projection
+                            .iter()
+                            .filter_map(|&i| split.schema.fields().get(i).cloned())
+                            .collect();
                         OcsTableHandle {
                             table: split.table.clone(),
-                            base_schema: std::sync::Arc::new(columnar::Schema::empty()),
+                            base_schema: split.schema.clone(),
                             projection,
                             pushed: Default::default(),
-                            output_schema: std::sync::Arc::new(columnar::Schema::empty()),
+                            output_schema: Arc::new(Schema::new(fields)),
                         }
                     })
             })
@@ -64,9 +120,7 @@ impl PageSourceProvider for OcsPageSourceProvider {
 
         if handle.base_schema.is_empty() {
             return Err(EngineError::Connector(
-                "ocs scan without a rewritten handle; register the \
-                 connector's plan optimizer"
-                    .into(),
+                "ocs scan over a table with an empty schema".into(),
             ));
         }
 
@@ -86,37 +140,112 @@ impl PageSourceProvider for OcsPageSourceProvider {
             .compute
             .core_seconds_for(Work::vector(ir_nodes as f64 * self.cost.substrait_node_gen));
 
-        // 2. Ship to OCS and execute in storage. A plan rejection comes
-        //    back as a structured diagnostic — log the offending node's
-        //    path and code, not just a flattened message.
-        let resp = self
+        // 2. Open the streaming request. Storage executes eagerly but the
+        //    response crosses the boundary lazily: at most the client's
+        //    frame window is encoded and buffered at any time.
+        let stream = self
             .client
-            .execute(&plan, &split.bucket, &split.key)
-            .map_err(|e| match e.diagnostic() {
-                Some(d) => EngineError::Connector(format!(
-                    "ocs rejected the shipped plan at {} [{}]: {}",
-                    d.path, d.code, d.message
-                )),
-                None => EngineError::Connector(format!("ocs rpc: {e}")),
-            })?;
-
-        // 3. Engine-side deserialization of the Arrow payload.
-        let compute_deser_s = self.cluster.compute.core_seconds_for(Work::decode(
-            resp.response_bytes as f64 * self.cost.byte_deser,
-        ));
+            .execute_stream(&plan, &split.bucket, &split.key)
+            .map_err(map_ocs_err)?;
 
         Ok(PageSourceResult {
-            batches: resp.batches,
-            storage_cpu_s: resp.storage_cpu_s,
-            storage_decompress_s: resp.storage_decompress_s,
-            disk_bytes: resp.disk_bytes,
-            network_bytes: resp.request_bytes + resp.response_bytes,
-            network_requests: 1,
-            frontend_cpu_s: resp.frontend_cpu_s,
+            stream: Box::new(OcsPageStream {
+                stream,
+                cluster: self.cluster.clone(),
+                cost: self.cost.clone(),
+            }),
             substrait_gen_s,
-            compute_deser_s,
-            row_groups_skipped: resp.row_groups_skipped,
-            decoded_bytes_avoided: resp.decoded_bytes_avoided,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq::spi::DefaultTableHandle;
+    use objstore::ObjectStore;
+    use ocs::{Ocs, OcsConfig};
+
+    fn deployment() -> (OcsClient, columnar::SchemaRef) {
+        use columnar::{Array, DataType, Field};
+        let store = Arc::new(ObjectStore::new());
+        store.create_bucket("lake").unwrap();
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("x", DataType::Int64, false),
+            Field::new("y", DataType::Float64, false),
+        ]));
+        let batch = RecordBatch::try_new(
+            schema.clone(),
+            vec![
+                Arc::new(Array::from_i64((0..100).collect())),
+                Arc::new(Array::from_f64((0..100).map(|v| v as f64).collect())),
+            ],
+        )
+        .unwrap();
+        let bytes = parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();
+        store.put_object("lake", "t/0", bytes.into()).unwrap();
+        let ocs = Ocs::new(store, OcsConfig::paper_testbed());
+        (ocs.client(), schema)
+    }
+
+    fn split(schema: columnar::SchemaRef, handle: Arc<dyn dsq::spi::TableHandle>) -> Split {
+        Split {
+            connector: "ocs".into(),
+            table: "t".into(),
+            bucket: "lake".into(),
+            key: "t/0".into(),
+            schema,
+            handle,
+            seq: 0,
+        }
+    }
+
+    /// Regression: a never-rewritten `DefaultTableHandle` must serve a
+    /// plain read from the split's base schema instead of fabricating an
+    /// empty-schema handle that the provider then rejects.
+    #[test]
+    fn default_handle_serves_plain_read() {
+        let (client, schema) = deployment();
+        let provider =
+            OcsPageSourceProvider::new(client, ClusterSpec::paper_testbed(), CostParams::default());
+        let page = provider
+            .create(&split(
+                schema.clone(),
+                Arc::new(DefaultTableHandle::all_columns()),
+            ))
+            .expect("default handle must fall back to a plain read");
+        let mut stream = page.stream;
+        let mut rows = 0usize;
+        let mut cols = 0usize;
+        while let Some(b) = stream.next_batch().unwrap() {
+            rows += b.num_rows();
+            cols = b.num_columns();
+        }
+        assert_eq!(rows, 100);
+        assert_eq!(cols, 2);
+        let metrics = stream.finish().unwrap();
+        assert_eq!(metrics.stats.rows_returned, 100);
+        assert!(metrics.frames.len() >= 3, "schema + batches + trailer");
+    }
+
+    #[test]
+    fn default_handle_respects_projection() {
+        let (client, schema) = deployment();
+        let provider =
+            OcsPageSourceProvider::new(client, ClusterSpec::paper_testbed(), CostParams::default());
+        let page = provider
+            .create(&split(
+                schema,
+                Arc::new(DefaultTableHandle::projected(vec![1])),
+            ))
+            .unwrap();
+        let mut stream = page.stream;
+        let mut rows = 0usize;
+        while let Some(b) = stream.next_batch().unwrap() {
+            rows += b.num_rows();
+            assert_eq!(b.num_columns(), 1);
+            assert_eq!(b.schema().fields()[0].name, "y");
+        }
+        assert_eq!(rows, 100);
     }
 }

@@ -7,11 +7,11 @@ use std::sync::Arc;
 
 use dsq::error::{EResult, EngineError};
 use dsq::spi::{
-    Connector, DefaultSplitManager, DefaultTableHandle, PageSourceProvider, PageSourceResult,
-    Split, SplitManager,
+    BufferedPageStream, Connector, DefaultSplitManager, DefaultTableHandle, PageSourceProvider,
+    PageSourceResult, Split, SplitManager,
 };
 use lzcodec::CodecKind;
-use netsim::{ClusterSpec, CostParams, Work};
+use netsim::{ClusterSpec, CostParams, ExecStats, Work};
 use objstore::ObjectStore;
 use parq::ParqReader;
 
@@ -102,17 +102,25 @@ impl PageSourceProvider for RawPageSourceProvider {
             .core_seconds_for(Work::decode(uncompressed as f64 * self.cost.byte_decode))
             + decompress_s;
 
+        let rows: u64 = batches.iter().map(|b| b.num_rows() as u64).sum();
+        // A raw GET is one monolithic fetch: the stream reports a single
+        // indivisible frame, so the pipeline scheduler sees no intra-split
+        // overlap and peak buffering equals the whole payload.
         Ok(PageSourceResult {
-            batches,
-            storage_cpu_s,
-            storage_decompress_s: 0.0,
-            disk_bytes: object_bytes,
-            network_bytes: object_bytes,
-            network_requests: 1,
-            frontend_cpu_s: 0.0,
+            stream: BufferedPageStream::whole_result(
+                batches,
+                ExecStats {
+                    storage_cpu_s,
+                    disk_bytes: object_bytes,
+                    rows_scanned: rows,
+                    rows_returned: rows,
+                    ..Default::default()
+                },
+                object_bytes,
+                1,
+                compute_deser_s,
+            ),
             substrait_gen_s: 0.0,
-            compute_deser_s,
-            ..Default::default()
         })
     }
 }
@@ -138,7 +146,7 @@ mod tests {
             ],
         )
         .unwrap();
-        let bytes = parq::writer::write_file(schema, &[batch], Default::default()).unwrap();
+        let bytes = parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();
         let object_size = bytes.len() as u64;
         store.put_object("lake", "t/0", bytes.into()).unwrap();
 
@@ -152,17 +160,25 @@ mod tests {
             table: "t".into(),
             bucket: "lake".into(),
             key: "t/0".into(),
+            schema,
             handle: Arc::new(DefaultTableHandle::projected(vec![0])),
             seq: 0,
         };
         let page = provider.create(&split).unwrap();
-        assert_eq!(page.network_bytes, object_size, "entire file moved");
-        assert_eq!(page.batches[0].num_columns(), 1, "but only col 0 decoded");
-        assert_eq!(
-            page.batches.iter().map(|b| b.num_rows()).sum::<usize>(),
-            5000
-        );
-        assert!(page.compute_deser_s > 0.0);
-        assert_eq!(page.storage_decompress_s, 0.0);
+        let mut stream = page.stream;
+        let mut rows = 0usize;
+        let mut cols = 0usize;
+        while let Some(b) = stream.next_batch().unwrap() {
+            rows += b.num_rows();
+            cols = b.num_columns();
+        }
+        assert_eq!(cols, 1, "only col 0 decoded");
+        assert_eq!(rows, 5000);
+        let metrics = stream.finish().unwrap();
+        assert_eq!(metrics.network_bytes, object_size, "entire file moved");
+        assert!(metrics.compute_deser_s > 0.0);
+        assert_eq!(metrics.stats.storage_decompress_s, 0.0);
+        assert_eq!(metrics.frames.len(), 1, "monolithic fetch = one frame");
+        assert_eq!(metrics.peak_buffered_bytes, object_size);
     }
 }

@@ -8,15 +8,39 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use columnar::prelude::*;
-use netsim::{makespan, ClusterSpec, Ledger, Phase, Work};
+use netsim::{makespan, pipeline_grouped, ClusterSpec, FrameTiming, Ledger, Phase, Work};
 use rayon::prelude::*;
 
 use crate::catalog::Metastore;
 use crate::cost::CostParams;
 use crate::error::{EResult, EngineError};
 use crate::plan::LogicalPlan;
-use crate::spi::Connector;
+use crate::spi::{Connector, PageMetrics};
 use operators::{run_filter, run_limit, run_project, run_sort, run_topn, HashAggregator};
+
+/// How the split phase was scheduled: the overlapped pipeline makespan
+/// versus the additive stage-barrier model it replaces, plus streaming
+/// observability.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineSummary {
+    /// Overlapped wall-clock of the split phase (what the ledger bills).
+    pub overlapped_s: f64,
+    /// What the same work would cost under the additive model, where every
+    /// stage is a global barrier (disk, then decompress, then scan, …).
+    pub additive_s: f64,
+    /// Completion time of the earliest batch frame through the whole
+    /// pipeline — how long the final stage waited for its first rows.
+    pub time_to_first_batch_s: f64,
+    /// Total frames that crossed the boundary (schema + batch + trailer).
+    pub frames: u64,
+    /// Sum of per-split peak encoded bytes buffered engine-side while
+    /// draining the streams (bounded by the client frame window).
+    pub peak_buffered_bytes: u64,
+    /// Busy seconds per pipeline stage (disk, decompress, storage CPU,
+    /// frontend CPU, network, compute CPU) — the denominator used to
+    /// apportion the overlapped makespan into ledger phases.
+    pub stage_busy_s: Vec<f64>,
+}
 
 /// Everything a finished query reports back.
 #[derive(Debug)]
@@ -35,6 +59,9 @@ pub struct ExecutionOutcome {
     pub row_groups_skipped: u64,
     /// Encoded bytes storage never decoded thanks to late materialization.
     pub decoded_bytes_avoided: u64,
+    /// Split-phase scheduling report (overlap vs. additive, streaming
+    /// observability).
+    pub pipeline: PipelineSummary,
 }
 
 /// Per-split partial result.
@@ -45,16 +72,55 @@ enum Partial {
 
 struct SplitOutput {
     partial: Partial,
-    storage_cpu_s: f64,
-    storage_decompress_s: f64,
-    disk_bytes: u64,
-    network_bytes: u64,
-    network_requests: u64,
-    frontend_cpu_s: f64,
+    metrics: PageMetrics,
     substrait_gen_s: f64,
-    compute_cpu_s: f64,
-    row_groups_skipped: u64,
-    decoded_bytes_avoided: u64,
+}
+
+/// Fold engine-side compute seconds into the frame timeline. Per-batch
+/// operator work pairs one-to-one with batch frames when the counts line
+/// up (streaming connectors yield one batch per frame); otherwise it lumps
+/// onto the last batch frame. Result deserialization follows the bytes
+/// that needed deserializing; tail work (top-N / limit finishing after the
+/// stream drained) lands on the last batch frame since it cannot start
+/// earlier.
+fn attach_compute(metrics: &mut PageMetrics, batch_compute_s: &[f64], tail_compute_s: f64) {
+    if metrics.frames.is_empty() {
+        metrics.frames.push(FrameTiming {
+            is_batch: true,
+            ..Default::default()
+        });
+    }
+    let batch_idx: Vec<usize> = metrics
+        .frames
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.is_batch)
+        .map(|(i, _)| i)
+        .collect();
+    let last = batch_idx
+        .last()
+        .copied()
+        .unwrap_or(metrics.frames.len() - 1);
+    if batch_idx.len() == batch_compute_s.len() {
+        for (&i, &s) in batch_idx.iter().zip(batch_compute_s) {
+            metrics.frames[i].compute_s += s;
+        }
+    } else {
+        metrics.frames[last].compute_s += batch_compute_s.iter().sum::<f64>();
+    }
+    let total_bytes: f64 = batch_idx
+        .iter()
+        .map(|&i| metrics.frames[i].bytes as f64)
+        .sum();
+    if total_bytes > 0.0 {
+        let deser = metrics.compute_deser_s;
+        for &i in &batch_idx {
+            metrics.frames[i].compute_s += deser * metrics.frames[i].bytes as f64 / total_bytes;
+        }
+    } else {
+        metrics.frames[last].compute_s += metrics.compute_deser_s;
+    }
+    metrics.frames[last].compute_s += tail_compute_s;
 }
 
 /// Execute a linear plan chain.
@@ -112,69 +178,85 @@ pub fn execute_plan(
     }
 
     // ---- Parallel split phase ----------------------------------------
+    // Each worker pulls its split's stream batch-at-a-time: streaming
+    // Filter/Project and partial-aggregation updates run per yielded
+    // batch, so consumption overlaps production and per-batch compute
+    // seconds can be pinned to the frame that carried the batch.
     let split_outputs: Vec<EResult<SplitOutput>> = splits
         .par_iter()
         .map(|split| -> EResult<SplitOutput> {
             let page = provider.create(split)?;
-            let mut compute_work = Work::zero();
-            // Engine-side deserialization of received pages is part of the
-            // page-source accounting; operator work accumulates here.
-            let mut batches = page.batches;
-            for op in &streaming {
-                let mut next = Vec::with_capacity(batches.len());
-                for b in &batches {
-                    let (out, work) = match op {
+            let mut stream = page.stream;
+            let mut batch_compute_s: Vec<f64> = Vec::new();
+            let mut agg = match blocking {
+                Some(LogicalPlan::Aggregate { group_by, aggs, .. }) => {
+                    Some(HashAggregator::new(group_by.clone(), aggs.clone())?)
+                }
+                _ => None,
+            };
+            let mut survivors: Vec<RecordBatch> = Vec::new();
+            while let Some(batch) = stream.next_batch()? {
+                let mut work = Work::zero();
+                let mut cur = Some(batch);
+                for op in &streaming {
+                    let Some(b) = cur.take() else { break };
+                    let (out, w) = match op {
                         LogicalPlan::Filter { predicate, .. } => {
-                            let (out, w) = run_filter(b, predicate, cost)?;
+                            let (out, w) = run_filter(&b, predicate, cost)?;
                             (out, Work::vector(w))
                         }
                         LogicalPlan::Project { exprs, .. } => {
-                            let (out, w) = run_project(b, exprs, cost)?;
+                            let (out, w) = run_project(&b, exprs, cost)?;
                             (out, Work::expr(w))
                         }
                         _ => unreachable!("streaming ops are Filter/Project"),
                     };
-                    compute_work.add(work);
+                    work.add(w);
                     if out.num_rows() > 0 {
-                        next.push(out);
+                        cur = Some(out);
                     }
                 }
-                batches = next;
+                if let Some(b) = cur {
+                    match agg.as_mut() {
+                        Some(agg) => {
+                            let before = agg.work;
+                            agg.update(&b, cost)?;
+                            work.add(Work::vector(agg.work - before));
+                        }
+                        None => survivors.push(b),
+                    }
+                }
+                batch_compute_s.push(cluster.compute.core_seconds_for(work));
             }
-            let partial = match blocking {
-                Some(LogicalPlan::Aggregate { group_by, aggs, .. }) => {
-                    let mut agg = HashAggregator::new(group_by.clone(), aggs.clone())?;
-                    for b in &batches {
-                        agg.update(b, cost)?;
+            // Tail ops that can only run once the stream has drained.
+            let mut tail_work = Work::zero();
+            let partial = if let Some(mut agg) = agg {
+                agg.work = 0.0;
+                Partial::Agg(Box::new(agg))
+            } else {
+                match blocking {
+                    Some(LogicalPlan::TopN { keys, limit, .. }) if !survivors.is_empty() => {
+                        let (out, work) = run_topn(&survivors, keys, *limit, cost)?;
+                        tail_work.add(Work::vector(work));
+                        Partial::Batches(vec![out])
                     }
-                    compute_work.add(Work::vector(agg.work));
-                    agg.work = 0.0;
-                    Partial::Agg(Box::new(agg))
+                    Some(LogicalPlan::Limit { limit, .. }) => {
+                        Partial::Batches(run_limit(&survivors, *limit)?)
+                    }
+                    // Sort (and empty-input TopN) defer to the final stage.
+                    _ => Partial::Batches(survivors),
                 }
-                Some(LogicalPlan::TopN { keys, limit, .. }) if !batches.is_empty() => {
-                    let (out, work) = run_topn(&batches, keys, *limit, cost)?;
-                    compute_work.add(Work::vector(work));
-                    Partial::Batches(vec![out])
-                }
-                Some(LogicalPlan::Limit { limit, .. }) => {
-                    Partial::Batches(run_limit(&batches, *limit)?)
-                }
-                // Sort (and empty-input TopN) defer to the final stage.
-                _ => Partial::Batches(batches),
             };
+            let mut metrics = stream.finish()?;
+            attach_compute(
+                &mut metrics,
+                &batch_compute_s,
+                cluster.compute.core_seconds_for(tail_work),
+            );
             Ok(SplitOutput {
                 partial,
-                storage_cpu_s: page.storage_cpu_s,
-                storage_decompress_s: page.storage_decompress_s,
-                disk_bytes: page.disk_bytes,
-                network_bytes: page.network_bytes,
-                network_requests: page.network_requests,
-                frontend_cpu_s: page.frontend_cpu_s,
+                metrics,
                 substrait_gen_s: page.substrait_gen_s,
-                compute_cpu_s: page.compute_deser_s
-                    + cluster.compute.core_seconds_for(compute_work),
-                row_groups_skipped: page.row_groups_skipped,
-                decoded_bytes_avoided: page.decoded_bytes_avoided,
             })
         })
         .collect();
@@ -184,38 +266,168 @@ pub fn execute_plan(
         outputs.push(o?);
     }
 
-    // ---- Resource billing for the split phase -------------------------
-    let disk_bytes: u64 = outputs.iter().map(|o| o.disk_bytes).sum();
-    let moved_bytes: u64 = outputs.iter().map(|o| o.network_bytes).sum();
-    let moved_requests: u64 = outputs.iter().map(|o| o.network_requests).sum();
-    let row_groups_skipped: u64 = outputs.iter().map(|o| o.row_groups_skipped).sum();
-    let decoded_bytes_avoided: u64 = outputs.iter().map(|o| o.decoded_bytes_avoided).sum();
-    ledger.add(
-        Phase::StorageDisk,
-        cluster.storage_disk.read_seconds(disk_bytes),
-    );
-    let decompress: Vec<f64> = outputs.iter().map(|o| o.storage_decompress_s).collect();
-    ledger.add(
-        Phase::StorageDecompress,
-        makespan(&decompress, cluster.storage.cores),
-    );
-    let storage: Vec<f64> = outputs.iter().map(|o| o.storage_cpu_s).collect();
-    ledger.add(Phase::StorageCpu, makespan(&storage, cluster.storage.cores));
-    let frontend: Vec<f64> = outputs.iter().map(|o| o.frontend_cpu_s).collect();
-    ledger.add(
-        Phase::FrontendCpu,
-        makespan(&frontend, cluster.frontend.cores),
-    );
+    // ---- Pipeline-overlap billing for the split phase ------------------
+    let moved_bytes: u64 = outputs.iter().map(|o| o.metrics.network_bytes).sum();
+    let moved_requests: u64 = outputs.iter().map(|o| o.metrics.network_requests).sum();
+    let row_groups_skipped: u64 = outputs
+        .iter()
+        .map(|o| o.metrics.stats.row_groups_skipped)
+        .sum();
+    let decoded_bytes_avoided: u64 = outputs
+        .iter()
+        .map(|o| o.metrics.stats.decoded_bytes_avoided)
+        .sum();
+
+    // One pipeline item per frame, split-major, with per-stage durations:
+    // disk read, decompress, storage scan, frontend relay, network, engine
+    // compute. A frame only occupies a stage's lane for its own share of
+    // the work, so stage k of frame n+1 overlaps stage k+1 of frame n —
+    // the whole point of the streaming boundary.
+    let bps = cluster.network.bytes_per_second();
+    let mut items: Vec<Vec<f64>> = Vec::new();
+    let mut batch_items: Vec<usize> = Vec::new();
+    let mut groups: Vec<usize> = Vec::new();
+    // Frames are interleaved round-robin across splits because that is how
+    // the wall clock sees them: every split issues its request up front and
+    // the shared resources (the storage disk, the link) serve the
+    // concurrent streams fairly, not one split start-to-finish before the
+    // next. Within a split, frames stay in wire order.
+    let max_frames = outputs
+        .iter()
+        .map(|o| o.metrics.frames.len())
+        .max()
+        .unwrap_or(0);
+    for frame_ix in 0..max_frames {
+        for (split_ix, o) in outputs.iter().enumerate() {
+            let Some(f) = o.metrics.frames.get(frame_ix) else {
+                continue;
+            };
+            // Per-request round trips and any unframed (request-direction)
+            // bytes ride on the split's first frame.
+            let first_extra = if frame_ix == 0 {
+                let framed_bytes: u64 = o.metrics.frames.iter().map(|fr| fr.bytes).sum();
+                o.metrics.network_requests as f64 * cluster.network.latency_s
+                    + o.metrics.network_bytes.saturating_sub(framed_bytes) as f64 / bps
+            } else {
+                0.0
+            };
+            let disk_s = cluster.storage_disk.read_seconds(f.disk_bytes);
+            // A frame whose input side spans several scanned row groups
+            // (aggregation pushdown collapses a whole split's scan into
+            // one output batch) is split into per-row-group input slices
+            // so disk read and scan overlap exactly as the storage
+            // executor performs them. The output-side frame item carries
+            // no input cost; group-serial FCFS on the frontend stage makes
+            // it wait for every slice of its own split.
+            let chunks = f.input_chunks.max(1) as usize;
+            if chunks > 1 {
+                let per = 1.0 / chunks as f64;
+                for _ in 0..chunks {
+                    groups.push(split_ix);
+                    items.push(vec![
+                        disk_s * per,
+                        f.decompress_s * per,
+                        f.storage_s * per,
+                        0.0,
+                        0.0,
+                        0.0,
+                    ]);
+                }
+            }
+            if f.is_batch {
+                batch_items.push(items.len());
+            }
+            groups.push(split_ix);
+            let (in_disk, in_dec, in_sto) = if chunks > 1 {
+                (0.0, 0.0, 0.0)
+            } else {
+                (disk_s, f.decompress_s, f.storage_s)
+            };
+            items.push(vec![
+                in_disk,
+                in_dec,
+                in_sto,
+                f.frontend_s,
+                f.bytes as f64 / bps + first_extra,
+                f.compute_s,
+            ]);
+        }
+    }
+    let lanes = [
+        1, // one disk
+        cluster.storage.cores,
+        cluster.storage.cores,
+        cluster.frontend.cores,
+        1, // one link
+        cluster.compute.cores,
+    ];
+    // Disk/decompress/scan parallelize *within* a split (row groups decode
+    // on independent storage cores), but one frontend thread relays a
+    // request's frames in order and one engine driver drains a split's
+    // batches in order — those two stages are serial per split.
+    let serial = [false, false, false, true, false, true];
+    let report = pipeline_grouped(&items, &lanes, &groups, &serial);
+
+    // What the same work costs under the additive model this replaces:
+    // every stage a global barrier across all splits.
+    let additive_s = {
+        let disk_bytes: u64 = outputs.iter().map(|o| o.metrics.stats.disk_bytes).sum();
+        let decompress: Vec<f64> = outputs
+            .iter()
+            .map(|o| o.metrics.stats.storage_decompress_s)
+            .collect();
+        let storage: Vec<f64> = outputs
+            .iter()
+            .map(|o| o.metrics.stats.storage_cpu_s)
+            .collect();
+        let frontend: Vec<f64> = outputs
+            .iter()
+            .map(|o| o.metrics.stats.frontend_cpu_s)
+            .collect();
+        let compute: Vec<f64> = outputs
+            .iter()
+            .map(|o| o.metrics.frames.iter().map(|f| f.compute_s).sum())
+            .collect();
+        cluster.storage_disk.read_seconds(disk_bytes)
+            + makespan(&decompress, cluster.storage.cores)
+            + makespan(&storage, cluster.storage.cores)
+            + makespan(&frontend, cluster.frontend.cores)
+            + cluster
+                .network
+                .transfer_seconds(moved_bytes, moved_requests.max(1))
+            + makespan(&compute, cluster.compute.cores)
+    };
+
+    // Bill the overlapped makespan, apportioned back into ledger phases
+    // proportional to each stage's busy time so the breakdown still says
+    // *where* the time went.
+    let busy_total: f64 = report.stage_busy.iter().sum();
+    if busy_total > 0.0 {
+        let phases = [
+            Phase::StorageDisk,
+            Phase::StorageDecompress,
+            Phase::StorageCpu,
+            Phase::FrontendCpu,
+            Phase::NetworkTransfer,
+            Phase::ComputeCpu,
+        ];
+        for (phase, &busy) in phases.iter().zip(&report.stage_busy) {
+            ledger.add(*phase, report.makespan * busy / busy_total);
+        }
+    }
+    // Substrait IR generation happens before any request is issued; it is
+    // not part of the frame pipeline and stays additive.
     let substrait: f64 = outputs.iter().map(|o| o.substrait_gen_s).sum();
     ledger.add(Phase::SubstraitGen, substrait);
-    ledger.add(
-        Phase::NetworkTransfer,
-        cluster
-            .network
-            .transfer_seconds(moved_bytes, moved_requests.max(1)),
-    );
-    let compute: Vec<f64> = outputs.iter().map(|o| o.compute_cpu_s).collect();
-    ledger.add(Phase::ComputeCpu, makespan(&compute, cluster.compute.cores));
+
+    let pipeline_summary = PipelineSummary {
+        overlapped_s: report.makespan,
+        additive_s,
+        time_to_first_batch_s: report.first_done_among(batch_items),
+        frames: outputs.iter().map(|o| o.metrics.frames.len() as u64).sum(),
+        peak_buffered_bytes: outputs.iter().map(|o| o.metrics.peak_buffered_bytes).sum(),
+        stage_busy_s: report.stage_busy.clone(),
+    };
 
     // ---- Final stage ---------------------------------------------------
     let mut final_work = Work::zero();
@@ -372,5 +584,6 @@ pub fn execute_plan(
         splits: splits.len(),
         row_groups_skipped,
         decoded_bytes_avoided,
+        pipeline: pipeline_summary,
     })
 }

@@ -38,6 +38,12 @@ pub struct QueryEvent {
     pub row_groups_skipped: u64,
     /// Encoded bytes storage never decoded via late materialization.
     pub decoded_bytes_avoided: u64,
+    /// Pipeline completion time of the earliest batch frame.
+    pub time_to_first_batch_s: f64,
+    /// Peak encoded bytes buffered engine-side across all split streams.
+    pub peak_buffered_bytes: u64,
+    /// Frames that crossed the storage boundary.
+    pub frames: u64,
 }
 
 /// Observer of query completion.
@@ -67,6 +73,9 @@ pub struct QueryResult {
     pub optimized_plan: String,
     /// Operator chain string (Table 2 style).
     pub chain: String,
+    /// Split-phase scheduling report (overlapped vs. additive makespan,
+    /// streaming observability).
+    pub pipeline: crate::exec::PipelineSummary,
 }
 
 /// Builder for [`Engine`].
@@ -248,6 +257,9 @@ impl Engine {
             breakdown: outcome.ledger.breakdown(),
             row_groups_skipped: outcome.row_groups_skipped,
             decoded_bytes_avoided: outcome.decoded_bytes_avoided,
+            time_to_first_batch_s: outcome.pipeline.time_to_first_batch_s,
+            peak_buffered_bytes: outcome.pipeline.peak_buffered_bytes,
+            frames: outcome.pipeline.frames,
         };
         for l in self.listeners.read().iter() {
             l.query_completed(&event);
@@ -263,6 +275,7 @@ impl Engine {
             logical_plan,
             optimized_plan,
             chain,
+            pipeline: outcome.pipeline,
         })
     }
 }

@@ -3,10 +3,12 @@
 //! `ConnectorSplitManager` and `ConnectorPageSourceProvider`.
 
 use std::any::Any;
+use std::collections::VecDeque;
 use std::fmt::Debug;
 use std::sync::Arc;
 
-use columnar::RecordBatch;
+use columnar::{RecordBatch, SchemaRef};
+use netsim::{ExecStats, FrameTiming};
 
 use crate::catalog::{Metastore, TableMeta};
 use crate::cost::CostParams;
@@ -15,7 +17,7 @@ use crate::plan::{LogicalPlan, TableScanNode};
 
 /// Connector-private scan state attached to a [`TableScanNode`]. The OCS
 /// connector stores the whole pushed-down operator chain in its handle —
-/// the paper's "modified TableScan operator [that] encapsulates the
+/// the paper's "modified TableScan operator \[that\] encapsulates the
 /// pushdown operators".
 pub trait TableHandle: Send + Sync + Debug {
     /// Downcast support.
@@ -70,47 +72,117 @@ pub struct Split {
     pub bucket: String,
     /// Object key.
     pub key: String,
+    /// The table's base schema (so providers can serve plain projected
+    /// reads even from a never-rewritten default handle).
+    pub schema: SchemaRef,
     /// Scan handle (shared with the scan node).
     pub handle: Arc<dyn TableHandle>,
     /// Sequence number for deterministic ordering.
     pub seq: usize,
 }
 
-/// What a page source returns for one split: the data plus the simulated
-/// resource consumption needed to produce and move it.
+/// Per-split accounting available once a [`PageStream`] has been fully
+/// consumed. Resource counters are consolidated in the shared
+/// [`ExecStats`] (carried in the stream trailer by streaming connectors);
+/// `frames` holds the per-frame timeline the engine's pipeline scheduler
+/// composes into an overlapped makespan.
 #[derive(Debug, Clone, Default)]
-pub struct PageSourceResult {
-    /// The scan output (post any connector-side pushdown).
-    pub batches: Vec<RecordBatch>,
-    /// Core-seconds of operator work on the storage node.
-    pub storage_cpu_s: f64,
-    /// Core-seconds of decompression on the storage node.
-    pub storage_decompress_s: f64,
-    /// Compressed bytes read from the storage node's disk.
-    pub disk_bytes: u64,
-    /// Bytes that crossed the storage→compute link for this split.
+pub struct PageMetrics {
+    /// Consolidated storage/frontend execution statistics.
+    pub stats: ExecStats,
+    /// Bytes that crossed the storage→compute link for this split
+    /// (request + response directions).
     pub network_bytes: u64,
     /// Request/response exchanges on the link.
     pub network_requests: u64,
-    /// Core-seconds on the OCS frontend node.
-    pub frontend_cpu_s: f64,
-    /// Core-seconds of Substrait IR generation (billed to the compute
-    /// node, Table 3's "Substrait IR Generation" row).
-    pub substrait_gen_s: f64,
     /// Core-seconds of result deserialization on the compute node.
     pub compute_deser_s: f64,
-    /// Row groups the storage-side scan skipped after evaluating the
-    /// filter mask on the filter columns alone (late materialization).
-    /// Zero for connectors without a storage-side executor.
-    pub row_groups_skipped: u64,
-    /// Encoded bytes the storage-side scan never decoded thanks to
-    /// mask-skipped row groups. Zero for pass-through connectors.
-    pub decoded_bytes_avoided: u64,
+    /// Per-frame simulated timings, in wire order.
+    pub frames: Vec<FrameTiming>,
+    /// Peak encoded bytes buffered engine-side while draining the stream.
+    pub peak_buffered_bytes: u64,
+}
+
+/// A lazy batch stream for one split: the engine's split workers pull
+/// batches one at a time through the streaming operator path, overlapping
+/// consumption with production instead of materializing the whole result.
+pub trait PageStream: Send {
+    /// Next decoded batch, or `None` at end of stream.
+    fn next_batch(&mut self) -> EResult<Option<RecordBatch>>;
+    /// Consume the stream and return its accounting. Call after
+    /// `next_batch` returns `None`.
+    fn finish(self: Box<Self>) -> EResult<PageMetrics>;
+}
+
+/// What a page source returns for one split: a lazy batch stream plus the
+/// plan-generation cost paid before the request was issued.
+pub struct PageSourceResult {
+    /// The scan output, streamed batch-at-a-time.
+    pub stream: Box<dyn PageStream>,
+    /// Core-seconds of Substrait IR generation (billed to the compute
+    /// node, Table 3's "Substrait IR Generation" row). Zero for
+    /// connectors that ship no plan.
+    pub substrait_gen_s: f64,
+}
+
+/// Compatibility stream for whole-result connectors (raw GET, S3-Select
+/// style): every batch is materialized up front, so the stream reports a
+/// single indivisible frame — peak buffering equals the full payload and
+/// the pipeline scheduler sees no intra-split overlap, which is exactly
+/// how a monolithic fetch behaves.
+#[derive(Debug)]
+pub struct BufferedPageStream {
+    batches: VecDeque<RecordBatch>,
+    metrics: PageMetrics,
+}
+
+impl BufferedPageStream {
+    /// Wrap an already-materialized result. `stats` carries the
+    /// storage/frontend accounting; the whole payload counts as one frame.
+    pub fn whole_result(
+        batches: Vec<RecordBatch>,
+        stats: ExecStats,
+        network_bytes: u64,
+        network_requests: u64,
+        compute_deser_s: f64,
+    ) -> Box<Self> {
+        let frame = FrameTiming {
+            bytes: network_bytes,
+            disk_bytes: stats.disk_bytes,
+            decompress_s: stats.storage_decompress_s,
+            storage_s: stats.storage_cpu_s,
+            frontend_s: stats.frontend_cpu_s,
+            compute_s: 0.0,
+            is_batch: true,
+            input_chunks: 1,
+        };
+        Box::new(BufferedPageStream {
+            batches: batches.into(),
+            metrics: PageMetrics {
+                stats,
+                network_bytes,
+                network_requests,
+                compute_deser_s,
+                frames: vec![frame],
+                peak_buffered_bytes: network_bytes,
+            },
+        })
+    }
+}
+
+impl PageStream for BufferedPageStream {
+    fn next_batch(&mut self) -> EResult<Option<RecordBatch>> {
+        Ok(self.batches.pop_front())
+    }
+
+    fn finish(self: Box<Self>) -> EResult<PageMetrics> {
+        Ok(self.metrics)
+    }
 }
 
 /// Creates page sources for splits (Presto's `ConnectorPageSourceProvider`).
 pub trait PageSourceProvider: Send + Sync {
-    /// Fetch (and possibly storage-side execute) one split.
+    /// Open (and possibly storage-side execute) one split as a stream.
     fn create(&self, split: &Split) -> EResult<PageSourceResult>;
 }
 
@@ -127,6 +199,7 @@ pub trait SplitManager: Send + Sync {
                 table: table.name.clone(),
                 bucket: obj.bucket.clone(),
                 key: obj.key.clone(),
+                schema: table.schema.clone(),
                 handle: scan.handle.clone(),
                 seq,
             })

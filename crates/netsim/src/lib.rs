@@ -29,9 +29,11 @@ pub mod ledger;
 pub mod meter;
 pub mod sched;
 pub mod spec;
+pub mod stats;
 
 pub use cost::CostParams;
 pub use ledger::{Ledger, Phase};
 pub use meter::ByteMeter;
-pub use sched::makespan;
+pub use sched::{makespan, pipeline, pipeline_grouped, PipelineReport};
 pub use spec::{ClusterSpec, DiskSpec, LinkSpec, NodeSpec, Work};
+pub use stats::{ExecStats, FrameTiming};

@@ -3,7 +3,7 @@
 //!
 //! Models the role AWS S3 / MinIO play in the paper: objects are opaque
 //! byte blobs under `bucket/key`, metadata lives apart from data, readers
-//! can fetch whole objects or byte ranges, and [`select`](select) offers
+//! can fetch whole objects or byte ranges, and [`select()`](fn@select) offers
 //! the *limited* in-storage compute conventional object stores have —
 //! **column projection and `WHERE` filtering only**. Anything more
 //! (aggregation, sort, top-N) is structurally impossible through this API,

@@ -23,7 +23,7 @@ use crate::{OcsError, OcsResult};
 
 /// Resource consumption of one in-storage execution.
 #[derive(Debug, Clone, Default, PartialEq)]
-pub struct ExecStats {
+pub struct ExecutorStats {
     /// Serial operator work (everything downstream of the scan), by
     /// efficiency channel.
     pub work: Work,
@@ -47,7 +47,7 @@ pub struct ExecStats {
     pub decoded_bytes_avoided: u64,
 }
 
-impl ExecStats {
+impl ExecutorStats {
     /// Total work across the serial tail and every scan lane (raw units,
     /// for monitoring — timing must compose `scan_work` via `makespan`).
     pub fn total_work(&self) -> Work {
@@ -210,7 +210,7 @@ struct GroupScan {
 pub struct Executor<'a> {
     reader: &'a ParqReader,
     cost: &'a CostParams,
-    stats: ExecStats,
+    stats: ExecutorStats,
     late_mat: bool,
 }
 
@@ -221,7 +221,7 @@ impl<'a> Executor<'a> {
         Executor {
             reader,
             cost,
-            stats: ExecStats::default(),
+            stats: ExecutorStats::default(),
             late_mat: true,
         }
     }
@@ -240,7 +240,7 @@ impl<'a> Executor<'a> {
     /// relies on its guarantees (field references in bounds, operand
     /// types agreed, sort keys plain field references) and carries no
     /// per-operator shape checks of its own.
-    pub fn run(mut self, plan: &Plan) -> OcsResult<(Vec<RecordBatch>, ExecStats)> {
+    pub fn run(mut self, plan: &Plan) -> OcsResult<(Vec<RecordBatch>, ExecutorStats)> {
         planck::verify(plan).map_err(|ds| OcsError::Plan(planck::primary(ds)))?;
         let batches = self.run_rel(&plan.root)?;
         self.stats.rows_emitted = batches.iter().map(|b| b.num_rows() as u64).sum();
@@ -748,13 +748,13 @@ mod tests {
         ])
     }
 
-    fn run(plan: Plan) -> (Vec<RecordBatch>, ExecStats) {
+    fn run(plan: Plan) -> (Vec<RecordBatch>, ExecutorStats) {
         let reader = test_reader();
         let cost = CostParams::default();
         Executor::new(&reader, &cost).run(&plan).unwrap()
     }
 
-    fn run_with(plan: &Plan, late_mat: bool) -> (Vec<RecordBatch>, ExecStats) {
+    fn run_with(plan: &Plan, late_mat: bool) -> (Vec<RecordBatch>, ExecutorStats) {
         let reader = test_reader();
         let cost = CostParams::default();
         Executor::new(&reader, &cost)

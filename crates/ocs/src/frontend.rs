@@ -7,32 +7,20 @@
 use std::sync::Arc;
 
 use bytes::Bytes;
-use netsim::{CostParams, NodeSpec};
+use netsim::{CostParams, ExecStats, NodeSpec};
 
 use crate::node::StorageNode;
+use crate::stream::WireStream;
 use crate::{planck, OcsError, OcsResult};
 
-/// A frontend response on the wire: Arrow-IPC bytes + resource accounting.
+/// A buffered (whole-result) frontend response: Arrow-IPC bytes plus the
+/// request's consolidated execution statistics.
 #[derive(Debug, Clone)]
 pub struct WireResponse {
     /// Arrow-IPC-encoded result batches.
     pub arrow_bytes: Bytes,
-    /// Core-seconds on the storage node.
-    pub storage_cpu_s: f64,
-    /// Core-seconds of decompression on the storage node.
-    pub storage_decompress_s: f64,
-    /// Compressed bytes the storage node read from disk.
-    pub disk_bytes: u64,
-    /// Core-seconds on the frontend node.
-    pub frontend_cpu_s: f64,
-    /// Rows scanned in storage (for monitoring).
-    pub rows_scanned: u64,
-    /// Rows returned (for monitoring).
-    pub rows_returned: u64,
-    /// Row groups the late-materialized scan skipped after masking.
-    pub row_groups_skipped: u64,
-    /// Encoded bytes the scan never had to decode.
-    pub decoded_bytes_avoided: u64,
+    /// Resource accounting for the whole request.
+    pub stats: ExecStats,
 }
 
 /// The frontend node.
@@ -65,20 +53,32 @@ impl OcsFrontend {
         self.nodes.len()
     }
 
-    /// Handle one request: Substrait plan bytes in, Arrow bytes out.
+    /// Decode and hard-verify an untrusted plan, then run it on the node
+    /// owning `key`.
     ///
     /// The bytes come from an untrusted peer, so the decoded plan is
     /// always hard-verified — structure, typing, operator shape *and*
     /// resource caps ([`planck::Limits::untrusted`]) — before any
     /// storage node touches it. A rejection carries the structured
     /// [`planck::Diagnostic`] back across the error frame.
-    pub fn handle(&self, plan_bytes: &[u8], bucket: &str, key: &str) -> OcsResult<WireResponse> {
+    fn verify_and_execute(
+        &self,
+        plan_bytes: &[u8],
+        bucket: &str,
+        key: &str,
+    ) -> OcsResult<crate::node::NodeResponse> {
         // Parse the plan (real work, billed to the frontend).
         let plan = substrait_ir::decode(plan_bytes)
             .map_err(|e| OcsError::Plan(planck::Diagnostic::from_ir(&e, "root")))?;
         planck::verify_untrusted(&plan).map_err(|ds| OcsError::Plan(planck::primary(ds)))?;
-        let node = self.route(key);
-        let resp = node.execute(&plan, bucket, key)?;
+        self.route(key).execute(&plan, bucket, key)
+    }
+
+    /// Handle one request buffered: Substrait plan bytes in, one whole
+    /// Arrow payload out. This is the pre-streaming boundary, kept as the
+    /// A/B baseline the pipeline bench compares against.
+    pub fn handle(&self, plan_bytes: &[u8], bucket: &str, key: &str) -> OcsResult<WireResponse> {
+        let resp = self.verify_and_execute(plan_bytes, bucket, key)?;
 
         // Serialize results to the Arrow-IPC wire format (billed to the
         // frontend, which relays results in the paper's architecture).
@@ -90,15 +90,41 @@ impl OcsFrontend {
 
         Ok(WireResponse {
             arrow_bytes,
-            storage_cpu_s: resp.cpu_s,
-            storage_decompress_s: resp.decompress_s,
-            disk_bytes: resp.disk_bytes,
-            frontend_cpu_s,
-            rows_scanned: resp.exec.rows_scanned,
-            rows_returned: resp.exec.rows_emitted,
-            row_groups_skipped: resp.exec.row_groups_skipped,
-            decoded_bytes_avoided: resp.exec.decoded_bytes_avoided,
+            stats: ExecStats {
+                storage_cpu_s: resp.cpu_s,
+                storage_decompress_s: resp.decompress_s,
+                frontend_cpu_s,
+                disk_bytes: resp.disk_bytes,
+                rows_scanned: resp.exec.rows_scanned,
+                rows_returned: resp.exec.rows_emitted,
+                row_groups_skipped: resp.exec.row_groups_skipped,
+                decoded_bytes_avoided: resp.exec.decoded_bytes_avoided,
+            },
         })
+    }
+
+    /// Handle one request streaming: the response is a lazy
+    /// [`WireStream`] that encodes one frame per result batch as the
+    /// consumer pulls, closing with a trailer frame carrying the
+    /// request's [`ExecStats`].
+    pub fn handle_stream(
+        &self,
+        plan_bytes: &[u8],
+        bucket: &str,
+        key: &str,
+    ) -> OcsResult<WireStream> {
+        let resp = self.verify_and_execute(plan_bytes, bucket, key)?;
+        let schema = match resp.batches.first() {
+            Some(b) => b.schema().clone(),
+            None => Arc::new(columnar::Schema::empty()),
+        };
+        Ok(WireStream::new(
+            schema,
+            resp,
+            plan_bytes.len(),
+            self.spec.clone(),
+            self.cost.clone(),
+        ))
     }
 }
 
@@ -179,9 +205,91 @@ mod tests {
         let batches = columnar::ipc::decode_batches(&resp.arrow_bytes).unwrap();
         let rows: usize = batches.iter().map(|b| b.num_rows()).sum();
         assert_eq!(rows, 50, "rows 150..199 of object t/1");
-        assert_eq!(resp.rows_returned, 50);
-        assert!(resp.frontend_cpu_s > 0.0);
-        assert!(resp.storage_cpu_s > 0.0);
+        assert_eq!(resp.stats.rows_returned, 50);
+        assert!(resp.stats.frontend_cpu_s > 0.0);
+        assert!(resp.stats.storage_cpu_s > 0.0);
+    }
+
+    #[test]
+    fn stream_frames_match_buffered_payload() {
+        let (fe, schema) = frontend(1);
+        let plan = Plan::new(Rel::read("t", schema, None));
+        let bytes = substrait_ir::encode(&plan);
+        let buffered = fe.handle(&bytes, "lake", "t/2").unwrap();
+        let expected = columnar::ipc::decode_batches(&buffered.arrow_bytes).unwrap();
+
+        let mut stream = fe.handle_stream(&bytes, "lake", "t/2").unwrap();
+        let mut dec = columnar::ipc::FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut trailer_stats = None;
+        let mut frontend_sum = 0.0;
+        while let Some(frame) = stream.next_frame() {
+            frontend_sum += frame.timing.frontend_s;
+            dec.feed(&frame.bytes);
+            while let Some(f) = dec.next_frame().unwrap() {
+                match f {
+                    columnar::ipc::Frame::Schema(_) => {}
+                    columnar::ipc::Frame::Batch(b) => got.push(b),
+                    columnar::ipc::Frame::Trailer(t) => {
+                        trailer_stats = Some(netsim::ExecStats::decode(&t).unwrap());
+                    }
+                }
+            }
+        }
+        dec.finish().unwrap();
+        assert_eq!(got.len(), expected.len());
+        for (a, b) in got.iter().zip(&expected) {
+            assert_eq!(a.num_rows(), b.num_rows());
+        }
+        let stats = trailer_stats.expect("trailer frame carries stats");
+        assert_eq!(stats.rows_returned, buffered.stats.rows_returned);
+        assert_eq!(stats.disk_bytes, buffered.stats.disk_bytes);
+        assert_eq!(stats.storage_cpu_s, buffered.stats.storage_cpu_s);
+        // The trailer's frontend total is exactly the per-frame sum.
+        assert!((stats.frontend_cpu_s - frontend_sum).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_node_sharding_matches_single_node() {
+        // Satellite: keys spread over >=2 storage nodes must behave
+        // exactly like a single-node deployment — identical batches and
+        // identical (summed) stats per key.
+        let (single, schema) = frontend(1);
+        let (multi, _) = frontend(3);
+        let plan = Plan::new(Rel::Filter {
+            input: Box::new(Rel::read("t", schema, None)),
+            predicate: Expr::cmp(
+                columnar::kernels::cmp::CmpOp::GtEq,
+                Expr::field(0),
+                Expr::lit(Scalar::Int64(50)),
+            ),
+        });
+        let bytes = substrait_ir::encode(&plan);
+
+        // The 4 objects must actually land on >=2 distinct nodes.
+        let mut nodes_hit = std::collections::HashSet::new();
+        for i in 0..4 {
+            nodes_hit.insert(multi.route(&format!("t/{i}")).id());
+        }
+        assert!(nodes_hit.len() >= 2, "keys all routed to one node");
+
+        let mut single_total = netsim::ExecStats::default();
+        let mut multi_total = netsim::ExecStats::default();
+        for i in 0..4 {
+            let key = format!("t/{i}");
+            let a = single.handle(&bytes, "lake", &key).unwrap();
+            let b = multi.handle(&bytes, "lake", &key).unwrap();
+            assert_eq!(
+                a.arrow_bytes, b.arrow_bytes,
+                "object {key}: sharded result differs"
+            );
+            single_total.merge(&a.stats);
+            multi_total.merge(&b.stats);
+        }
+        assert_eq!(single_total, multi_total, "summed stats must match");
+        assert_eq!(single_total.rows_scanned, 400);
+        // 100 rows per object; objects 0 contributes 50, rest 100 each.
+        assert_eq!(single_total.rows_returned, 350);
     }
 
     #[test]

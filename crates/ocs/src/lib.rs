@@ -63,10 +63,12 @@ pub mod exec;
 pub mod frontend;
 pub mod node;
 pub mod rpc;
+pub mod stream;
 
 pub use frontend::OcsFrontend;
 pub use node::StorageNode;
-pub use rpc::{OcsClient, OcsResponse};
+pub use rpc::{BatchStream, OcsClient, OcsResponse, StreamSummary, DEFAULT_FRAME_WINDOW};
+pub use stream::{WireFrame, WireStream};
 // Storage-side plan verification is the planck module of `substrait-ir`;
 // re-exported so callers name one crate for the whole trust boundary.
 pub use substrait_ir::planck;
@@ -140,6 +142,9 @@ pub struct OcsConfig {
     pub cost: CostParams,
     /// Number of storage nodes (objects are sharded by key hash).
     pub storage_nodes: usize,
+    /// Bounded in-flight frame window of the streaming boundary: at most
+    /// this many encoded frames are buffered client-side (backpressure).
+    pub frame_window: usize,
 }
 
 impl OcsConfig {
@@ -153,6 +158,7 @@ impl OcsConfig {
             frontend_node: cluster.frontend,
             cost: CostParams::default(),
             storage_nodes: 1,
+            frame_window: rpc::DEFAULT_FRAME_WINDOW,
         }
     }
 }
@@ -161,6 +167,7 @@ impl OcsConfig {
 #[derive(Debug)]
 pub struct Ocs {
     frontend: Arc<OcsFrontend>,
+    frame_window: usize,
 }
 
 impl Ocs {
@@ -178,6 +185,7 @@ impl Ocs {
             .collect();
         Ocs {
             frontend: Arc::new(OcsFrontend::new(nodes, config.frontend_node, config.cost)),
+            frame_window: config.frame_window.max(1),
         }
     }
 
@@ -186,8 +194,9 @@ impl Ocs {
         &self.frontend
     }
 
-    /// A client bound to this deployment's frontend.
+    /// A client bound to this deployment's frontend, using the configured
+    /// in-flight frame window.
     pub fn client(&self) -> OcsClient {
-        OcsClient::new(self.frontend.clone())
+        OcsClient::with_window(self.frontend.clone(), self.frame_window)
     }
 }

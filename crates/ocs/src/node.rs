@@ -9,7 +9,7 @@ use objstore::ObjectStore;
 use parq::ParqReader;
 use substrait_ir::Plan;
 
-use crate::exec::{ExecStats, Executor};
+use crate::exec::{Executor, ExecutorStats};
 use crate::OcsResult;
 
 /// Result of one in-storage plan execution, with resource consumption
@@ -25,7 +25,7 @@ pub struct NodeResponse {
     /// Compressed bytes read from this node's disk.
     pub disk_bytes: u64,
     /// Raw executor stats (for monitoring).
-    pub exec: ExecStats,
+    pub exec: ExecutorStats,
 }
 
 /// One OCS storage node.

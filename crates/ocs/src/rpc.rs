@@ -1,78 +1,283 @@
 //! The client side of the OCS "gRPC" boundary.
 //!
 //! In the paper, the connector's PageSourceProvider serializes Substrait
-//! IR with protobuf and sends it over gRPC; OCS answers with Arrow
-//! columnar payloads. Here the boundary is a function call, but the data
-//! crossing it is *actual bytes in both directions* — the plan is really
-//! encoded and the batches really serialized/deserialized — so byte
-//! counters measure exactly what a network would carry.
+//! IR with protobuf and sends it over gRPC; OCS answers with a *stream*
+//! of Arrow columnar payloads. Here the boundary is a function call, but
+//! the data crossing it is *actual bytes in both directions* — the plan
+//! is really encoded and every frame really serialized/deserialized — so
+//! byte counters measure exactly what a network would carry.
+//!
+//! [`OcsClient::execute_stream`] is the streaming boundary: it returns a
+//! [`BatchStream`] that pulls framed batches through a bounded in-flight
+//! window (backpressure — at most `window` encoded frames are buffered
+//! client-side at any moment), yielding decoded batches one at a time and
+//! finishing with the trailer's [`ExecStats`]. [`OcsClient::execute`]
+//! drains that stream for callers that want the whole result;
+//! [`OcsClient::execute_buffered`] keeps the pre-streaming whole-payload
+//! path alive as the A/B baseline.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
-use columnar::RecordBatch;
+use columnar::ipc::{Frame, FrameDecoder};
+use columnar::{RecordBatch, SchemaRef};
+use netsim::{ExecStats, FrameTiming};
 use substrait_ir::Plan;
 
 use crate::frontend::OcsFrontend;
-use crate::OcsResult;
+use crate::stream::{WireFrame, WireStream};
+use crate::{OcsError, OcsResult};
 
-/// One executed request, decoded.
+/// Default bounded in-flight frame window (see [`crate::OcsConfig`]).
+pub const DEFAULT_FRAME_WINDOW: usize = 4;
+
+/// One executed request, fully drained.
 #[derive(Debug, Clone)]
 pub struct OcsResponse {
     /// Result batches.
     pub batches: Vec<RecordBatch>,
     /// Bytes of the serialized plan (request direction).
     pub request_bytes: u64,
-    /// Bytes of the Arrow payload (response direction).
+    /// Bytes of all response frames (response direction).
     pub response_bytes: u64,
-    /// Core-seconds on the storage node.
-    pub storage_cpu_s: f64,
-    /// Core-seconds of decompression on the storage node.
-    pub storage_decompress_s: f64,
-    /// Compressed bytes read from the storage disk.
-    pub disk_bytes: u64,
-    /// Core-seconds on the frontend node.
-    pub frontend_cpu_s: f64,
-    /// Rows scanned in storage.
-    pub rows_scanned: u64,
-    /// Rows returned.
-    pub rows_returned: u64,
-    /// Row groups the late-materialized scan skipped after masking.
-    pub row_groups_skipped: u64,
-    /// Encoded bytes the scan never had to decode.
-    pub decoded_bytes_avoided: u64,
+    /// Consolidated execution statistics (from the stream trailer).
+    pub stats: ExecStats,
+    /// Number of wire frames in the response (schema + batches + trailer).
+    pub frames: u64,
+    /// Peak encoded bytes buffered client-side while draining.
+    pub peak_buffered_bytes: u64,
+    /// Per-frame simulated timings, in wire order.
+    pub timings: Vec<FrameTiming>,
+}
+
+/// Summary of a fully-consumed [`BatchStream`].
+#[derive(Debug, Clone)]
+pub struct StreamSummary {
+    /// Consolidated execution statistics from the trailer frame.
+    pub stats: ExecStats,
+    /// Bytes of the serialized plan (request direction).
+    pub request_bytes: u64,
+    /// Bytes of all response frames (response direction).
+    pub response_bytes: u64,
+    /// Number of wire frames (schema + batches + trailer).
+    pub frames: u64,
+    /// Peak encoded bytes buffered client-side.
+    pub peak_buffered_bytes: u64,
+    /// Per-frame simulated timings, in wire order.
+    pub timings: Vec<FrameTiming>,
+}
+
+/// A lazily-decoded streaming response: framed batches pulled through a
+/// bounded in-flight window.
+#[derive(Debug)]
+pub struct BatchStream {
+    producer: WireStream,
+    window: usize,
+    inflight: VecDeque<WireFrame>,
+    inflight_bytes: u64,
+    peak_buffered_bytes: u64,
+    decoder: FrameDecoder,
+    schema: Option<SchemaRef>,
+    stats: Option<ExecStats>,
+    request_bytes: u64,
+    response_bytes: u64,
+    frames: u64,
+    timings: Vec<FrameTiming>,
+    done: bool,
+}
+
+impl BatchStream {
+    fn new(producer: WireStream, window: usize, request_bytes: u64) -> BatchStream {
+        BatchStream {
+            producer,
+            window: window.max(1),
+            inflight: VecDeque::new(),
+            inflight_bytes: 0,
+            peak_buffered_bytes: 0,
+            decoder: FrameDecoder::new(),
+            schema: None,
+            stats: None,
+            request_bytes,
+            response_bytes: 0,
+            frames: 0,
+            timings: Vec::new(),
+            done: false,
+        }
+    }
+
+    /// Fill the in-flight window up to its bound (the producer encodes a
+    /// frame only when a window slot is free — the backpressure model).
+    fn fill_window(&mut self) {
+        while self.inflight.len() < self.window {
+            match self.producer.next_frame() {
+                Some(f) => {
+                    self.inflight_bytes += f.bytes.len() as u64;
+                    self.response_bytes += f.bytes.len() as u64;
+                    self.inflight.push_back(f);
+                    self.peak_buffered_bytes = self.peak_buffered_bytes.max(self.inflight_bytes);
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Schema of the stream (available after the first pull).
+    pub fn schema(&self) -> Option<&SchemaRef> {
+        self.schema.as_ref()
+    }
+
+    /// Pull the next decoded batch; `Ok(None)` after the trailer arrives.
+    ///
+    /// Truncated or corrupted frame sequences surface as structured
+    /// [`OcsError::Exec`] — never a panic.
+    pub fn next_batch(&mut self) -> OcsResult<Option<RecordBatch>> {
+        loop {
+            if self.done {
+                return Ok(None);
+            }
+            self.fill_window();
+            let Some(frame) = self.inflight.pop_front() else {
+                // Producer exhausted without a trailer frame.
+                self.done = true;
+                return Err(OcsError::Exec(
+                    "response stream ended without a trailer frame".into(),
+                ));
+            };
+            self.inflight_bytes -= frame.bytes.len() as u64;
+            self.frames += 1;
+            self.decoder.feed(&frame.bytes);
+            let decoded = self
+                .decoder
+                .next_frame()
+                .map_err(|e| OcsError::Exec(format!("frame decode: {e}")))?;
+            self.timings.push(frame.timing);
+            match decoded {
+                Some(Frame::Schema(s)) => {
+                    self.schema = Some(s);
+                    continue;
+                }
+                Some(Frame::Batch(b)) => return Ok(Some(b)),
+                Some(Frame::Trailer(t)) => {
+                    self.decoder
+                        .finish()
+                        .map_err(|e| OcsError::Exec(format!("frame decode: {e}")))?;
+                    self.stats = Some(
+                        ExecStats::decode(&t)
+                            .map_err(|e| OcsError::Exec(format!("trailer decode: {e}")))?,
+                    );
+                    self.done = true;
+                    return Ok(None);
+                }
+                None => {
+                    // Each wire frame is complete by construction; a
+                    // partial decode here means corruption upstream.
+                    return Err(OcsError::Exec("incomplete frame in response stream".into()));
+                }
+            }
+        }
+    }
+
+    /// Finish the stream and return its summary. Errors if the stream was
+    /// not fully consumed to the trailer.
+    pub fn finish(self) -> OcsResult<StreamSummary> {
+        let Some(stats) = self.stats else {
+            return Err(OcsError::Exec(
+                "stream finished before the trailer frame was consumed".into(),
+            ));
+        };
+        Ok(StreamSummary {
+            stats,
+            request_bytes: self.request_bytes,
+            response_bytes: self.response_bytes,
+            frames: self.frames,
+            peak_buffered_bytes: self.peak_buffered_bytes,
+            timings: self.timings,
+        })
+    }
 }
 
 /// A client bound to one OCS frontend.
 #[derive(Debug, Clone)]
 pub struct OcsClient {
     frontend: Arc<OcsFrontend>,
+    window: usize,
 }
 
 impl OcsClient {
-    /// Bind to a frontend.
+    /// Bind to a frontend with the default in-flight frame window.
     pub fn new(frontend: Arc<OcsFrontend>) -> Self {
-        OcsClient { frontend }
+        Self::with_window(frontend, DEFAULT_FRAME_WINDOW)
     }
 
-    /// Execute `plan` against one object; the decoded response includes
-    /// wire byte counts for the caller's network billing.
+    /// Bind to a frontend with an explicit in-flight frame window.
+    pub fn with_window(frontend: Arc<OcsFrontend>, window: usize) -> Self {
+        OcsClient {
+            frontend,
+            window: window.max(1),
+        }
+    }
+
+    /// The configured in-flight frame window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Execute `plan` against one object, returning the streaming
+    /// response: batches decoded one frame at a time through the bounded
+    /// window.
+    pub fn execute_stream(&self, plan: &Plan, bucket: &str, key: &str) -> OcsResult<BatchStream> {
+        let request = substrait_ir::encode(plan);
+        let wire = self.frontend.handle_stream(&request, bucket, key)?;
+        Ok(BatchStream::new(wire, self.window, request.len() as u64))
+    }
+
+    /// Execute `plan` and drain the stream into one response.
     pub fn execute(&self, plan: &Plan, bucket: &str, key: &str) -> OcsResult<OcsResponse> {
+        let mut stream = self.execute_stream(plan, bucket, key)?;
+        let mut batches = Vec::new();
+        while let Some(b) = stream.next_batch()? {
+            batches.push(b);
+        }
+        let summary = stream.finish()?;
+        Ok(OcsResponse {
+            batches,
+            request_bytes: summary.request_bytes,
+            response_bytes: summary.response_bytes,
+            stats: summary.stats,
+            frames: summary.frames,
+            peak_buffered_bytes: summary.peak_buffered_bytes,
+            timings: summary.timings,
+        })
+    }
+
+    /// Execute `plan` over the pre-streaming whole-payload boundary (the
+    /// A/B baseline: one monolithic Arrow payload, no overlap, peak
+    /// buffering equal to the full response).
+    pub fn execute_buffered(&self, plan: &Plan, bucket: &str, key: &str) -> OcsResult<OcsResponse> {
         let request = substrait_ir::encode(plan);
         let wire = self.frontend.handle(&request, bucket, key)?;
         let batches = columnar::ipc::decode_batches(&wire.arrow_bytes)
-            .map_err(|e| crate::OcsError::Exec(format!("arrow decode: {e}")))?;
+            .map_err(|e| OcsError::Exec(format!("arrow decode: {e}")))?;
+        let response_bytes = wire.arrow_bytes.len() as u64;
+        // The whole result is one "frame" that buffers everything.
+        let timing = FrameTiming {
+            bytes: response_bytes,
+            disk_bytes: wire.stats.disk_bytes,
+            decompress_s: wire.stats.storage_decompress_s,
+            storage_s: wire.stats.storage_cpu_s,
+            frontend_s: wire.stats.frontend_cpu_s,
+            compute_s: 0.0,
+            is_batch: true,
+            input_chunks: 1,
+        };
         Ok(OcsResponse {
             batches,
             request_bytes: request.len() as u64,
-            response_bytes: wire.arrow_bytes.len() as u64,
-            storage_cpu_s: wire.storage_cpu_s,
-            storage_decompress_s: wire.storage_decompress_s,
-            disk_bytes: wire.disk_bytes,
-            frontend_cpu_s: wire.frontend_cpu_s,
-            rows_scanned: wire.rows_scanned,
-            rows_returned: wire.rows_returned,
-            row_groups_skipped: wire.row_groups_skipped,
-            decoded_bytes_avoided: wire.decoded_bytes_avoided,
+            response_bytes,
+            stats: wire.stats,
+            frames: 1,
+            peak_buffered_bytes: response_bytes,
+            timings: vec![timing],
         })
     }
 }
@@ -102,7 +307,16 @@ mod tests {
             ],
         )
         .unwrap();
-        let bytes = parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();
+        // Small row groups so scans produce many batches (= many frames).
+        let bytes = parq::writer::write_file(
+            schema.clone(),
+            &[batch],
+            parq::WriteOptions {
+                row_group_rows: 1024,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         store.put_object("lake", "t/0", bytes.into()).unwrap();
         (
             Ocs::new(store, OcsConfig::paper_testbed()),
@@ -118,7 +332,7 @@ mod tests {
         // Full scan: ~10k rows cross the wire.
         let scan = Plan::new(Rel::read("t", schema.clone(), None));
         let full = client.execute(&scan, "lake", "t/0").unwrap();
-        assert_eq!(full.rows_returned, 10_000);
+        assert_eq!(full.stats.rows_returned, 10_000);
 
         // Aggregation in storage: 7 rows cross the wire.
         let agg = Plan::new(Rel::Aggregate {
@@ -131,7 +345,7 @@ mod tests {
             }],
         });
         let small = client.execute(&agg, "lake", "t/0").unwrap();
-        assert_eq!(small.rows_returned, 7);
+        assert_eq!(small.stats.rows_returned, 7);
         assert!(
             small.response_bytes * 100 < full.response_bytes,
             "{} vs {}",
@@ -139,7 +353,7 @@ mod tests {
             full.response_bytes
         );
         // But the storage node did *more* compute for the aggregation.
-        assert!(small.storage_cpu_s > full.storage_cpu_s);
+        assert!(small.stats.storage_cpu_s > full.stats.storage_cpu_s);
         // Request (plan) bytes are tiny in both cases.
         assert!(full.request_bytes < 500);
     }
@@ -178,5 +392,64 @@ mod tests {
         let resp = ocs.client().execute(&plan, "lake", "t/0").unwrap();
         let rows: usize = resp.batches.iter().map(|b| b.num_rows()).sum();
         assert_eq!(rows, 5);
+    }
+
+    #[test]
+    fn streaming_matches_buffered_batch_for_batch() {
+        let (ocs, schema) = deployment();
+        let client = ocs.client();
+        let plan = Plan::new(Rel::read("t", schema, None));
+        let buffered = client.execute_buffered(&plan, "lake", "t/0").unwrap();
+        let streamed = client.execute(&plan, "lake", "t/0").unwrap();
+        assert_eq!(streamed.batches.len(), buffered.batches.len());
+        for (a, b) in streamed.batches.iter().zip(&buffered.batches) {
+            assert_eq!(a.num_rows(), b.num_rows());
+            assert_eq!(a.schema(), b.schema());
+        }
+        assert_eq!(streamed.stats.rows_returned, buffered.stats.rows_returned);
+        assert_eq!(streamed.stats.disk_bytes, buffered.stats.disk_bytes);
+        // Framing adds per-frame headers but stays the same order of
+        // magnitude as the monolithic payload.
+        assert!(streamed.response_bytes >= buffered.response_bytes);
+        assert!(streamed.response_bytes < buffered.response_bytes * 2);
+    }
+
+    #[test]
+    fn bounded_window_caps_client_buffering() {
+        let (ocs, schema) = deployment();
+        let plan = Plan::new(Rel::read("t", schema.clone(), None));
+        let wide = OcsClient::with_window(ocs.frontend().clone(), 1024);
+        let narrow = OcsClient::with_window(ocs.frontend().clone(), 2);
+        let a = wide.execute(&plan, "lake", "t/0").unwrap();
+        let b = narrow.execute(&plan, "lake", "t/0").unwrap();
+        assert!(a.frames > 4, "scan should produce many frames");
+        assert_eq!(a.frames, b.frames);
+        assert!(
+            b.peak_buffered_bytes < a.peak_buffered_bytes,
+            "narrow window {} must buffer less than wide {}",
+            b.peak_buffered_bytes,
+            a.peak_buffered_bytes
+        );
+        // And far less than the whole response.
+        assert!(b.peak_buffered_bytes * 2 < b.response_bytes);
+    }
+
+    #[test]
+    fn stream_timings_cover_all_stats() {
+        let (ocs, schema) = deployment();
+        let plan = Plan::new(Rel::read("t", schema, None));
+        let resp = ocs.client().execute(&plan, "lake", "t/0").unwrap();
+        assert_eq!(resp.timings.len() as u64, resp.frames);
+        let storage: f64 = resp.timings.iter().map(|t| t.storage_s).sum();
+        let frontend: f64 = resp.timings.iter().map(|t| t.frontend_s).sum();
+        let disk: u64 = resp.timings.iter().map(|t| t.disk_bytes).sum();
+        let bytes: u64 = resp.timings.iter().map(|t| t.bytes).sum();
+        assert!((storage - resp.stats.storage_cpu_s).abs() < 1e-9);
+        assert!((frontend - resp.stats.frontend_cpu_s).abs() < 1e-9);
+        assert_eq!(disk, resp.stats.disk_bytes);
+        assert_eq!(bytes, resp.response_bytes);
+        // First and last frames are schema/trailer, not batches.
+        assert!(!resp.timings[0].is_batch);
+        assert!(!resp.timings[resp.timings.len() - 1].is_batch);
     }
 }

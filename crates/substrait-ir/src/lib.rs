@@ -12,7 +12,7 @@
 //!   `Project`, `Aggregate`, `Sort`, `Fetch` (limit / top-N when stacked on
 //!   `Sort`);
 //! * full output-schema inference and [`validate`](Plan::validate);
-//! * a compact tag-length binary serialization ([`encode`] /
+//! * a compact tag-length binary serialization ([`encode()`](fn@encode) /
 //!   [`decode`]) playing the role of protobuf on the wire;
 //! * a pretty-printer for plan debugging.
 //!

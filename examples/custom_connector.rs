@@ -21,8 +21,8 @@ use dsq::error::{EResult, EngineError};
 use dsq::expr::ScalarExpr;
 use dsq::plan::{LogicalPlan, TableScanNode};
 use dsq::spi::{
-    Connector, ConnectorPlanOptimizer, DefaultSplitManager, OptimizerContext, PageSourceProvider,
-    PageSourceResult, Split, SplitManager, TableHandle,
+    BufferedPageStream, Connector, ConnectorPlanOptimizer, DefaultSplitManager, OptimizerContext,
+    PageSourceProvider, PageSourceResult, Split, SplitManager, TableHandle,
 };
 use dsq::EngineBuilder;
 use parking_lot::Mutex;
@@ -102,11 +102,18 @@ impl PageSourceProvider for MemPages {
             }
         }
         let bytes = batch.byte_size() as u64;
+        // A connector that materializes its whole result wraps it in a
+        // buffered stream; streaming connectors implement `PageStream`
+        // themselves and yield frame-at-a-time.
         Ok(PageSourceResult {
-            batches: vec![batch],
-            network_bytes: bytes,
-            network_requests: 1,
-            ..Default::default()
+            stream: BufferedPageStream::whole_result(
+                vec![batch],
+                Default::default(),
+                bytes,
+                1,
+                0.0,
+            ),
+            substrait_gen_s: 0.0,
         })
     }
 }

@@ -166,6 +166,25 @@ impl BytesMut {
         self.inner.is_empty()
     }
 
+    /// Append raw bytes (mirrors `Vec::extend_from_slice`).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+
+    /// Split off and return the first `n` bytes, leaving the remainder in
+    /// `self`. Panics if `n > len`, matching the upstream contract.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(
+            n <= self.inner.len(),
+            "split_to({n}) out of range for {}",
+            self.inner.len()
+        );
+        let rest = self.inner.split_off(n);
+        BytesMut {
+            inner: std::mem::replace(&mut self.inner, rest),
+        }
+    }
+
     /// Convert into an immutable [`Bytes`] without copying.
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.inner)
