@@ -1,0 +1,143 @@
+//! Observability overhead: span recording must be effectively free.
+//!
+//! The harness verifies two acceptance gates before timing anything:
+//!
+//! * with tracing enabled, end-to-end query wall time must be within 3% of
+//!   the same query with tracing disabled (interleaved min-of-N so clock
+//!   drift and thermal effects cancel);
+//! * the no-op tracer (tracing disabled, or the `tracing-off` feature)
+//!   must cost no more than a branch per call — gated at nanoseconds per
+//!   `record`, i.e. ~0% overhead for instrumented code that runs with
+//!   tracing off.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq::{Engine, EngineBuilder};
+use objstore::ObjectStore;
+use ocs_connector::{register_ocs_stack, PushdownPolicy};
+use workloads::{queries, TableLoader, TpchConfig};
+
+const FILES: usize = 4;
+const ROWS_PER_FILE: usize = 32 * 1024;
+/// Interleaved measurement rounds (min over rounds is the statistic).
+const ROUNDS: usize = 15;
+/// Warmup executions per engine before measuring.
+const WARMUP: usize = 3;
+/// Gate: traced wall time within this fraction of untraced.
+const MAX_OVERHEAD: f64 = 0.03;
+/// Gate: a disabled-tracer call must cost at most this many nanoseconds.
+const MAX_NOOP_NS: f64 = 25.0;
+
+fn build_engine(store: &Arc<ObjectStore>, tracing: bool) -> Engine {
+    let engine = EngineBuilder::new().tracing(tracing).build();
+    {
+        let loader = TableLoader::new(store, engine.metastore());
+        workloads::tpch::load(
+            &loader,
+            &TpchConfig {
+                files: FILES,
+                rows_per_file: ROWS_PER_FILE,
+                ..Default::default()
+            },
+        );
+    }
+    register_ocs_stack(&engine, store.clone(), PushdownPolicy::all());
+    engine
+        .metastore()
+        .rebind_connector("lineitem", "ocs")
+        .expect("lineitem");
+    engine
+}
+
+fn time_one(engine: &Engine, sql: &str) -> f64 {
+    let start = Instant::now();
+    let r = engine.execute(sql).expect("q1");
+    assert!(r.simulated_seconds > 0.0);
+    start.elapsed().as_secs_f64()
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let sql = queries::TPCH_Q1;
+    // Two engines over independent stores so neither shares cache luck.
+    let store_on = Arc::new(ObjectStore::new());
+    let store_off = Arc::new(ObjectStore::new());
+    let traced = build_engine(&store_on, true);
+    let untraced = build_engine(&store_off, false);
+
+    for _ in 0..WARMUP {
+        time_one(&traced, sql);
+        time_one(&untraced, sql);
+    }
+    // Sanity: tracing state is what we think it is (obs built with
+    // `tracing-off` forces the no-op tracer everywhere).
+    let tracing_compiled_in = obs::Tracer::new().is_enabled();
+    let r = traced.execute(sql).expect("traced");
+    assert!(
+        !r.trace.spans.is_empty() || !tracing_compiled_in,
+        "traced engine produced no spans"
+    );
+    assert!(
+        untraced
+            .execute(sql)
+            .expect("untraced")
+            .trace
+            .spans
+            .is_empty(),
+        "untraced engine recorded spans"
+    );
+
+    // Gate 1: interleaved min-of-N, traced within MAX_OVERHEAD of untraced.
+    let (mut min_on, mut min_off) = (f64::MAX, f64::MAX);
+    for _ in 0..ROUNDS {
+        min_on = min_on.min(time_one(&traced, sql));
+        min_off = min_off.min(time_one(&untraced, sql));
+    }
+    let overhead = (min_on - min_off) / min_off;
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "tracing overhead gate: traced {:.4}s vs untraced {:.4}s \
+         ({:+.2}%, need < {:.0}%)",
+        min_on,
+        min_off,
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+
+    // Gate 2: the no-op tracer is a branch per call.
+    let noop = obs::Tracer::disabled();
+    let calls: u64 = 4_000_000;
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..calls {
+        acc = acc.wrapping_add(noop.record("x", "phase", None, 0.0, i as f64).0);
+    }
+    let ns_per_call = start.elapsed().as_secs_f64() * 1e9 / calls as f64;
+    assert_eq!(acc, 0, "disabled tracer must mint no ids");
+    assert!(
+        ns_per_call < MAX_NOOP_NS,
+        "no-op tracer gate: {ns_per_call:.1} ns/call, need < {MAX_NOOP_NS} ns"
+    );
+
+    println!(
+        "obs overhead check: traced {:.4}s vs untraced {:.4}s ({:+.2}%), \
+         no-op tracer {:.1} ns/call",
+        min_on,
+        min_off,
+        overhead * 100.0,
+        ns_per_call
+    );
+
+    let mut g = c.benchmark_group("obs_overhead");
+    g.bench_function("q1_traced", |b| b.iter(|| time_one(&traced, sql)));
+    g.bench_function("q1_untraced", |b| b.iter(|| time_one(&untraced, sql)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_obs_overhead
+}
+criterion_main!(benches);

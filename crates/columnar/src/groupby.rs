@@ -349,6 +349,7 @@ impl GroupedAggregator {
         args: &[Option<&Array>],
         num_rows: usize,
     ) -> Result<()> {
+        let _t = obs::KernelTimer::start("columnar.groupby.update_s");
         if args.len() != self.accs.len() {
             return Err(ColumnarError::Invalid(format!(
                 "aggregate arity mismatch: expected {}, got {}",

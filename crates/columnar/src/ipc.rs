@@ -110,6 +110,7 @@ fn put_array(buf: &mut BytesMut, array: &Array) {
 
 /// Serialize one batch.
 pub fn encode_batch(batch: &RecordBatch) -> Bytes {
+    let _t = obs::KernelTimer::start("columnar.ipc.encode_s");
     let mut buf = BytesMut::with_capacity(batch.byte_size() + 256);
     buf.put_slice(MAGIC);
     buf.put_u32_le(batch.num_columns() as u32);
@@ -253,6 +254,7 @@ impl<'a> Reader<'a> {
 /// Takes the shared [`Bytes`] wire buffer so variable-length payloads
 /// (Utf8 data) can be aliased zero-copy instead of re-allocated.
 pub fn decode_batch(bytes: &Bytes) -> Result<RecordBatch> {
+    let _t = obs::KernelTimer::start("columnar.ipc.decode_s");
     if bytes.len() < MAGIC.len() + 4 {
         return Err(ColumnarError::Corrupt("IPC message too short".into()));
     }

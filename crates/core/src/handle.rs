@@ -121,6 +121,10 @@ impl TableHandle for OcsTableHandle {
             )
         }
     }
+
+    fn pushes_operators(&self) -> bool {
+        !self.pushed.is_empty()
+    }
 }
 
 /// Helper: wrap a handle for a scan node.
@@ -145,10 +149,12 @@ mod tests {
             output_schema: schema,
         };
         assert!(h.pushed.is_empty());
+        assert!(!h.pushes_operators());
         assert_eq!(h.describe(), "ocs columns=[0]");
         h.pushed.filter = Some(ScalarExpr::lit(columnar::Scalar::Boolean(true)));
         h.pushed.topn = Some((vec![], 10));
         assert_eq!(h.pushed.pushed_names(), vec!["Filter", "TopN"]);
+        assert!(h.pushes_operators());
         assert!(h.describe().contains("pushed=[Filter, TopN]"));
         // Downcast through the SPI trait works.
         let dynh: Arc<dyn TableHandle> = Arc::new(h);

@@ -8,7 +8,9 @@ use std::collections::VecDeque;
 use dsq::session::{EventListener, QueryEvent};
 use parking_lot::Mutex;
 
-/// One remembered execution.
+/// One remembered execution. Streaming metrics (time to first batch, peak
+/// buffer, frames) and the phase breakdown are derived from the query's
+/// span tree rather than carried as dedicated event fields.
 #[derive(Debug, Clone)]
 pub struct HistoryEntry {
     /// The operator chain that ran.
@@ -27,12 +29,18 @@ pub struct HistoryEntry {
     pub row_groups_skipped: u64,
     /// Encoded bytes the storage scan never decoded.
     pub decoded_bytes_avoided: u64,
-    /// Pipeline completion time of the earliest batch frame.
+    /// Pipeline completion time of the earliest batch frame (from the
+    /// `split_phase` span's `time_to_first_batch_s` attribute).
     pub time_to_first_batch_s: f64,
-    /// Peak encoded bytes buffered engine-side across split streams.
+    /// Peak encoded bytes buffered engine-side across split streams (from
+    /// the `split_phase` span).
     pub peak_buffered_bytes: u64,
-    /// Frames that crossed the storage boundary.
+    /// Frames that crossed the storage boundary (from the `split_phase`
+    /// span).
     pub frames: u64,
+    /// Per-phase `(label, simulated seconds)` — the root span's direct
+    /// phase children, in execution order. Empty when tracing was off.
+    pub breakdown: Vec<(String, f64)>,
 }
 
 /// Sliding window of recent executions.
@@ -100,6 +108,27 @@ impl PushdownHistory {
         self.entries.iter().map(|e| e.seconds).sum::<f64>() / self.entries.len() as f64
     }
 
+    /// Latency percentile over the window (nearest-rank; 0 when empty).
+    fn percentile_seconds(&self, q: f64) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        let mut secs: Vec<f64> = self.entries.iter().map(|e| e.seconds).collect();
+        secs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let rank = (q * secs.len() as f64).ceil() as usize;
+        secs[rank.clamp(1, secs.len()) - 1]
+    }
+
+    /// Median simulated latency over the window.
+    pub fn p50_seconds(&self) -> f64 {
+        self.percentile_seconds(0.50)
+    }
+
+    /// 95th-percentile simulated latency over the window.
+    pub fn p95_seconds(&self) -> f64 {
+        self.percentile_seconds(0.95)
+    }
+
     /// Total row groups skipped by late materialization over the window.
     pub fn total_row_groups_skipped(&self) -> u64 {
         self.entries.iter().map(|e| e.row_groups_skipped).sum()
@@ -147,11 +176,14 @@ impl PushdownHistory {
     /// One-line operator-facing summary of the window.
     pub fn summary(&self) -> String {
         format!(
-            "{} queries: pushdown {:.0}%, mean {:.3}s, mean moved {:.0} B, \
-             first batch {:.4}s, {:.1} frames/query, peak stream buffer {} B",
+            "{} queries: pushdown {:.0}%, mean {:.3}s, p50 {:.3}s, p95 {:.3}s, \
+             mean moved {:.0} B, first batch {:.4}s, {:.1} frames/query, \
+             peak stream buffer {} B",
             self.len(),
             self.pushdown_rate() * 100.0,
             self.mean_seconds(),
+            self.p50_seconds(),
+            self.p95_seconds(),
             self.mean_moved_bytes(),
             self.mean_time_to_first_batch_s(),
             self.mean_frames_per_query(),
@@ -182,19 +214,44 @@ impl PushdownMonitor {
 
 impl EventListener for PushdownMonitor {
     fn query_completed(&self, event: &QueryEvent) {
-        let pushed = event.scan_handle.contains("pushed=");
+        let m = obs::metrics();
+        m.counter("connector.queries").inc();
+        if event.pushed {
+            m.counter("connector.pushdown_hits").inc();
+        }
+        // Streaming metrics ride on the split_phase span; the per-phase
+        // breakdown is the root span's direct phase children.
+        let split = event.trace.find("split_phase");
+        let breakdown = event
+            .trace
+            .root()
+            .map(|root| {
+                event
+                    .trace
+                    .children(root.id)
+                    .into_iter()
+                    .filter(|s| s.cat == "phase")
+                    .map(|s| (s.name.clone(), s.seconds()))
+                    .collect()
+            })
+            .unwrap_or_default();
         self.history.lock().push(HistoryEntry {
             chain: event.chain.clone(),
             scan_handle: event.scan_handle.clone(),
             seconds: event.simulated_seconds,
             moved_bytes: event.moved_bytes,
             result_rows: event.result_rows,
-            pushed,
+            pushed: event.pushed,
             row_groups_skipped: event.row_groups_skipped,
             decoded_bytes_avoided: event.decoded_bytes_avoided,
-            time_to_first_batch_s: event.time_to_first_batch_s,
-            peak_buffered_bytes: event.peak_buffered_bytes,
-            frames: event.frames,
+            time_to_first_batch_s: split
+                .and_then(|s| s.attr_f64("time_to_first_batch_s"))
+                .unwrap_or(0.0),
+            peak_buffered_bytes: split
+                .and_then(|s| s.attr_u64("peak_buffered_bytes"))
+                .unwrap_or(0),
+            frames: split.and_then(|s| s.attr_u64("frames")).unwrap_or(0),
+            breakdown,
         });
     }
 }
@@ -202,8 +259,18 @@ impl EventListener for PushdownMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     fn event(pushed: bool, bytes: u64, secs: f64) -> QueryEvent {
+        // A minimal span tree shaped like the engine's: root "query" with
+        // phase children, split_phase carrying the streaming attrs.
+        let t = obs::Tracer::new();
+        let root = t.record("query", "phase", None, 0.0, secs);
+        t.record("Others", "phase", Some(root), 0.0, secs * 0.25);
+        let sp = t.record("split_phase", "phase", Some(root), secs * 0.25, secs);
+        t.attr(sp, "time_to_first_batch_s", 0.25);
+        t.attr(sp, "peak_buffered_bytes", bytes / 4);
+        t.attr(sp, "frames", 12u64);
         QueryEvent {
             sql: "SELECT 1".into(),
             chain: "TableScan".into(),
@@ -215,12 +282,10 @@ mod tests {
             } else {
                 "ocs columns=[0]".into()
             },
-            breakdown: vec![],
+            pushed,
             row_groups_skipped: if pushed { 3 } else { 0 },
             decoded_bytes_avoided: if pushed { 4096 } else { 0 },
-            time_to_first_batch_s: 0.25,
-            peak_buffered_bytes: bytes / 4,
-            frames: 12,
+            trace: Arc::new(t.finish()),
         }
     }
 
@@ -252,6 +317,11 @@ mod tests {
             assert_eq!(h.mean_time_to_first_batch_s(), 0.25);
             assert_eq!(h.max_peak_buffered_bytes(), 75);
             assert_eq!(h.mean_frames_per_query(), 12.0);
+            // Derived from the span tree, not dedicated event fields.
+            let e = h.entries().next().expect("entry");
+            assert_eq!(e.breakdown.len(), 2);
+            assert_eq!(e.breakdown[0].0, "Others");
+            assert!((e.breakdown[0].1 - 0.5).abs() < 1e-12);
             let s = h.summary();
             assert!(s.contains("2 queries"));
             assert!(s.contains("50%"));
@@ -262,6 +332,58 @@ mod tests {
         empty.with_history(|h| {
             assert_eq!(h.pushdown_rate(), 0.0);
             assert_eq!(h.mean_moved_bytes(), 0.0);
+            assert_eq!(h.p50_seconds(), 0.0);
+            assert_eq!(h.p95_seconds(), 0.0);
+        });
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let m = PushdownMonitor::new(100);
+        // 1..=20 seconds, shuffled-ish insertion order.
+        for i in [
+            7, 1, 20, 3, 14, 2, 19, 5, 10, 4, 13, 6, 18, 8, 11, 9, 16, 12, 17, 15,
+        ] {
+            m.query_completed(&event(true, 0, i as f64));
+        }
+        m.with_history(|h| {
+            assert_eq!(h.p50_seconds(), 10.0);
+            assert_eq!(h.p95_seconds(), 19.0);
+            let s = h.summary();
+            assert!(s.contains("p50 10.000s"), "{s}");
+            assert!(s.contains("p95 19.000s"), "{s}");
+        });
+        let one = PushdownMonitor::new(5);
+        one.query_completed(&event(true, 0, 2.5));
+        one.with_history(|h| {
+            assert_eq!(h.p50_seconds(), 2.5);
+            assert_eq!(h.p95_seconds(), 2.5);
+        });
+    }
+
+    #[test]
+    fn concurrent_dispatch_is_safe() {
+        // The engine calls query_completed from whatever thread ran the
+        // query; the monitor must take concurrent dispatch without losing
+        // or corrupting entries.
+        let m = Arc::new(PushdownMonitor::new(10_000));
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        m.query_completed(&event(t % 2 == 0, i, i as f64 + 1.0));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("listener thread");
+        }
+        m.with_history(|h| {
+            assert_eq!(h.len(), 800);
+            assert_eq!(h.pushdown_rate(), 0.5);
+            assert!(h.entries().all(|e| e.frames == 12));
         });
     }
 }

@@ -124,12 +124,19 @@ fn attach_compute(metrics: &mut PageMetrics, batch_compute_s: &[f64], tail_compu
 }
 
 /// Execute a linear plan chain.
+///
+/// `tracer` receives the query's span tree on the simulated clock (pass
+/// [`obs::Tracer::disabled`] to skip all span work); `analysis_s` is the
+/// coordinator's plan-analysis cost, billed here so the trace's phase
+/// spans can be laid out in execution order from one place.
 pub fn execute_plan(
     plan: &LogicalPlan,
     metastore: &Metastore,
     connectors: &HashMap<String, Arc<dyn Connector>>,
     cluster: &ClusterSpec,
     cost: &CostParams,
+    tracer: &obs::Tracer,
+    analysis_s: f64,
 ) -> EResult<ExecutionOutcome> {
     let ledger = Ledger::new();
     let scan = plan.scan().clone();
@@ -144,11 +151,22 @@ pub fn execute_plan(
     let provider = connector.page_source_provider();
 
     // Coordinator overheads (Table 3's "Others").
-    ledger.add(
-        Phase::Other,
-        cluster
-            .compute
-            .core_seconds(cost.query_fixed + cost.sched_per_split * splits.len() as f64),
+    let other_s = cluster
+        .compute
+        .core_seconds(cost.query_fixed + cost.sched_per_split * splits.len() as f64);
+    ledger.add(Phase::Other, other_s);
+    ledger.add(Phase::PlanAnalysis, analysis_s);
+
+    // The query's root span. The netsim clock is computed, not observed,
+    // so phases are laid out back-to-back as their seconds become known;
+    // `cursor` is the layout position on the simulated clock.
+    let root = tracer.start("query", "phase", None, 0.0);
+    let root_id = root.id();
+    let mut cursor = Ledger::layout_spans(
+        tracer,
+        root_id,
+        0.0,
+        &[(Phase::Other, other_s), (Phase::PlanAnalysis, analysis_s)],
     );
 
     // Collect the operator chain leaf→root (excluding the scan).
@@ -398,53 +416,115 @@ pub fn execute_plan(
             + makespan(&compute, cluster.compute.cores)
     };
 
-    // Bill the overlapped makespan, apportioned back into ledger phases
-    // proportional to each stage's busy time so the breakdown still says
-    // *where* the time went.
-    let busy_total: f64 = report.stage_busy.iter().sum();
-    if busy_total > 0.0 {
-        let phases = [
-            Phase::StorageDisk,
-            Phase::StorageDecompress,
-            Phase::StorageCpu,
-            Phase::FrontendCpu,
-            Phase::NetworkTransfer,
-            Phase::ComputeCpu,
-        ];
-        for (phase, &busy) in phases.iter().zip(&report.stage_busy) {
-            ledger.add(*phase, report.makespan * busy / busy_total);
-        }
-    }
     // Substrait IR generation happens before any request is issued; it is
     // not part of the frame pipeline and stays additive.
     let substrait: f64 = outputs.iter().map(|o| o.substrait_gen_s).sum();
     ledger.add(Phase::SubstraitGen, substrait);
+    cursor = Ledger::layout_spans(tracer, root_id, cursor, &[(Phase::SubstraitGen, substrait)]);
+
+    // Bill the overlapped makespan, apportioned back into ledger phases
+    // proportional to each stage's busy time so the breakdown still says
+    // *where* the time went.
+    let busy_total: f64 = report.stage_busy.iter().sum();
+    let phases = [
+        Phase::StorageDisk,
+        Phase::StorageDecompress,
+        Phase::StorageCpu,
+        Phase::FrontendCpu,
+        Phase::NetworkTransfer,
+        Phase::ComputeCpu,
+    ];
+    let mut apportioned: Vec<(Phase, f64)> = Vec::with_capacity(phases.len());
+    if busy_total > 0.0 {
+        for (phase, &busy) in phases.iter().zip(&report.stage_busy) {
+            let share = report.makespan * busy / busy_total;
+            ledger.add(*phase, share);
+            apportioned.push((*phase, share));
+        }
+    }
+
+    let time_to_first_batch_s = report.first_done_among(batch_items);
+    let frames_total: u64 = outputs.iter().map(|o| o.metrics.frames.len() as u64).sum();
+    let peak_buffered: u64 = outputs.iter().map(|o| o.metrics.peak_buffered_bytes).sum();
+
+    // The split-phase span covers the overlapped makespan. Its children:
+    // the six apportioned stage shares laid back-to-back (their sum is the
+    // makespan by construction, so the phase breakdown stays exact), plus
+    // one span per split on its *actual* overlapped timeline — split spans
+    // run concurrently, and each receives the storage-executor spans that
+    // crossed the boundary in its trailer frame, re-scaled into the
+    // split's window ([`obs::Tracer::graft`]).
+    if tracer.is_enabled() {
+        let mut split_phase = tracer.start("split_phase", "phase", Some(root_id), cursor);
+        split_phase.attr("splits", outputs.len() as u64);
+        split_phase.attr("frames", frames_total);
+        split_phase.attr("bytes", moved_bytes);
+        split_phase.attr("time_to_first_batch_s", time_to_first_batch_s);
+        split_phase.attr("peak_buffered_bytes", peak_buffered);
+        let split_phase_id = split_phase.close(cursor + report.makespan);
+        Ledger::layout_spans(tracer, split_phase_id, cursor, &apportioned);
+
+        // Per-split completion times from the pipeline report.
+        let mut split_end = vec![0.0f64; outputs.len()];
+        for (item_ix, &g) in groups.iter().enumerate() {
+            if let Some(&done) = report.item_done.get(item_ix) {
+                split_end[g] = split_end[g].max(done);
+            }
+        }
+        for (split_ix, o) in outputs.iter().enumerate() {
+            let end = cursor + split_end[split_ix].min(report.makespan);
+            let mut span = tracer.start(
+                format!("split[{split_ix}]"),
+                "split",
+                Some(split_phase_id),
+                cursor,
+            );
+            span.attr("rows", o.metrics.stats.rows_returned);
+            span.attr("bytes", o.metrics.network_bytes);
+            span.attr("frames", o.metrics.frames.len() as u64);
+            let id = span.close(end);
+            tracer.graft(&o.metrics.stats.spans, id, cursor, end);
+        }
+    }
+    cursor += report.makespan;
 
     let pipeline_summary = PipelineSummary {
         overlapped_s: report.makespan,
         additive_s,
-        time_to_first_batch_s: report.first_done_among(batch_items),
-        frames: outputs.iter().map(|o| o.metrics.frames.len() as u64).sum(),
-        peak_buffered_bytes: outputs.iter().map(|o| o.metrics.peak_buffered_bytes).sum(),
+        time_to_first_batch_s,
+        frames: frames_total,
+        peak_buffered_bytes: peak_buffered,
         stage_busy_s: report.stage_busy.clone(),
     };
 
     // ---- Final stage ---------------------------------------------------
+    // Per-operator (name, output rows, core-seconds) for the final span's
+    // children; seconds come from the same `Work` units billed to the
+    // ledger so the children sum to the final span.
+    let mut final_op_spans: Vec<(String, u64, f64)> = Vec::new();
     let mut final_work = Work::zero();
     let mut current: Vec<RecordBatch> = match blocking {
         Some(LogicalPlan::Aggregate { group_by, aggs, .. }) => {
             let mut merged = HashAggregator::new(group_by.clone(), aggs.clone())?;
+            let mut w = Work::zero();
             for o in outputs {
                 if let Partial::Agg(agg) = o.partial {
                     let groups = agg.num_groups() as f64;
                     merged.merge(*agg)?;
-                    final_work.add(Work::vector(
+                    w.add(Work::vector(
                         groups * cost.agg_update * aggs.len().max(1) as f64,
                     ));
                 }
             }
             merged.work = 0.0;
-            vec![merged.finish()?]
+            let out = merged.finish()?;
+            final_op_spans.push((
+                "merge_aggregate".into(),
+                out.num_rows() as u64,
+                cluster.compute.core_seconds_for(w),
+            ));
+            final_work.add(w);
+            vec![out]
         }
         Some(LogicalPlan::TopN { keys, limit, .. }) => {
             let batches: Vec<RecordBatch> = outputs
@@ -458,7 +538,13 @@ pub fn execute_plan(
                 vec![]
             } else {
                 let (out, work) = run_topn(&batches, keys, *limit, cost)?;
-                final_work.add(Work::vector(work));
+                let w = Work::vector(work);
+                final_op_spans.push((
+                    "merge_topn".into(),
+                    out.num_rows() as u64,
+                    cluster.compute.core_seconds_for(w),
+                ));
+                final_work.add(w);
                 vec![out]
             }
         }
@@ -474,7 +560,13 @@ pub fn execute_plan(
                 vec![]
             } else {
                 let (out, work) = run_sort(&batches, keys, cost)?;
-                final_work.add(Work::vector(work));
+                let w = Work::vector(work);
+                final_op_spans.push((
+                    "merge_sort".into(),
+                    out.num_rows() as u64,
+                    cluster.compute.core_seconds_for(w),
+                ));
+                final_work.add(w);
                 vec![out]
             }
         }
@@ -505,12 +597,13 @@ pub fn execute_plan(
 
     // Remaining ops above the blocking one (e.g. Sort after Aggregate).
     for op in final_ops {
+        let mut w = Work::zero();
         current = match op {
             LogicalPlan::Filter { predicate, .. } => {
                 let mut next = Vec::new();
                 for b in &current {
                     let (out, work) = run_filter(b, predicate, cost)?;
-                    final_work.add(Work::vector(work));
+                    w.add(Work::vector(work));
                     next.push(out);
                 }
                 next
@@ -519,7 +612,7 @@ pub fn execute_plan(
                 let mut next = Vec::new();
                 for b in &current {
                     let (out, work) = run_project(b, exprs, cost)?;
-                    final_work.add(Work::expr(work));
+                    w.add(Work::expr(work));
                     next.push(out);
                 }
                 next
@@ -529,7 +622,7 @@ pub fn execute_plan(
                 for b in &current {
                     agg.update(b, cost)?;
                 }
-                final_work.add(Work::vector(agg.work));
+                w.add(Work::vector(agg.work));
                 vec![agg.finish()?]
             }
             LogicalPlan::Sort { keys, .. } => {
@@ -537,7 +630,7 @@ pub fn execute_plan(
                     vec![]
                 } else {
                     let (out, work) = run_sort(&current, keys, cost)?;
-                    final_work.add(Work::vector(work));
+                    w.add(Work::vector(work));
                     vec![out]
                 }
             }
@@ -546,7 +639,7 @@ pub fn execute_plan(
                     vec![]
                 } else {
                     let (out, work) = run_topn(&current, keys, *limit, cost)?;
-                    final_work.add(Work::vector(work));
+                    w.add(Work::vector(work));
                     vec![out]
                 }
             }
@@ -555,12 +648,46 @@ pub fn execute_plan(
                 return Err(EngineError::Execution("scan above leaf".into()))
             }
         };
+        let rows: u64 = current.iter().map(|b| b.num_rows() as u64).sum();
+        final_op_spans.push((
+            op.name().to_ascii_lowercase(),
+            rows,
+            cluster.compute.core_seconds_for(w),
+        ));
+        final_work.add(w);
     }
     // Final stage runs on a handful of driver threads; bill one lane.
-    ledger.add(
-        Phase::ComputeCpu,
-        cluster.compute.core_seconds_for(final_work),
-    );
+    let final_s = cluster.compute.core_seconds_for(final_work);
+    ledger.add(Phase::ComputeCpu, final_s);
+    // The final-stage span is the root's last sequential child; its
+    // operator children are laid back-to-back inside it with the same
+    // core-seconds the ledger was billed.
+    if tracer.is_enabled() && final_s > 0.0 {
+        let final_id = tracer.record(
+            Phase::ComputeCpu.label(),
+            "phase",
+            Some(root_id),
+            cursor,
+            cursor + final_s,
+        );
+        let mut op_cursor = cursor;
+        for (name, rows, secs) in &final_op_spans {
+            if *secs <= 0.0 {
+                continue;
+            }
+            let id = tracer.record(
+                format!("final.{name}"),
+                "op",
+                Some(final_id),
+                op_cursor,
+                op_cursor + secs,
+            );
+            tracer.attr(id, "rows", *rows);
+            op_cursor += secs;
+        }
+    }
+    cursor += final_s;
+    root.close(cursor);
 
     let schema = plan.schema()?;
     let batch = if current.is_empty() {

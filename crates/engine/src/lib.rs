@@ -44,4 +44,4 @@ pub mod spi;
 
 pub use error::{EResult, EngineError};
 pub use exec::PipelineSummary;
-pub use session::{Engine, EngineBuilder, QueryEvent, QueryResult};
+pub use session::{Engine, EngineBuilder, QueryEvent, QueryResult, StatementOutput};

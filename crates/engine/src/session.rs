@@ -4,8 +4,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use columnar::prelude::*;
-use netsim::{ClusterSpec, Ledger, Phase};
+use netsim::{ClusterSpec, Ledger};
 use parking_lot::RwLock;
+use sqlparse::{Query, StatementKind};
 
 use crate::analyzer::{analyze, AnalyzedQuery};
 use crate::catalog::Metastore;
@@ -32,18 +33,17 @@ pub struct QueryEvent {
     pub result_rows: u64,
     /// Description of the scan handle (reveals what was pushed down).
     pub scan_handle: String,
-    /// Per-phase breakdown `(label, seconds, share %)`.
-    pub breakdown: Vec<(String, f64, f64)>,
+    /// Whether the scan handle pushed any operators into storage
+    /// ([`crate::spi::TableHandle::pushes_operators`]).
+    pub pushed: bool,
     /// Row groups storage skipped via late materialization.
     pub row_groups_skipped: u64,
     /// Encoded bytes storage never decoded via late materialization.
     pub decoded_bytes_avoided: u64,
-    /// Pipeline completion time of the earliest batch frame.
-    pub time_to_first_batch_s: f64,
-    /// Peak encoded bytes buffered engine-side across all split streams.
-    pub peak_buffered_bytes: u64,
-    /// Frames that crossed the storage boundary.
-    pub frames: u64,
+    /// The query's span tree on the simulated clock. Phase breakdowns,
+    /// time-to-first-batch and peak buffered bytes are all derivable from
+    /// it (see `split_phase` attrs). Empty when tracing is disabled.
+    pub trace: Arc<obs::Trace>,
 }
 
 /// Observer of query completion.
@@ -76,12 +76,26 @@ pub struct QueryResult {
     /// Split-phase scheduling report (overlapped vs. additive makespan,
     /// streaming observability).
     pub pipeline: crate::exec::PipelineSummary,
+    /// The query's span tree on the simulated clock (empty when tracing
+    /// is disabled).
+    pub trace: Arc<obs::Trace>,
+}
+
+/// Output of [`Engine::execute_statement`]: rows for a plain query, text
+/// for `EXPLAIN` / `EXPLAIN ANALYZE`.
+#[derive(Debug)]
+pub enum StatementOutput {
+    /// A plain query's result (boxed: `QueryResult` is a large struct).
+    Rows(Box<QueryResult>),
+    /// Rendered `EXPLAIN` plan or `EXPLAIN ANALYZE` span tree.
+    Text(String),
 }
 
 /// Builder for [`Engine`].
 pub struct EngineBuilder {
     cluster: ClusterSpec,
     cost: CostParams,
+    tracing: bool,
 }
 
 impl Default for EngineBuilder {
@@ -89,6 +103,7 @@ impl Default for EngineBuilder {
         EngineBuilder {
             cluster: ClusterSpec::paper_testbed(),
             cost: CostParams::default(),
+            tracing: true,
         }
     }
 }
@@ -111,6 +126,13 @@ impl EngineBuilder {
         self
     }
 
+    /// Enable or disable span recording (on by default; the `tracing-off`
+    /// obs feature forces it off regardless).
+    pub fn tracing(mut self, on: bool) -> Self {
+        self.tracing = on;
+        self
+    }
+
     /// Build the engine.
     pub fn build(self) -> Engine {
         Engine {
@@ -119,6 +141,7 @@ impl EngineBuilder {
             listeners: RwLock::new(Vec::new()),
             cluster: self.cluster,
             cost: self.cost,
+            tracing: self.tracing,
         }
     }
 }
@@ -130,6 +153,7 @@ pub struct Engine {
     listeners: RwLock<Vec<Arc<dyn EventListener>>>,
     cluster: ClusterSpec,
     cost: CostParams,
+    tracing: bool,
 }
 
 impl Engine {
@@ -164,7 +188,11 @@ impl Engine {
     /// query and the optimized plan.
     pub fn plan(&self, sql: &str) -> EResult<(AnalyzedQuery, LogicalPlan)> {
         let query = sqlparse::parse(sql)?;
-        let analyzed = analyze(&query, &self.metastore)?;
+        self.plan_parsed(&query)
+    }
+
+    fn plan_parsed(&self, query: &Query) -> EResult<(AnalyzedQuery, LogicalPlan)> {
+        let analyzed = analyze(query, &self.metastore)?;
         let plan = optimizer::optimize(analyzed.plan.clone())?;
         // Connector-specific local optimization (the paper's hook). A
         // connector rewrite is a rule like any other: it must preserve the
@@ -193,7 +221,58 @@ impl Engine {
     /// Execute a SQL query end to end.
     pub fn execute(&self, sql: &str) -> EResult<QueryResult> {
         let query = sqlparse::parse(sql)?;
-        let analyzed = analyze(&query, &self.metastore)?;
+        let tracer = self.new_tracer();
+        self.execute_parsed(&query, sql, &tracer)
+    }
+
+    /// Execute a statement: a plain query returns rows; `EXPLAIN` returns
+    /// the optimized plan without executing; `EXPLAIN ANALYZE` executes
+    /// and renders the annotated span tree over the simulated clock
+    /// (tracing is forced on for it, regardless of the builder flag).
+    pub fn execute_statement(&self, sql: &str) -> EResult<StatementOutput> {
+        let stmt = sqlparse::parse_statement(sql)?;
+        match stmt.kind {
+            StatementKind::Query => {
+                let tracer = self.new_tracer();
+                Ok(StatementOutput::Rows(Box::new(self.execute_parsed(
+                    &stmt.query,
+                    sql,
+                    &tracer,
+                )?)))
+            }
+            StatementKind::Explain => {
+                let (_, plan) = self.plan_parsed(&stmt.query)?;
+                Ok(StatementOutput::Text(format!(
+                    "EXPLAIN\nquery: {}\n\n{plan}",
+                    sql.trim()
+                )))
+            }
+            StatementKind::ExplainAnalyze => {
+                let tracer = obs::Tracer::new();
+                let result = self.execute_parsed(&stmt.query, sql, &tracer)?;
+                Ok(StatementOutput::Text(obs::explain::render_analyze(
+                    sql.trim(),
+                    &result.trace,
+                )))
+            }
+        }
+    }
+
+    fn new_tracer(&self) -> obs::Tracer {
+        if self.tracing {
+            obs::Tracer::new()
+        } else {
+            obs::Tracer::disabled()
+        }
+    }
+
+    fn execute_parsed(
+        &self,
+        query: &Query,
+        sql: &str,
+        tracer: &obs::Tracer,
+    ) -> EResult<QueryResult> {
+        let analyzed = analyze(query, &self.metastore)?;
         let logical_plan = analyzed.plan.to_string();
 
         let pre = optimizer::optimize(analyzed.plan.clone())?;
@@ -227,11 +306,9 @@ impl Engine {
             &connectors,
             &self.cluster,
             &self.cost,
-        )?;
-        outcome.ledger.add(
-            Phase::PlanAnalysis,
+            tracer,
             self.cluster.compute.core_seconds(analysis_work),
-        );
+        )?;
 
         // Apply the client output projection (names + order).
         let projected = outcome.batch.project(&analyzed.output_columns)?;
@@ -247,6 +324,15 @@ impl Engine {
                 .map_err(EngineError::Columnar)?;
 
         let simulated_seconds = outcome.ledger.total();
+        let trace = Arc::new(tracer.finish());
+
+        let m = obs::metrics();
+        m.counter("engine.queries").inc();
+        m.counter("engine.moved_bytes").add(outcome.moved_bytes);
+        m.counter("engine.result_rows").add(batch.num_rows() as u64);
+        m.histogram("engine.simulated_seconds", obs::metrics::SECONDS_BUCKETS)
+            .observe(simulated_seconds);
+
         let event = QueryEvent {
             sql: sql.to_string(),
             chain: chain.clone(),
@@ -254,12 +340,10 @@ impl Engine {
             moved_bytes: outcome.moved_bytes,
             result_rows: batch.num_rows() as u64,
             scan_handle: plan.scan().handle.describe(),
-            breakdown: outcome.ledger.breakdown(),
+            pushed: plan.scan().handle.pushes_operators(),
             row_groups_skipped: outcome.row_groups_skipped,
             decoded_bytes_avoided: outcome.decoded_bytes_avoided,
-            time_to_first_batch_s: outcome.pipeline.time_to_first_batch_s,
-            peak_buffered_bytes: outcome.pipeline.peak_buffered_bytes,
-            frames: outcome.pipeline.frames,
+            trace: trace.clone(),
         };
         for l in self.listeners.read().iter() {
             l.query_completed(&event);
@@ -276,6 +360,7 @@ impl Engine {
             optimized_plan,
             chain,
             pipeline: outcome.pipeline,
+            trace,
         })
     }
 }

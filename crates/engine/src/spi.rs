@@ -24,6 +24,12 @@ pub trait TableHandle: Send + Sync + Debug {
     fn as_any(&self) -> &dyn Any;
     /// One-line description for plan display.
     fn describe(&self) -> String;
+    /// True when the handle carries operators pushed into storage. The
+    /// default handle never does; the OCS handle reports its actual
+    /// pushdown state so listeners don't have to sniff [`Self::describe`].
+    fn pushes_operators(&self) -> bool {
+        false
+    }
 }
 
 /// The default handle: a plain scan, optionally with a column projection

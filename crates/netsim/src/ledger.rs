@@ -119,6 +119,36 @@ impl Ledger {
         }
     }
 
+    /// Lay `items` out as back-to-back phase spans under `parent`,
+    /// starting at `t0` on the simulated clock. This is the ledger→span
+    /// bridge: the netsim clock has no running "now" (simulated seconds
+    /// are computed post-hoc into buckets), so a trace is laid out from
+    /// the bucketed seconds, sequentially — which makes the child spans
+    /// sum *exactly* to the seconds they were laid from. Zero-length
+    /// items are skipped. Returns the cursor after the last span.
+    pub fn layout_spans(
+        tracer: &obs::Tracer,
+        parent: obs::SpanId,
+        t0: f64,
+        items: &[(Phase, f64)],
+    ) -> f64 {
+        let mut cursor = t0;
+        for (phase, seconds) in items {
+            if *seconds <= 0.0 {
+                continue;
+            }
+            tracer.record(
+                phase.label(),
+                "phase",
+                Some(parent),
+                cursor,
+                cursor + seconds,
+            );
+            cursor += seconds;
+        }
+        cursor
+    }
+
     /// Render a Table-3-style breakdown (label, seconds, share%).
     pub fn breakdown(&self) -> Vec<(String, f64, f64)> {
         let total = self.total();
@@ -183,6 +213,30 @@ mod tests {
         assert_eq!(a.get(Phase::StorageCpu), 4.0);
         a.reset();
         assert_eq!(a.total(), 0.0);
+    }
+
+    #[test]
+    fn layout_spans_sums_exactly() {
+        let tracer = obs::Tracer::new();
+        let root = tracer.record("query", "phase", None, 0.0, 10.0);
+        let end = Ledger::layout_spans(
+            &tracer,
+            root,
+            1.0,
+            &[
+                (Phase::PlanAnalysis, 0.5),
+                (Phase::SubstraitGen, 0.0),
+                (Phase::ComputeCpu, 2.5),
+            ],
+        );
+        assert!((end - 4.0).abs() < 1e-12);
+        let trace = tracer.finish();
+        trace.verify(1e-12).unwrap();
+        // Zero-length SubstraitGen skipped; others back-to-back.
+        assert_eq!(trace.children(root).len(), 2);
+        let sum: f64 = trace.children(root).iter().map(|s| s.seconds()).sum();
+        assert!((sum - 3.0).abs() < 1e-12);
+        assert_eq!(trace.find(Phase::ComputeCpu.label()).unwrap().start_s, 1.5);
     }
 
     #[test]

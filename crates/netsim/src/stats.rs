@@ -14,7 +14,7 @@
 /// Wire-level execution statistics for one request (or, summed, for one
 /// query). Produced by the storage/frontend side, shipped in the stream
 /// trailer, merged per split by the engine.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExecStats {
     /// Core-seconds of operator work on the storage node.
     pub storage_cpu_s: f64,
@@ -32,11 +32,16 @@ pub struct ExecStats {
     pub row_groups_skipped: u64,
     /// Encoded bytes the scan never had to decode.
     pub decoded_bytes_avoided: u64,
+    /// Storage-executor span records, on the producer's local clock
+    /// (t = 0 at request start). The engine re-parents ("grafts") them
+    /// under the query's split span on receipt.
+    pub spans: Vec<obs::SpanRec>,
 }
 
-/// Version tag leading every encoded [`ExecStats`] payload.
-const STATS_VERSION: u32 = 1;
-/// Encoded size: version + 3 × f64 + 5 × u64.
+/// Version tag leading every encoded [`ExecStats`] payload. v1 was the
+/// fixed 68-byte counter block; v2 appends the span records.
+const STATS_VERSION: u32 = 2;
+/// Encoded size of the fixed counter block: version + 3 × f64 + 5 × u64.
 const STATS_LEN: usize = 4 + 3 * 8 + 5 * 8;
 
 impl ExecStats {
@@ -51,6 +56,7 @@ impl ExecStats {
         self.rows_returned += other.rows_returned;
         self.row_groups_skipped += other.row_groups_skipped;
         self.decoded_bytes_avoided += other.decoded_bytes_avoided;
+        self.spans.extend(other.spans.iter().cloned());
     }
 
     /// Fixed-layout little-endian encoding (the trailer-frame payload).
@@ -73,24 +79,27 @@ impl ExecStats {
         ] {
             out.extend_from_slice(&u.to_le_bytes());
         }
+        out.extend_from_slice(&obs::encode_spans(&self.spans));
         out
     }
 
-    /// Decode an [`ExecStats::encode`] payload. Returns a structured
-    /// message (never panics) on truncation or a version mismatch.
+    /// Decode an [`ExecStats::encode`] payload. Accepts v1 (fixed counter
+    /// block, no spans) and v2 (counter block + span records). Returns a
+    /// structured message (never panics) on truncation or an unknown
+    /// version.
     pub fn decode(bytes: &[u8]) -> Result<ExecStats, String> {
-        if bytes.len() != STATS_LEN {
+        if bytes.len() < STATS_LEN {
             return Err(format!(
-                "exec-stats payload is {} bytes, expected {STATS_LEN}",
+                "exec-stats payload is {} bytes, expected at least {STATS_LEN}",
                 bytes.len()
             ));
         }
         let mut v4 = [0u8; 4];
         v4.copy_from_slice(&bytes[..4]);
         let version = u32::from_le_bytes(v4);
-        if version != STATS_VERSION {
+        if version != 1 && version != STATS_VERSION {
             return Err(format!(
-                "exec-stats version {version} (expected {STATS_VERSION})"
+                "exec-stats version {version} (expected 1..={STATS_VERSION})"
             ));
         }
         let mut pos = 4usize;
@@ -108,6 +117,25 @@ impl ExecStats {
         let rows_returned = u64::from_le_bytes(take8());
         let row_groups_skipped = u64::from_le_bytes(take8());
         let decoded_bytes_avoided = u64::from_le_bytes(take8());
+        let spans = if version >= 2 {
+            let mut span_pos = STATS_LEN;
+            let spans = obs::decode_spans(bytes, &mut span_pos)?;
+            if span_pos != bytes.len() {
+                return Err(format!(
+                    "exec-stats payload has {} trailing bytes",
+                    bytes.len() - span_pos
+                ));
+            }
+            spans
+        } else {
+            if bytes.len() != STATS_LEN {
+                return Err(format!(
+                    "exec-stats v1 payload is {} bytes, expected {STATS_LEN}",
+                    bytes.len()
+                ));
+            }
+            Vec::new()
+        };
         Ok(ExecStats {
             storage_cpu_s,
             storage_decompress_s,
@@ -117,6 +145,7 @@ impl ExecStats {
             rows_returned,
             row_groups_skipped,
             decoded_bytes_avoided,
+            spans,
         })
     }
 }
@@ -171,9 +200,27 @@ mod tests {
             rows_returned: 7,
             row_groups_skipped: 3,
             decoded_bytes_avoided: 4096,
+            spans: vec![
+                obs::SpanRec {
+                    id: 1,
+                    parent: 0,
+                    name: "storage.execute".into(),
+                    start_s: 0.0,
+                    end_s: 0.25,
+                    wall_s: 0.0,
+                },
+                obs::SpanRec {
+                    id: 2,
+                    parent: 1,
+                    name: "storage.scan".into(),
+                    start_s: 0.05,
+                    end_s: 0.25,
+                    wall_s: 0.001,
+                },
+            ],
         };
         let enc = s.encode();
-        assert_eq!(enc.len(), STATS_LEN);
+        assert!(enc.len() > STATS_LEN);
         assert_eq!(ExecStats::decode(&enc).unwrap(), s);
     }
 
@@ -185,6 +232,26 @@ mod tests {
         let mut bad = enc.clone();
         bad[0] = 99;
         assert!(ExecStats::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn decode_accepts_v1_payload() {
+        // A v1 producer ships only the fixed counter block.
+        let mut v1 = ExecStats {
+            storage_cpu_s: 2.0,
+            rows_returned: 11,
+            ..Default::default()
+        }
+        .encode();
+        v1.truncate(STATS_LEN);
+        v1[..4].copy_from_slice(&1u32.to_le_bytes());
+        let dec = ExecStats::decode(&v1).unwrap();
+        assert_eq!(dec.storage_cpu_s, 2.0);
+        assert_eq!(dec.rows_returned, 11);
+        assert!(dec.spans.is_empty());
+        // ...but a v1 payload with trailing bytes is corrupt.
+        v1.push(0);
+        assert!(ExecStats::decode(&v1).is_err());
     }
 
     #[test]

@@ -1,0 +1,53 @@
+//! `obs` — the observability spine of the reproduction.
+//!
+//! The paper's §4 "Pushdown Monitoring" argues the engine↔OCS boundary
+//! must be *observable* to drive pushdown decisions. This crate is the
+//! single instrumentation vocabulary every layer shares:
+//!
+//! * [`Tracer`] / [`Trace`] — a span tree stamped with the **simulated**
+//!   netsim clock (plus optional wall-clock seconds for real CPU work such
+//!   as decode/agg kernels). Spans carry explicit [`SpanId`]s so they
+//!   survive the RPC boundary: the OCS storage executor records spans on
+//!   its own local clock, serializes them as [`SpanRec`]s into the stream
+//!   trailer, and the engine *grafts* them back under the query's split
+//!   spans ([`Tracer::graft`]).
+//! * [`Registry`] — a metrics registry of counters, gauges and
+//!   fixed-bucket histograms with a diffable [`Snapshot`], plus a process
+//!   [`metrics()`] default used by engine, ocs, netsim and columnar kernels.
+//! * [`chrome`] — a Chrome trace-event JSON exporter (loadable in
+//!   `chrome://tracing` / Perfetto) and a schema validator used by CI.
+//! * [`explain`] — the `EXPLAIN ANALYZE` text renderer: the annotated
+//!   span tree with per-operator rows/bytes/seconds.
+//!
+//! The crate is dependency-free and the tracer is free when disabled: a
+//! [`Tracer::disabled`] handle (or building with the `tracing-off`
+//! feature) records nothing and costs one branch per call site.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod explain;
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{metrics, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use span::{
+    decode_spans, encode_spans, AttrValue, KernelTimer, Span, SpanGuard, SpanId, SpanRec, Trace,
+    Tracer,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-wide switch for kernel wall-clock timers (off by default so hot
+/// loops never pay for `Instant::now` unless a profiling surface asked).
+static KERNEL_TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable kernel wall-clock timing hooks ([`KernelTimer`]).
+pub fn set_kernel_timing(on: bool) {
+    KERNEL_TIMING.store(on && !cfg!(feature = "tracing-off"), Ordering::Relaxed);
+}
+
+/// True when kernel timing hooks should arm.
+pub fn kernel_timing_enabled() -> bool {
+    !cfg!(feature = "tracing-off") && KERNEL_TIMING.load(Ordering::Relaxed)
+}

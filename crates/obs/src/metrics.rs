@@ -1,0 +1,455 @@
+//! A small metrics registry: counters, gauges, fixed-bucket histograms.
+//!
+//! Instruments are cheap handles onto registry-owned atomics, so call
+//! sites can cache them or re-look them up by name; either way updates
+//! are lock-free. [`Registry::snapshot`] freezes every instrument into a
+//! plain map that tests diff with [`Snapshot::diff`].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Histogram bucket bounds for second-scale latencies (upper-inclusive
+/// edges; an implicit +inf bucket catches the rest).
+pub const SECONDS_BUCKETS: &[f64] = &[
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+];
+
+/// Histogram bucket bounds for byte sizes (1 KiB … 1 GiB).
+pub const BYTES_BUCKETS: &[f64] = &[
+    1024.0,
+    16.0 * 1024.0,
+    64.0 * 1024.0,
+    256.0 * 1024.0,
+    1024.0 * 1024.0,
+    4.0 * 1024.0 * 1024.0,
+    16.0 * 1024.0 * 1024.0,
+    64.0 * 1024.0 * 1024.0,
+    256.0 * 1024.0 * 1024.0,
+    1024.0 * 1024.0 * 1024.0,
+];
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge that can move both ways (queue depths, buffered bytes).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Add a (possibly negative) delta.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Record a new value and keep the maximum (high-water marks).
+    pub fn record_max(&self, v: i64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    bounds: Vec<f64>,
+    /// One count per bound, plus a trailing +inf bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// f64 sum as bits, updated with a CAS loop (no atomic f64 in std).
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram of `f64` observations.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let i = self
+            .0
+            .bounds
+            .iter()
+            .position(|b| v <= *b)
+            .unwrap_or(self.0.bounds.len());
+        self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.0.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Per-bucket counts (one entry per bound, plus the +inf bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A registry of named instruments.
+#[derive(Default)]
+pub struct Registry {
+    by_name: Mutex<BTreeMap<String, Instrument>>,
+}
+
+impl Registry {
+    /// An empty registry (tests usually make their own rather than using
+    /// the process-global [`metrics`]).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Get or register the counter `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = lock(&self.by_name);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Instrument::Counter(c) => c.clone(),
+            // Name collision across kinds: return a detached instrument
+            // rather than panicking; the registered one wins in snapshots.
+            _ => Counter(Arc::new(AtomicU64::new(0))),
+        }
+    }
+
+    /// Get or register the gauge `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = lock(&self.by_name);
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Instrument::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
+        {
+            Instrument::Gauge(g) => g.clone(),
+            _ => Gauge(Arc::new(AtomicI64::new(0))),
+        }
+    }
+
+    /// Get or register the histogram `name` with the given bucket bounds
+    /// (ignored if the histogram already exists).
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        let mut map = lock(&self.by_name);
+        match map.entry(name.to_string()).or_insert_with(|| {
+            let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Instrument::Histogram(Histogram(Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            })))
+        }) {
+            Instrument::Histogram(h) => h.clone(),
+            _ => Histogram(Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            })),
+        }
+    }
+
+    /// Freeze every instrument into a diffable snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        let map = lock(&self.by_name);
+        let values = map
+            .iter()
+            .map(|(name, inst)| {
+                let v = match inst {
+                    Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                    Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => MetricValue::Histogram {
+                        count: h.count(),
+                        sum: h.sum(),
+                        buckets: h.bucket_counts(),
+                    },
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Snapshot { values }
+    }
+}
+
+/// The frozen value of one instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram count/sum/bucket-counts.
+    Histogram {
+        /// Number of observations.
+        count: u64,
+        /// Sum of observations.
+        sum: f64,
+        /// Per-bucket counts (last is +inf).
+        buckets: Vec<u64>,
+    },
+}
+
+/// A frozen view of a [`Registry`], name → value.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Instrument values, sorted by name.
+    pub values: BTreeMap<String, MetricValue>,
+}
+
+impl Snapshot {
+    /// Value for `name`.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.values.get(name)
+    }
+
+    /// Counter value for `name` (0 when absent — convenient in diffs).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.values.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value for `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        match self.values.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram (count, sum) for `name` ((0, 0.0) when absent).
+    pub fn histogram(&self, name: &str) -> (u64, f64) {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram { count, sum, .. }) => (*count, *sum),
+            _ => (0, 0.0),
+        }
+    }
+
+    /// What changed since `earlier`: counters and histogram counts/sums
+    /// become deltas, gauges keep their latest level. Unchanged
+    /// instruments are dropped.
+    pub fn diff(&self, earlier: &Snapshot) -> Snapshot {
+        let mut values = BTreeMap::new();
+        for (name, now) in &self.values {
+            let changed = match (now, earlier.values.get(name)) {
+                (MetricValue::Counter(n), before) => {
+                    let b = match before {
+                        Some(MetricValue::Counter(b)) => *b,
+                        _ => 0,
+                    };
+                    if *n == b {
+                        None
+                    } else {
+                        Some(MetricValue::Counter(n - b))
+                    }
+                }
+                (MetricValue::Gauge(n), before) => {
+                    let b = match before {
+                        Some(MetricValue::Gauge(b)) => *b,
+                        _ => 0,
+                    };
+                    if *n == b {
+                        None
+                    } else {
+                        Some(MetricValue::Gauge(*n))
+                    }
+                }
+                (
+                    MetricValue::Histogram {
+                        count,
+                        sum,
+                        buckets,
+                    },
+                    before,
+                ) => {
+                    let (bc, bs, bb) = match before {
+                        Some(MetricValue::Histogram {
+                            count,
+                            sum,
+                            buckets,
+                        }) => (*count, *sum, buckets.clone()),
+                        _ => (0, 0.0, vec![0; buckets.len()]),
+                    };
+                    if *count == bc {
+                        None
+                    } else {
+                        Some(MetricValue::Histogram {
+                            count: count - bc,
+                            sum: sum - bs,
+                            buckets: buckets
+                                .iter()
+                                .zip(bb.iter().chain(std::iter::repeat(&0)))
+                                .map(|(n, b)| n.saturating_sub(*b))
+                                .collect(),
+                        })
+                    }
+                }
+            };
+            if let Some(v) = changed {
+                values.insert(name.clone(), v);
+            }
+        }
+        Snapshot { values }
+    }
+
+    /// Render as `name value` lines (stable order; used by debug dumps).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.values {
+            match v {
+                MetricValue::Counter(n) => out.push_str(&format!("{name} {n}\n")),
+                MetricValue::Gauge(n) => out.push_str(&format!("{name} {n}\n")),
+                MetricValue::Histogram { count, sum, .. } => {
+                    out.push_str(&format!("{name} count={count} sum={sum:.6}\n"))
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The process-wide registry shared by engine, ocs, netsim and columnar.
+pub fn metrics() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let r = Registry::new();
+        let c = r.counter("frames");
+        c.inc();
+        c.add(4);
+        assert_eq!(r.counter("frames").get(), 5);
+        let g = r.gauge("depth");
+        g.add(3);
+        g.add(-1);
+        assert_eq!(g.get(), 2);
+        g.record_max(10);
+        g.record_max(7);
+        assert_eq!(r.gauge("depth").get(), 10);
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 55.5).abs() < 1e-9);
+        assert_eq!(h.bucket_counts(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn snapshot_diff() {
+        let r = Registry::new();
+        let c = r.counter("a");
+        let g = r.gauge("g");
+        let h = r.histogram("h", &[1.0]);
+        c.add(2);
+        g.set(5);
+        h.observe(0.5);
+        let before = r.snapshot();
+        c.add(3);
+        h.observe(2.0);
+        let after = r.snapshot();
+        let d = after.diff(&before);
+        assert_eq!(d.counter("a"), 3);
+        assert_eq!(d.get("g"), None, "unchanged gauge dropped");
+        assert_eq!(d.histogram("h"), (1, 2.0));
+        assert!(d.render().contains("a 3"));
+    }
+
+    #[test]
+    fn concurrent_updates() {
+        let r = Arc::new(Registry::new());
+        let mut joins = Vec::new();
+        for _ in 0..8 {
+            let r = r.clone();
+            joins.push(std::thread::spawn(move || {
+                let c = r.counter("n");
+                let h = r.histogram("s", SECONDS_BUCKETS);
+                for _ in 0..1000 {
+                    c.inc();
+                    h.observe(0.001);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("worker");
+        }
+        assert_eq!(r.counter("n").get(), 8000);
+        let (count, sum) = r.snapshot().histogram("s");
+        assert_eq!(count, 8000);
+        assert!((sum - 8.0).abs() < 1e-9);
+    }
+}

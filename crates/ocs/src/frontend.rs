@@ -99,6 +99,7 @@ impl OcsFrontend {
                 rows_returned: resp.exec.rows_emitted,
                 row_groups_skipped: resp.exec.row_groups_skipped,
                 decoded_bytes_avoided: resp.exec.decoded_bytes_avoided,
+                spans: resp.spans,
             },
         })
     }
@@ -168,6 +169,7 @@ mod tests {
                     id,
                     store.clone(),
                     spec.clone(),
+                    netsim::DiskSpec { read_gbps: 2.0 },
                     cost.clone(),
                 ))
             })
@@ -286,6 +288,10 @@ mod tests {
             single_total.merge(&a.stats);
             multi_total.merge(&b.stats);
         }
+        // Span names embed the executing node's id, which legitimately
+        // differs under sharding; every counter must still match.
+        single_total.spans.clear();
+        multi_total.spans.clear();
         assert_eq!(single_total, multi_total, "summed stats must match");
         assert_eq!(single_total.rows_scanned, 400);
         // 100 rows per object; objects 0 contributes 50, rest 100 each.

@@ -179,6 +179,7 @@ impl Ocs {
                     id,
                     store.clone(),
                     config.storage_node.clone(),
+                    config.storage_disk,
                     config.cost.clone(),
                 ))
             })

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use columnar::RecordBatch;
 use lzcodec::CodecKind;
-use netsim::{makespan, CostParams, NodeSpec};
+use netsim::{makespan, CostParams, DiskSpec, NodeSpec};
 use objstore::ObjectStore;
 use parq::ParqReader;
 use substrait_ir::Plan;
@@ -26,6 +26,10 @@ pub struct NodeResponse {
     pub disk_bytes: u64,
     /// Raw executor stats (for monitoring).
     pub exec: ExecutorStats,
+    /// Storage-executor spans on the node's *local* simulated clock
+    /// (t = 0 at request arrival). Shipped across the RPC boundary in
+    /// the stream trailer and grafted under the engine's split span.
+    pub spans: Vec<obs::SpanRec>,
 }
 
 /// One OCS storage node.
@@ -34,16 +38,24 @@ pub struct StorageNode {
     id: usize,
     store: Arc<ObjectStore>,
     spec: NodeSpec,
+    disk: DiskSpec,
     cost: CostParams,
 }
 
 impl StorageNode {
     /// Create a node over the shared object store.
-    pub fn new(id: usize, store: Arc<ObjectStore>, spec: NodeSpec, cost: CostParams) -> Self {
+    pub fn new(
+        id: usize,
+        store: Arc<ObjectStore>,
+        spec: NodeSpec,
+        disk: DiskSpec,
+        cost: CostParams,
+    ) -> Self {
         StorageNode {
             id,
             store,
             spec,
+            disk,
             cost,
         }
     }
@@ -60,6 +72,7 @@ impl StorageNode {
 
     /// Execute `plan` against the object at `bucket`/`key`.
     pub fn execute(&self, plan: &Plan, bucket: &str, key: &str) -> OcsResult<NodeResponse> {
+        let wall_start = std::time::Instant::now();
         let bytes = self.store.get_object(bucket, key)?;
         let reader = ParqReader::open(bytes).map_err(|e| crate::OcsError::Exec(e.to_string()))?;
         let codec = reader.codec();
@@ -78,14 +91,85 @@ impl StorageNode {
             .iter()
             .map(|w| self.spec.core_seconds_for(*w))
             .collect();
-        let cpu_s = makespan(&lanes, self.spec.cores) + self.spec.core_seconds_for(exec.work);
+        let scan_s = makespan(&lanes, self.spec.cores);
+        let ops_s = self.spec.core_seconds_for(exec.work);
+        let cpu_s = scan_s + ops_s;
+
+        // Record the request's local span timeline: t = 0 at request
+        // arrival, phases laid end-to-end. The engine grafts these under
+        // its split span after the trailer frame delivers them.
+        let disk_s = self.disk.read_seconds(exec.disk_bytes);
+        let spans = self.record_spans(disk_s, decompress_s, scan_s, ops_s, &exec, wall_start);
+
+        let m = obs::metrics();
+        m.counter("ocs.storage.requests").inc();
+        m.counter("ocs.storage.rows_scanned").add(exec.rows_scanned);
+        m.counter("ocs.storage.rows_returned")
+            .add(exec.rows_emitted);
+        m.counter("ocs.storage.disk_bytes").add(exec.disk_bytes);
+
         Ok(NodeResponse {
             batches,
             cpu_s,
             decompress_s,
             disk_bytes: exec.disk_bytes,
             exec,
+            spans,
         })
+    }
+
+    fn record_spans(
+        &self,
+        disk_s: f64,
+        decompress_s: f64,
+        scan_s: f64,
+        ops_s: f64,
+        exec: &ExecutorStats,
+        wall_start: std::time::Instant,
+    ) -> Vec<obs::SpanRec> {
+        let tracer = obs::Tracer::new();
+        if !tracer.is_enabled() {
+            return Vec::new();
+        }
+        let total = disk_s + decompress_s + scan_s + ops_s;
+        let root = tracer.record(
+            format!("storage[{}].execute", self.id),
+            "storage",
+            None,
+            0.0,
+            total,
+        );
+        tracer.set_wall(root, wall_start.elapsed().as_secs_f64());
+        tracer.attr(root, "rows", exec.rows_scanned);
+        tracer.attr(root, "bytes", exec.disk_bytes);
+        let mut cursor = 0.0;
+        for (name, seconds) in [
+            ("storage.disk_read", disk_s),
+            ("storage.decompress", decompress_s),
+            ("storage.scan", scan_s),
+            ("storage.ops", ops_s),
+        ] {
+            if seconds <= 0.0 {
+                continue;
+            }
+            let id = tracer.record(name, "storage", Some(root), cursor, cursor + seconds);
+            cursor += seconds;
+            match name {
+                "storage.scan" => {
+                    tracer.attr(id, "rows", exec.rows_scanned);
+                    tracer.attr(id, "row_groups", exec.scan_work.len() as u64);
+                    tracer.attr(id, "row_groups_skipped", exec.row_groups_skipped);
+                }
+                "storage.ops" => {
+                    tracer.attr(id, "rows", exec.rows_emitted);
+                }
+                "storage.disk_read" => {
+                    tracer.attr(id, "bytes", exec.disk_bytes);
+                }
+                _ => {}
+            }
+        }
+        tracer.finish().to_recs()
     }
 }
 
@@ -131,6 +215,7 @@ mod tests {
                 eff_vector: 0.12,
                 eff_expr: 0.03,
             },
+            DiskSpec { read_gbps: 2.0 },
             CostParams::default(),
         );
         let plan = Plan::new(Rel::read("t", schema, None));
@@ -156,8 +241,9 @@ mod tests {
             eff_vector: 0.12,
             eff_expr: 0.03,
         };
-        let raw = StorageNode::new(0, store_raw, spec.clone(), CostParams::default());
-        let zst = StorageNode::new(0, store_zst, spec, CostParams::default());
+        let disk = DiskSpec { read_gbps: 2.0 };
+        let raw = StorageNode::new(0, store_raw, spec.clone(), disk, CostParams::default());
+        let zst = StorageNode::new(0, store_zst, spec, disk, CostParams::default());
         let plan = Plan::new(Rel::read("t", schema, None));
         let a = raw.execute(&plan, "lake", "t/0").unwrap();
         let b = zst.execute(&plan, "lake", "t/0").unwrap();
@@ -186,6 +272,7 @@ mod tests {
                 eff_vector: 0.12,
                 eff_expr: 0.03,
             },
+            DiskSpec { read_gbps: 2.0 },
             CostParams::default(),
         );
         let strong = StorageNode::new(
@@ -199,6 +286,7 @@ mod tests {
                 eff_vector: 0.24,
                 eff_expr: 0.06,
             },
+            DiskSpec { read_gbps: 2.0 },
             CostParams::default(),
         );
         let plan = Plan::new(Rel::Filter {

@@ -108,13 +108,19 @@ impl BatchStream {
     /// Fill the in-flight window up to its bound (the producer encodes a
     /// frame only when a window slot is free — the backpressure model).
     fn fill_window(&mut self) {
+        let m = obs::metrics();
         while self.inflight.len() < self.window {
             match self.producer.next_frame() {
                 Some(f) => {
+                    m.counter("ocs.rpc.frames").inc();
+                    m.histogram("ocs.rpc.frame_bytes", obs::metrics::BYTES_BUCKETS)
+                        .observe(f.bytes.len() as f64);
                     self.inflight_bytes += f.bytes.len() as u64;
                     self.response_bytes += f.bytes.len() as u64;
                     self.inflight.push_back(f);
                     self.peak_buffered_bytes = self.peak_buffered_bytes.max(self.inflight_bytes);
+                    m.gauge("ocs.rpc.peak_buffered_bytes")
+                        .record_max(self.inflight_bytes as i64);
                 }
                 None => break,
             }

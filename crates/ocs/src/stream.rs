@@ -81,6 +81,7 @@ impl WireStream {
         // scan into few output batches (aggregation pushdown), the frame
         // advertises how many independent input slices are behind it.
         let groups_scanned = resp.exec.scan_work.len();
+        let spans = resp.spans;
         let mut batches = VecDeque::with_capacity(n);
         for (i, batch) in resp.batches.into_iter().enumerate() {
             // Weight by in-memory size; uniform when every batch is empty.
@@ -116,6 +117,7 @@ impl WireStream {
             rows_returned: resp.exec.rows_emitted,
             row_groups_skipped: resp.exec.row_groups_skipped,
             decoded_bytes_avoided: resp.exec.decoded_bytes_avoided,
+            spans,
         };
         WireStream {
             pending_schema: Some(schema),
@@ -179,8 +181,9 @@ impl WireStream {
         if self.trailer_pending {
             self.trailer_pending = false;
             // The trailer's own relay cost must be inside the stats it
-            // carries; the encoded length is value-independent, so bill
-            // from a probe encoding first, then encode the final stats.
+            // carries; only the fixed-width `frontend_cpu_s` changes
+            // between the two encodings (the span payload is already
+            // final), so the probe length equals the final length.
             let probe_len = encode_trailer_frame(&self.stats.encode()).len();
             let frontend_s = self.frontend_seconds(probe_len, false);
             self.stats.frontend_cpu_s += frontend_s;

@@ -215,6 +215,26 @@ pub struct TableRef {
     pub name: String,
 }
 
+/// How a parsed statement asks to be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    /// Plain query: run it, return rows.
+    Query,
+    /// `EXPLAIN`: show the plan, don't run it.
+    Explain,
+    /// `EXPLAIN ANALYZE`: run it and render the annotated span tree.
+    ExplainAnalyze,
+}
+
+/// A full statement: an optional `EXPLAIN [ANALYZE]` prefix over a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement {
+    /// Execution mode.
+    pub kind: StatementKind,
+    /// The underlying query.
+    pub query: Query,
+}
+
 /// A parsed `SELECT` query.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Query {

@@ -25,8 +25,8 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{AstExpr, BinaryOp, OrderItem, Query, SelectItem, UnaryOp};
-pub use parser::parse;
+pub use ast::{AstExpr, BinaryOp, OrderItem, Query, SelectItem, Statement, StatementKind, UnaryOp};
+pub use parser::{parse, parse_statement};
 
 use std::fmt;
 

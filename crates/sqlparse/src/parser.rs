@@ -18,7 +18,9 @@
 //!             | ident | '(' expr ')'
 //! ```
 
-use crate::ast::{AstExpr, BinaryOp, OrderItem, Query, SelectItem, TableRef, UnaryOp};
+use crate::ast::{
+    AstExpr, BinaryOp, OrderItem, Query, SelectItem, Statement, StatementKind, TableRef, UnaryOp,
+};
 use crate::lexer::{tokenize, Spanned, Token};
 use crate::{ParseError, Result};
 
@@ -37,6 +39,27 @@ pub fn parse(input: &str) -> Result<Query> {
         return Err(p.error_here("unexpected trailing tokens"));
     }
     Ok(q)
+}
+
+/// Parse a statement: `[EXPLAIN [ANALYZE]] SELECT …`.
+pub fn parse_statement(input: &str) -> Result<Statement> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let kind = if p.eat_kw("explain") {
+        if p.eat_kw("analyze") {
+            StatementKind::ExplainAnalyze
+        } else {
+            StatementKind::Explain
+        }
+    } else {
+        StatementKind::Query
+    };
+    let query = p.query()?;
+    p.eat_semi();
+    if !p.at_end() {
+        return Err(p.error_here("unexpected trailing tokens"));
+    }
+    Ok(Statement { kind, query })
 }
 
 /// Parse a standalone expression (useful for tests and filter strings).
@@ -649,6 +672,21 @@ mod tests {
             "GROUP without BY"
         );
         assert!(parse("SELECT a FROM t extra junk +").is_err());
+    }
+
+    #[test]
+    fn statement_prefixes() {
+        use crate::ast::StatementKind;
+        let s = parse_statement("SELECT a FROM t").unwrap();
+        assert_eq!(s.kind, StatementKind::Query);
+        let s = parse_statement("EXPLAIN SELECT a FROM t;").unwrap();
+        assert_eq!(s.kind, StatementKind::Explain);
+        let s = parse_statement("explain analyze SELECT a FROM t WHERE a > 1").unwrap();
+        assert_eq!(s.kind, StatementKind::ExplainAnalyze);
+        assert_eq!(s.query.from.name, "t");
+        assert!(s.query.where_clause.is_some());
+        assert!(parse_statement("EXPLAIN ANALYZE").is_err());
+        assert!(parse_statement("ANALYZE SELECT a FROM t").is_err());
     }
 
     #[test]

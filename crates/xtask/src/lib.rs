@@ -7,7 +7,8 @@
 //! 1. **`unsafe` needs `// SAFETY:`** — every `unsafe` token must have a
 //!    `SAFETY:` comment on its own line or within the three lines above.
 //! 2. **No `unwrap`/`expect` on the trust boundary** — non-test code in
-//!    `crates/ocs`, `crates/substrait-ir`, and `crates/core` must not
+//!    `crates/ocs`, `crates/substrait-ir`, `crates/core`, and
+//!    `crates/obs` (which decodes span payloads off the wire) must not
 //!    call `.unwrap()` or `.expect(`; a storage node must return an
 //!    error frame, never abort. Survivors are listed in
 //!    `crates/xtask/lint-allow.txt` with a justification.
@@ -30,6 +31,7 @@ const BANNED_PANIC_CRATES: &[&str] = &[
     "crates/ocs/",
     "crates/substrait-ir/",
     "crates/core/",
+    "crates/obs/",
     "crates/columnar/src/ipc.rs",
     "crates/netsim/src/sched.rs",
     "crates/netsim/src/stats.rs",

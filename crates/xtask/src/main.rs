@@ -1,5 +1,10 @@
-//! `cargo run -p xtask -- lint` — run the repo lints; non-zero exit on
-//! any violation. See `xtask::lint_source` for the rules.
+//! Repo tasks:
+//!
+//! * `cargo run -p xtask -- lint` — run the repo lints; non-zero exit on
+//!   any violation. See `xtask::lint_source` for the rules.
+//! * `cargo run -p xtask -- validate-trace <file.json>` — validate a
+//!   Chrome trace-event file exported by `obs::chrome::export` (used by CI
+//!   against the `trace_query` example's output).
 
 use std::process::ExitCode;
 
@@ -7,8 +12,15 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("validate-trace") => match args.get(1) {
+            Some(path) => validate_trace(path),
+            None => {
+                eprintln!("usage: cargo run -p xtask -- validate-trace <file.json>");
+                ExitCode::from(2)
+            }
+        },
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint | validate-trace <file.json>>");
             ExitCode::from(2)
         }
     }
@@ -30,6 +42,26 @@ fn lint() -> ExitCode {
         }
         Err(e) => {
             eprintln!("lint: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn validate_trace(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate-trace: reading {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match obs::chrome::validate(&text) {
+        Ok(summary) => {
+            println!("validate-trace: {path}: {summary}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate-trace: {path}: {e}");
             ExitCode::FAILURE
         }
     }

@@ -1,0 +1,73 @@
+//! End-to-end query tracing: run TPC-H Q1 through the OCS pushdown stack,
+//! print the `EXPLAIN ANALYZE` span tree, and export the trace as a Chrome
+//! trace-event file (load `trace.json` in `chrome://tracing` or Perfetto).
+//!
+//! ```sh
+//! cargo run -p examples --example trace_query [output.json]
+//! ```
+
+use std::sync::Arc;
+
+use dsq::{EngineBuilder, StatementOutput};
+use netsim::meter::human_bytes;
+use objstore::ObjectStore;
+use ocs_connector::{register_ocs_stack, PushdownPolicy};
+use workloads::{queries, TableLoader, TpchConfig};
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace.json".to_string());
+
+    let engine = EngineBuilder::new().build();
+    let store = Arc::new(ObjectStore::new());
+
+    println!("generating lineitem…");
+    let ds = {
+        let loader = TableLoader::new(&store, engine.metastore());
+        workloads::tpch::load(
+            &loader,
+            &TpchConfig {
+                files: 4,
+                rows_per_file: 32 * 1024,
+                ..Default::default()
+            },
+        )
+    };
+    println!(
+        "  {} files, {} rows, {}",
+        ds.files,
+        ds.total_rows,
+        human_bytes(ds.total_bytes)
+    );
+
+    register_ocs_stack(&engine, store, PushdownPolicy::all());
+    engine
+        .metastore()
+        .rebind_connector("lineitem", "ocs")
+        .expect("lineitem registered");
+
+    // EXPLAIN ANALYZE: executes the query and renders the span tree.
+    let analyze_sql = format!("EXPLAIN ANALYZE {}", queries::TPCH_Q1);
+    match engine.execute_statement(&analyze_sql).expect("q1") {
+        StatementOutput::Text(text) => println!("\n{text}"),
+        StatementOutput::Rows(_) => unreachable!("EXPLAIN ANALYZE returns text"),
+    }
+
+    // Run it again for the raw trace and export Chrome trace events.
+    let result = engine.execute(queries::TPCH_Q1).expect("q1 rows");
+    result.trace.verify(1e-9).expect("span tree invariants");
+    let json = obs::chrome::export(&result.trace);
+    obs::chrome::validate(&json).expect("exported trace validates");
+    std::fs::write(&out_path, &json).expect("write trace file");
+    println!(
+        "wrote {} ({} spans, {} simulated seconds) — open in chrome://tracing",
+        out_path,
+        result.trace.spans.len(),
+        result.trace.total_s()
+    );
+
+    // Process-wide metrics collected along the way.
+    println!("\nmetrics snapshot:");
+    print!("{}", obs::metrics().snapshot().render());
+}

@@ -65,6 +65,7 @@ pub fn stack(policy: PushdownPolicy, codec: CodecKind, extra: &[(&str, PushdownP
 }
 
 /// Build a stack with only the default connectors.
+#[allow(dead_code)] // not every test binary compares policies
 pub fn stack_with_policy(policy: PushdownPolicy, codec: CodecKind) -> Stack {
     stack(policy, codec, &[])
 }
@@ -80,6 +81,7 @@ pub fn rebind(stack: &Stack, table: &str, connector: &str) {
 
 /// Rows of a result as display strings, with floats rounded for stable
 /// cross-path comparison (operator order differs between paths).
+#[allow(dead_code)] // not every test binary checks row-level equivalence
 pub fn canonical_rows(batch: &columnar::RecordBatch) -> Vec<Vec<String>> {
     (0..batch.num_rows())
         .map(|r| {
