@@ -1,0 +1,196 @@
+//! Near-storage cache gates: the caching subsystem must pay for itself.
+//!
+//! Two acceptance gates are verified before timing anything:
+//!
+//! * **warm speedup** — a repeated TPC-H Q1-shape pushdown against an
+//!   unchanged table must run at least [`MIN_WARM_SPEEDUP`]x faster in
+//!   *simulated* seconds than the cold execution (the result cache
+//!   replays the pushdown at zero storage cost);
+//! * **cold overhead** — with caches enabled, a cold execution (every
+//!   object freshly versioned, so nothing can hit) must cost within
+//!   [`MAX_COLD_OVERHEAD`] wall-clock of the same execution with caches
+//!   disabled, and its simulated ledger must be bit-identical.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq::{Engine, EngineBuilder};
+use netsim::Phase;
+use objstore::ObjectStore;
+use ocs_connector::{register_ocs_stack_configured, PushdownPolicy};
+use workloads::{queries, TableLoader, TpchConfig};
+
+const FILES: usize = 4;
+const ROWS_PER_FILE: usize = 32 * 1024;
+/// Interleaved measurement rounds (min over rounds is the statistic).
+const ROUNDS: usize = 12;
+/// Warmup executions per engine before wall-clock measurement.
+const WARMUP: usize = 3;
+/// Gate: warm repeat at least this many times faster (simulated).
+const MIN_WARM_SPEEDUP: f64 = 3.0;
+/// Gate: cold path with caches enabled within this fraction of disabled.
+const MAX_COLD_OVERHEAD: f64 = 0.05;
+
+fn build_engine(store: &Arc<ObjectStore>, rg_bytes: u64, result_bytes: u64) -> Engine {
+    let engine = EngineBuilder::new().build();
+    {
+        let loader = TableLoader::new(store, engine.metastore());
+        workloads::tpch::load(
+            &loader,
+            &TpchConfig {
+                files: FILES,
+                rows_per_file: ROWS_PER_FILE,
+                ..Default::default()
+            },
+        );
+    }
+    register_ocs_stack_configured(
+        &engine,
+        store.clone(),
+        PushdownPolicy::all(),
+        rg_bytes,
+        result_bytes,
+    );
+    engine
+        .metastore()
+        .rebind_connector("lineitem", "ocs")
+        .expect("lineitem");
+    engine
+}
+
+/// Rewrite every object byte-identically. The version bump invalidates
+/// both cache tiers, so the next execution takes the cold path again.
+fn invalidate_caches(store: &ObjectStore) {
+    for meta in store.list("lake", "").expect("bucket exists") {
+        let bytes = store.get_object("lake", &meta.key).expect("object exists");
+        store.put_object("lake", &meta.key, bytes).expect("rewrite");
+    }
+}
+
+/// Simulated seconds of the pushdown itself — the phases the near-storage
+/// caches can actually elide (planning and post-scan compute are fixed
+/// costs a cache cannot touch).
+const PUSHDOWN_PHASES: [Phase; 5] = [
+    Phase::StorageDisk,
+    Phase::StorageDecompress,
+    Phase::StorageCpu,
+    Phase::FrontendCpu,
+    Phase::NetworkTransfer,
+];
+
+struct Run {
+    wall_s: f64,
+    sim_total_s: f64,
+    sim_pushdown_s: f64,
+}
+
+fn time_one(engine: &Engine, sql: &str) -> Run {
+    let start = Instant::now();
+    let r = engine.execute(sql).expect("q1");
+    Run {
+        wall_s: start.elapsed().as_secs_f64(),
+        sim_total_s: r.simulated_seconds,
+        sim_pushdown_s: PUSHDOWN_PHASES.iter().map(|p| r.ledger.get(*p)).sum(),
+    }
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let sql = queries::TPCH_Q1;
+    let defaults = ocs::OcsConfig::paper_testbed();
+    let store_on = Arc::new(ObjectStore::new());
+    let store_off = Arc::new(ObjectStore::new());
+    let cached = build_engine(
+        &store_on,
+        defaults.row_group_cache_bytes,
+        defaults.result_cache_bytes,
+    );
+    let uncached = build_engine(&store_off, 0, 0);
+
+    // Gate 1: warm repeat >= MIN_WARM_SPEEDUP x cold, in simulated
+    // pushdown seconds (the phases a near-storage cache can elide).
+    invalidate_caches(&store_on);
+    let cold = time_one(&cached, sql);
+    let warm = time_one(&cached, sql);
+    let speedup = cold.sim_pushdown_s / warm.sim_pushdown_s;
+    assert!(
+        speedup >= MIN_WARM_SPEEDUP,
+        "warm speedup gate: cold pushdown {:.6}s vs warm {:.6}s \
+         ({speedup:.2}x, need >= {MIN_WARM_SPEEDUP}x)",
+        cold.sim_pushdown_s,
+        warm.sim_pushdown_s
+    );
+    assert!(
+        warm.sim_total_s < cold.sim_total_s,
+        "warm run must also be cheaper end-to-end \
+         (cold {:.6}s vs warm {:.6}s)",
+        cold.sim_total_s,
+        warm.sim_total_s
+    );
+
+    // The cost ledger is honest: a cold run bills identically whether
+    // the (empty) caches are enabled or not.
+    invalidate_caches(&store_on);
+    let cold_on = time_one(&cached, sql);
+    let cold_off = time_one(&uncached, sql);
+    assert_eq!(
+        cold_on.sim_total_s.to_bits(),
+        cold_off.sim_total_s.to_bits(),
+        "cold simulated seconds must not depend on cache configuration \
+         (enabled {:.9}s vs disabled {:.9}s)",
+        cold_on.sim_total_s,
+        cold_off.sim_total_s
+    );
+
+    // Gate 2: cold-path wall-clock overhead of the cache machinery.
+    // Interleaved min-of-N; every round re-versions the objects so the
+    // cached engine never hits.
+    for _ in 0..WARMUP {
+        invalidate_caches(&store_on);
+        time_one(&cached, sql);
+        time_one(&uncached, sql);
+    }
+    let (mut min_on, mut min_off) = (f64::MAX, f64::MAX);
+    for _ in 0..ROUNDS {
+        invalidate_caches(&store_on);
+        min_on = min_on.min(time_one(&cached, sql).wall_s);
+        min_off = min_off.min(time_one(&uncached, sql).wall_s);
+    }
+    let overhead = (min_on - min_off) / min_off;
+    assert!(
+        overhead < MAX_COLD_OVERHEAD,
+        "cold overhead gate: enabled {min_on:.4}s vs disabled {min_off:.4}s \
+         ({:+.2}%, need < {:.0}%)",
+        overhead * 100.0,
+        MAX_COLD_OVERHEAD * 100.0
+    );
+
+    println!(
+        "cache gates: warm pushdown speedup {speedup:.2}x \
+         (cold {:.6}s sim, warm {:.6}s sim; end-to-end {:.6}s -> {:.6}s), \
+         cold overhead {:+.2}% (enabled {min_on:.4}s, disabled {min_off:.4}s wall)",
+        cold.sim_pushdown_s,
+        warm.sim_pushdown_s,
+        cold.sim_total_s,
+        warm.sim_total_s,
+        overhead * 100.0
+    );
+
+    let mut g = c.benchmark_group("cache");
+    g.bench_function("q1_cold", |b| {
+        b.iter(|| {
+            invalidate_caches(&store_on);
+            time_one(&cached, sql)
+        })
+    });
+    g.bench_function("q1_warm", |b| b.iter(|| time_one(&cached, sql)));
+    g.bench_function("q1_uncached", |b| b.iter(|| time_one(&uncached, sql)));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_cache
+}
+criterion_main!(benches);

@@ -211,6 +211,10 @@ fn ocs_for(stack: &ocs_bench::BenchStack) -> Arc<ocs::Ocs> {
             cost: stack.engine.cost_params().clone(),
             storage_nodes: 1,
             frame_window: ocs::DEFAULT_FRAME_WINDOW,
+            // Ablation rows must reflect the cold pushdown path, not a
+            // warm cache.
+            row_group_cache_bytes: 0,
+            result_cache_bytes: 0,
         },
     ))
 }

@@ -151,6 +151,26 @@ pub fn register_ocs_stack(
     store: Arc<ObjectStore>,
     policy: PushdownPolicy,
 ) -> Arc<ocs::Ocs> {
+    let defaults = ocs::OcsConfig::paper_testbed();
+    register_ocs_stack_configured(
+        engine,
+        store,
+        policy,
+        defaults.row_group_cache_bytes,
+        defaults.result_cache_bytes,
+    )
+}
+
+/// [`register_ocs_stack`] with explicit near-storage cache budgets (zero
+/// disables a tier) — the cold-path A/B configuration for benchmarks and
+/// tests that compare repeated executions.
+pub fn register_ocs_stack_configured(
+    engine: &Engine,
+    store: Arc<ObjectStore>,
+    policy: PushdownPolicy,
+    row_group_cache_bytes: u64,
+    result_cache_bytes: u64,
+) -> Arc<ocs::Ocs> {
     let cluster = engine.cluster().clone();
     let cost = engine.cost_params().clone();
     let ocs = Arc::new(ocs::Ocs::new(
@@ -162,6 +182,8 @@ pub fn register_ocs_stack(
             cost: cost.clone(),
             storage_nodes: 1,
             frame_window: ocs::DEFAULT_FRAME_WINDOW,
+            row_group_cache_bytes,
+            result_cache_bytes,
         },
     ));
     engine.register_connector(Arc::new(OcsConnector::new(

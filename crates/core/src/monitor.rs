@@ -29,6 +29,12 @@ pub struct HistoryEntry {
     pub row_groups_skipped: u64,
     /// Encoded bytes the storage scan never decoded.
     pub decoded_bytes_avoided: u64,
+    /// Column chunks served from the storage-side decoded row-group cache.
+    pub rg_cache_hits: u64,
+    /// Pushed subplans answered from the storage-side result cache.
+    pub result_cache_hits: u64,
+    /// Disk + decode bytes the storage caches kept off the cost ledger.
+    pub cache_bytes_avoided: u64,
     /// Pipeline completion time of the earliest batch frame (from the
     /// `split_phase` span's `time_to_first_batch_s` attribute).
     pub time_to_first_batch_s: f64,
@@ -140,6 +146,24 @@ impl PushdownHistory {
         self.entries.iter().map(|e| e.decoded_bytes_avoided).sum()
     }
 
+    /// Fraction of recent queries served at least partly from a
+    /// storage-side cache tier (row-group or result).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.entries
+            .iter()
+            .filter(|e| e.rg_cache_hits > 0 || e.result_cache_hits > 0)
+            .count() as f64
+            / self.entries.len() as f64
+    }
+
+    /// Total disk + decode bytes the storage caches saved over the window.
+    pub fn total_cache_bytes_avoided(&self) -> u64 {
+        self.entries.iter().map(|e| e.cache_bytes_avoided).sum()
+    }
+
     /// Mean pipeline time-to-first-batch over the window — how quickly the
     /// streaming boundary starts delivering rows to the final stage.
     pub fn mean_time_to_first_batch_s(&self) -> f64 {
@@ -244,6 +268,9 @@ impl EventListener for PushdownMonitor {
             pushed: event.pushed,
             row_groups_skipped: event.row_groups_skipped,
             decoded_bytes_avoided: event.decoded_bytes_avoided,
+            rg_cache_hits: event.rg_cache_hits,
+            result_cache_hits: event.result_cache_hits,
+            cache_bytes_avoided: event.cache_bytes_avoided,
             time_to_first_batch_s: split
                 .and_then(|s| s.attr_f64("time_to_first_batch_s"))
                 .unwrap_or(0.0),
@@ -285,6 +312,9 @@ mod tests {
             pushed,
             row_groups_skipped: if pushed { 3 } else { 0 },
             decoded_bytes_avoided: if pushed { 4096 } else { 0 },
+            rg_cache_hits: if pushed { 2 } else { 0 },
+            result_cache_hits: 0,
+            cache_bytes_avoided: if pushed { 512 } else { 0 },
             trace: Arc::new(t.finish()),
         }
     }
@@ -314,6 +344,8 @@ mod tests {
             assert_eq!(h.mean_seconds(), 3.0);
             assert_eq!(h.total_row_groups_skipped(), 3);
             assert_eq!(h.total_decoded_bytes_avoided(), 4096);
+            assert_eq!(h.cache_hit_rate(), 0.5);
+            assert_eq!(h.total_cache_bytes_avoided(), 512);
             assert_eq!(h.mean_time_to_first_batch_s(), 0.25);
             assert_eq!(h.max_peak_buffered_bytes(), 75);
             assert_eq!(h.mean_frames_per_query(), 12.0);

@@ -59,6 +59,12 @@ pub struct ExecutionOutcome {
     pub row_groups_skipped: u64,
     /// Encoded bytes storage never decoded thanks to late materialization.
     pub decoded_bytes_avoided: u64,
+    /// Column chunks served from the storage-side decoded row-group cache.
+    pub rg_cache_hits: u64,
+    /// Pushed subplans answered from the storage-side result cache.
+    pub result_cache_hits: u64,
+    /// Disk + decode bytes the storage caches kept off the cost ledger.
+    pub cache_bytes_avoided: u64,
     /// Split-phase scheduling report (overlap vs. additive, streaming
     /// observability).
     pub pipeline: PipelineSummary,
@@ -294,6 +300,15 @@ pub fn execute_plan(
     let decoded_bytes_avoided: u64 = outputs
         .iter()
         .map(|o| o.metrics.stats.decoded_bytes_avoided)
+        .sum();
+    let rg_cache_hits: u64 = outputs.iter().map(|o| o.metrics.stats.rg_cache_hits).sum();
+    let result_cache_hits: u64 = outputs
+        .iter()
+        .map(|o| o.metrics.stats.result_cache_hits)
+        .sum();
+    let cache_bytes_avoided: u64 = outputs
+        .iter()
+        .map(|o| o.metrics.stats.cache_bytes_avoided)
         .sum();
 
     // One pipeline item per frame, split-major, with per-stage durations:
@@ -711,6 +726,9 @@ pub fn execute_plan(
         splits: splits.len(),
         row_groups_skipped,
         decoded_bytes_avoided,
+        rg_cache_hits,
+        result_cache_hits,
+        cache_bytes_avoided,
         pipeline: pipeline_summary,
     })
 }

@@ -40,6 +40,12 @@ pub struct QueryEvent {
     pub row_groups_skipped: u64,
     /// Encoded bytes storage never decoded via late materialization.
     pub decoded_bytes_avoided: u64,
+    /// Column chunks served from the storage-side decoded row-group cache.
+    pub rg_cache_hits: u64,
+    /// Pushed subplans answered from the storage-side result cache.
+    pub result_cache_hits: u64,
+    /// Disk + decode bytes the storage caches kept off the cost ledger.
+    pub cache_bytes_avoided: u64,
     /// The query's span tree on the simulated clock. Phase breakdowns,
     /// time-to-first-batch and peak buffered bytes are all derivable from
     /// it (see `split_phase` attrs). Empty when tracing is disabled.
@@ -343,6 +349,9 @@ impl Engine {
             pushed: plan.scan().handle.pushes_operators(),
             row_groups_skipped: outcome.row_groups_skipped,
             decoded_bytes_avoided: outcome.decoded_bytes_avoided,
+            rg_cache_hits: outcome.rg_cache_hits,
+            result_cache_hits: outcome.result_cache_hits,
+            cache_bytes_avoided: outcome.cache_bytes_avoided,
             trace: trace.clone(),
         };
         for l in self.listeners.read().iter() {

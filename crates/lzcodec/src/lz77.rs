@@ -178,11 +178,25 @@ pub fn detokenize(tokens: &[Token], expected_len: usize) -> crate::Result<Vec<u8
                         out.len()
                     )));
                 }
-                // Overlapping copies are the normal RLE case; copy bytewise.
                 let start = out.len() - dist;
-                for k in 0..len {
-                    let b = out[start + k];
-                    out.push(b);
+                if dist >= len {
+                    // Non-overlapping: the whole source range already
+                    // exists, so copy it in one chunk.
+                    out.extend_from_within(start..start + len);
+                } else {
+                    // Overlapping (dist < len) is the RLE case: the copy
+                    // reads bytes it itself produced. Grow the buffer
+                    // first, then fill in dist-sized chunks — each chunk's
+                    // source is fully materialized before it is read.
+                    let mut written = 0;
+                    out.resize(start + dist + len, 0);
+                    while written < len {
+                        let chunk = dist.min(len - written);
+                        let src = start + written;
+                        let dst = start + dist + written;
+                        out.copy_within(src..src + chunk, dst);
+                        written += chunk;
+                    }
                 }
             }
         }

@@ -2,8 +2,49 @@
 //! arbitrary byte strings, including highly structured and adversarial
 //! inputs.
 
+use lzcodec::lz77::{detokenize, tokenize, Token};
 use lzcodec::{compress, decompress, CodecKind};
 use proptest::prelude::*;
+
+/// Reference decoder: the straightforward bytewise back-reference copy
+/// the chunked `detokenize` implementation must be equivalent to.
+fn detokenize_bytewise(tokens: &[Token]) -> Vec<u8> {
+    let mut out: Vec<u8> = Vec::new();
+    for t in tokens {
+        match *t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for k in 0..len as usize {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A token stream that is valid by construction: each match distance is
+/// drawn within the output produced so far. `(lit, len, dist)` triples
+/// are mapped onto the running output length, so overlapping (dist < len)
+/// and non-overlapping (dist >= len) matches both occur.
+fn valid_tokens(spec: &[(u8, u16, u16)]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(spec.len() * 2);
+    let mut produced: usize = 0;
+    for &(lit, len, dist) in spec {
+        tokens.push(Token::Literal(lit));
+        produced += 1;
+        let len = 1 + (len % 300) as u32;
+        let dist = 1 + dist as usize % produced;
+        tokens.push(Token::Match {
+            len,
+            dist: dist as u32,
+        });
+        produced += len as usize;
+    }
+    tokens
+}
 
 fn roundtrip(kind: CodecKind, data: &[u8]) {
     let packed = compress(kind, data);
@@ -63,6 +104,36 @@ proptest! {
         let kind = CodecKind::from_tag(kind_tag).unwrap();
         // Must return Ok or Err, never panic or hang.
         let _ = decompress(kind, &data);
+    }
+
+    #[test]
+    fn detokenize_chunked_equals_bytewise_on_random_tokens(
+        spec in proptest::collection::vec(
+            (any::<u8>(), any::<u16>(), any::<u16>()),
+            0..200,
+        ),
+    ) {
+        let tokens = valid_tokens(&spec);
+        let expected = detokenize_bytewise(&tokens);
+        let got = detokenize(&tokens, expected.len()).expect("valid tokens decode");
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn detokenize_chunked_equals_bytewise_on_real_token_streams(
+        data in proptest::collection::vec(any::<u8>(), 0..8_000),
+        preset in 0usize..3,
+    ) {
+        let params = [
+            lzcodec::lz77::presets::FAST,
+            lzcodec::lz77::presets::BALANCED,
+            lzcodec::lz77::presets::STRONG,
+        ][preset];
+        let tokens = tokenize(&data, params);
+        let expected = detokenize_bytewise(&tokens);
+        prop_assert_eq!(&expected, &data, "reference decoder must invert tokenize");
+        let got = detokenize(&tokens, data.len()).expect("tokenizer output decodes");
+        prop_assert_eq!(got, data);
     }
 
     #[test]

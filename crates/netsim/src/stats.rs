@@ -32,6 +32,16 @@ pub struct ExecStats {
     pub row_groups_skipped: u64,
     /// Encoded bytes the scan never had to decode.
     pub decoded_bytes_avoided: u64,
+    /// Row-group chunk fetches served from the decoded row-group cache.
+    pub rg_cache_hits: u64,
+    /// Row-group chunk fetches that went to disk (cache miss or cache
+    /// disabled).
+    pub rg_cache_misses: u64,
+    /// Compressed + decode bytes the caches kept off the disk/decode path
+    /// (the "bytes avoided" EXPLAIN ANALYZE reports per scan).
+    pub cache_bytes_avoided: u64,
+    /// Whole pushed subplans answered from the result cache.
+    pub result_cache_hits: u64,
     /// Storage-executor span records, on the producer's local clock
     /// (t = 0 at request start). The engine re-parents ("grafts") them
     /// under the query's split span on receipt.
@@ -39,10 +49,13 @@ pub struct ExecStats {
 }
 
 /// Version tag leading every encoded [`ExecStats`] payload. v1 was the
-/// fixed 68-byte counter block; v2 appends the span records.
-const STATS_VERSION: u32 = 2;
-/// Encoded size of the fixed counter block: version + 3 × f64 + 5 × u64.
+/// fixed 68-byte counter block; v2 appended the span records; v3 extends
+/// the counter block with the four cache counters.
+const STATS_VERSION: u32 = 3;
+/// Encoded size of the v1/v2 fixed counter block: version + 3 × f64 + 5 × u64.
 const STATS_LEN: usize = 4 + 3 * 8 + 5 * 8;
+/// Encoded size of the v3 counter block: v2's block + 4 × u64 cache counters.
+const STATS_LEN_V3: usize = STATS_LEN + 4 * 8;
 
 impl ExecStats {
     /// Component-wise accumulate (for summing per-request stats into
@@ -56,12 +69,16 @@ impl ExecStats {
         self.rows_returned += other.rows_returned;
         self.row_groups_skipped += other.row_groups_skipped;
         self.decoded_bytes_avoided += other.decoded_bytes_avoided;
+        self.rg_cache_hits += other.rg_cache_hits;
+        self.rg_cache_misses += other.rg_cache_misses;
+        self.cache_bytes_avoided += other.cache_bytes_avoided;
+        self.result_cache_hits += other.result_cache_hits;
         self.spans.extend(other.spans.iter().cloned());
     }
 
     /// Fixed-layout little-endian encoding (the trailer-frame payload).
     pub fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(STATS_LEN);
+        let mut out = Vec::with_capacity(STATS_LEN_V3);
         out.extend_from_slice(&STATS_VERSION.to_le_bytes());
         for f in [
             self.storage_cpu_s,
@@ -76,6 +93,10 @@ impl ExecStats {
             self.rows_returned,
             self.row_groups_skipped,
             self.decoded_bytes_avoided,
+            self.rg_cache_hits,
+            self.rg_cache_misses,
+            self.cache_bytes_avoided,
+            self.result_cache_hits,
         ] {
             out.extend_from_slice(&u.to_le_bytes());
         }
@@ -84,9 +105,9 @@ impl ExecStats {
     }
 
     /// Decode an [`ExecStats::encode`] payload. Accepts v1 (fixed counter
-    /// block, no spans) and v2 (counter block + span records). Returns a
-    /// structured message (never panics) on truncation or an unknown
-    /// version.
+    /// block, no spans), v2 (counter block + span records) and v3 (v2 plus
+    /// cache counters). Returns a structured message (never panics) on
+    /// truncation or an unknown version.
     pub fn decode(bytes: &[u8]) -> Result<ExecStats, String> {
         if bytes.len() < STATS_LEN {
             return Err(format!(
@@ -97,9 +118,20 @@ impl ExecStats {
         let mut v4 = [0u8; 4];
         v4.copy_from_slice(&bytes[..4]);
         let version = u32::from_le_bytes(v4);
-        if version != 1 && version != STATS_VERSION {
+        if !(1..=STATS_VERSION).contains(&version) {
             return Err(format!(
                 "exec-stats version {version} (expected 1..={STATS_VERSION})"
+            ));
+        }
+        let counter_len = if version >= 3 {
+            STATS_LEN_V3
+        } else {
+            STATS_LEN
+        };
+        if bytes.len() < counter_len {
+            return Err(format!(
+                "exec-stats v{version} payload is {} bytes, expected at least {counter_len}",
+                bytes.len()
             ));
         }
         let mut pos = 4usize;
@@ -117,8 +149,19 @@ impl ExecStats {
         let rows_returned = u64::from_le_bytes(take8());
         let row_groups_skipped = u64::from_le_bytes(take8());
         let decoded_bytes_avoided = u64::from_le_bytes(take8());
+        let (rg_cache_hits, rg_cache_misses, cache_bytes_avoided, result_cache_hits) =
+            if version >= 3 {
+                (
+                    u64::from_le_bytes(take8()),
+                    u64::from_le_bytes(take8()),
+                    u64::from_le_bytes(take8()),
+                    u64::from_le_bytes(take8()),
+                )
+            } else {
+                (0, 0, 0, 0)
+            };
         let spans = if version >= 2 {
-            let mut span_pos = STATS_LEN;
+            let mut span_pos = counter_len;
             let spans = obs::decode_spans(bytes, &mut span_pos)?;
             if span_pos != bytes.len() {
                 return Err(format!(
@@ -145,6 +188,10 @@ impl ExecStats {
             rows_returned,
             row_groups_skipped,
             decoded_bytes_avoided,
+            rg_cache_hits,
+            rg_cache_misses,
+            cache_bytes_avoided,
+            result_cache_hits,
             spans,
         })
     }
@@ -200,6 +247,10 @@ mod tests {
             rows_returned: 7,
             row_groups_skipped: 3,
             decoded_bytes_avoided: 4096,
+            rg_cache_hits: 6,
+            rg_cache_misses: 2,
+            cache_bytes_avoided: 1 << 20,
+            result_cache_hits: 1,
             spans: vec![
                 obs::SpanRec {
                     id: 1,
@@ -208,6 +259,7 @@ mod tests {
                     start_s: 0.0,
                     end_s: 0.25,
                     wall_s: 0.0,
+                    attrs: vec![("cache_hit".to_string(), obs::AttrValue::Str("none".into()))],
                 },
                 obs::SpanRec {
                     id: 2,
@@ -216,6 +268,7 @@ mod tests {
                     start_s: 0.05,
                     end_s: 0.25,
                     wall_s: 0.001,
+                    attrs: vec![("rows".to_string(), obs::AttrValue::U64(10_000))],
                 },
             ],
         };
@@ -255,11 +308,43 @@ mod tests {
     }
 
     #[test]
+    fn decode_accepts_v2_payload() {
+        // A v2 producer ships the 68-byte counter block + spans but no
+        // cache counters: splice them out of a v3 encoding.
+        let s = ExecStats {
+            storage_cpu_s: 1.5,
+            rows_scanned: 123,
+            rg_cache_hits: 9, // dropped by the splice
+            spans: vec![obs::SpanRec {
+                id: 1,
+                parent: 0,
+                name: "storage.execute".into(),
+                start_s: 0.0,
+                end_s: 0.5,
+                wall_s: 0.0,
+                attrs: Vec::new(),
+            }],
+            ..Default::default()
+        };
+        let v3 = s.encode();
+        let mut v2 = Vec::new();
+        v2.extend_from_slice(&v3[..STATS_LEN]);
+        v2.extend_from_slice(&v3[STATS_LEN_V3..]);
+        v2[..4].copy_from_slice(&2u32.to_le_bytes());
+        let dec = ExecStats::decode(&v2).unwrap();
+        assert_eq!(dec.storage_cpu_s, 1.5);
+        assert_eq!(dec.rows_scanned, 123);
+        assert_eq!(dec.rg_cache_hits, 0, "v2 has no cache counters");
+        assert_eq!(dec.spans.len(), 1);
+    }
+
+    #[test]
     fn merge_sums_componentwise() {
         let mut a = ExecStats {
             storage_cpu_s: 1.0,
             disk_bytes: 10,
             rows_returned: 5,
+            rg_cache_hits: 1,
             ..Default::default()
         };
         a.merge(&ExecStats {
@@ -267,6 +352,9 @@ mod tests {
             frontend_cpu_s: 0.5,
             disk_bytes: 20,
             rows_scanned: 100,
+            rg_cache_hits: 2,
+            cache_bytes_avoided: 64,
+            result_cache_hits: 1,
             ..Default::default()
         });
         assert_eq!(a.storage_cpu_s, 3.0);
@@ -274,5 +362,8 @@ mod tests {
         assert_eq!(a.disk_bytes, 30);
         assert_eq!(a.rows_scanned, 100);
         assert_eq!(a.rows_returned, 5);
+        assert_eq!(a.rg_cache_hits, 3);
+        assert_eq!(a.cache_bytes_avoided, 64);
+        assert_eq!(a.result_cache_hits, 1);
     }
 }

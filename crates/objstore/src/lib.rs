@@ -88,11 +88,22 @@ pub struct ObjectMeta {
     pub key: String,
     /// Size in bytes.
     pub size: u64,
+    /// Write version (etag): store-global monotonic counter stamped on
+    /// each put, so no two writes — even of different keys, even after a
+    /// delete/recreate — ever share a version. Caches key on it to get
+    /// invalidation-by-construction.
+    pub version: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Object {
+    data: Bytes,
+    version: u64,
 }
 
 #[derive(Debug, Default)]
 struct Bucket {
-    objects: BTreeMap<String, Bytes>,
+    objects: BTreeMap<String, Object>,
 }
 
 /// The in-memory object store. Share it across threads behind an `Arc`;
@@ -101,6 +112,8 @@ struct Bucket {
 #[derive(Debug, Default)]
 pub struct ObjectStore {
     buckets: RwLock<BTreeMap<String, Bucket>>,
+    /// Source of write versions; see [`ObjectMeta::version`].
+    next_version: std::sync::atomic::AtomicU64,
 }
 
 impl ObjectStore {
@@ -124,24 +137,35 @@ impl ObjectStore {
         self.buckets.write().entry(name.to_string()).or_default();
     }
 
-    /// Store an object (overwrites).
-    pub fn put_object(&self, bucket: &str, key: &str, data: Bytes) -> Result<()> {
+    /// Store an object (overwrites). Returns the new write version.
+    pub fn put_object(&self, bucket: &str, key: &str, data: Bytes) -> Result<u64> {
         let mut b = self.buckets.write();
         let bucket = b
             .get_mut(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
-        bucket.objects.insert(key.to_string(), data);
-        Ok(())
+        let version = 1 + self
+            .next_version
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        bucket
+            .objects
+            .insert(key.to_string(), Object { data, version });
+        Ok(version)
     }
 
     /// Fetch a whole object (zero-copy clone of the shared buffer).
     pub fn get_object(&self, bucket: &str, key: &str) -> Result<Bytes> {
+        self.get_object_versioned(bucket, key).map(|(data, _)| data)
+    }
+
+    /// Fetch a whole object together with its write version, atomically
+    /// (the pair a versioned cache must key on).
+    pub fn get_object_versioned(&self, bucket: &str, key: &str) -> Result<(Bytes, u64)> {
         let b = self.buckets.read();
         b.get(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?
             .objects
             .get(key)
-            .cloned()
+            .map(|o| (o.data.clone(), o.version))
             .ok_or_else(|| StoreError::NoSuchKey(key.to_string()))
     }
 
@@ -157,10 +181,11 @@ impl ObjectStore {
 
     /// Object metadata without the payload.
     pub fn head(&self, bucket: &str, key: &str) -> Result<ObjectMeta> {
-        let obj = self.get_object(bucket, key)?;
+        let (obj, version) = self.get_object_versioned(bucket, key)?;
         Ok(ObjectMeta {
             key: key.to_string(),
             size: obj.len() as u64,
+            version,
         })
     }
 
@@ -176,7 +201,8 @@ impl ObjectStore {
             .take_while(|(k, _)| k.starts_with(prefix))
             .map(|(k, v)| ObjectMeta {
                 key: k.clone(),
-                size: v.len() as u64,
+                size: v.data.len() as u64,
+                version: v.version,
             })
             .collect())
     }
@@ -253,6 +279,30 @@ mod tests {
         assert_eq!(s.head("b", "x").unwrap().size, 3);
         s.delete_object("b", "x").unwrap();
         assert!(s.get_object("b", "x").is_err());
+    }
+
+    #[test]
+    fn versions_are_unique_and_monotonic() {
+        let s = ObjectStore::new();
+        s.create_bucket("b").unwrap();
+        let v1 = s.put_object("b", "x", Bytes::from_static(b"a")).unwrap();
+        let v2 = s.put_object("b", "x", Bytes::from_static(b"b")).unwrap();
+        let v3 = s.put_object("b", "y", Bytes::from_static(b"c")).unwrap();
+        assert!(v1 < v2 && v2 < v3, "{v1} {v2} {v3}");
+        assert_eq!(
+            s.get_object_versioned("b", "x").unwrap(),
+            (Bytes::from_static(b"b"), v2)
+        );
+        assert_eq!(s.head("b", "y").unwrap().version, v3);
+        // Delete + recreate never reuses a version.
+        s.delete_object("b", "x").unwrap();
+        let v4 = s.put_object("b", "x", Bytes::from_static(b"d")).unwrap();
+        assert!(v4 > v3);
+        let metas = s.list("b", "").unwrap();
+        assert_eq!(
+            metas.iter().map(|m| m.version).collect::<Vec<_>>(),
+            vec![v4, v3]
+        );
     }
 
     #[test]

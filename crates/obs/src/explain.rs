@@ -20,11 +20,14 @@ const INLINE_ATTRS: &[&str] = &[
     "workers",
     "selectivity",
     "local_s",
+    "cache_hit",
+    "rg_cache_hits",
+    "cache_bytes_avoided",
 ];
 
 fn fmt_value(key: &str, v: &AttrValue) -> String {
     match v {
-        AttrValue::U64(n) if key == "bytes" => {
+        AttrValue::U64(n) if key == "bytes" || key.ends_with("bytes_avoided") => {
             if *n >= 1024 * 1024 {
                 format!("{:.1} MiB", *n as f64 / (1024.0 * 1024.0))
             } else if *n >= 1024 {

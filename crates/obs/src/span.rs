@@ -307,7 +307,11 @@ impl Tracer {
                 start_s: start_s + r.start_s.max(0.0) * scale,
                 end_s: start_s + r.end_s.max(r.start_s).max(0.0) * scale,
                 wall_s: if r.wall_s > 0.0 { Some(r.wall_s) } else { None },
-                attrs: vec![("local_s".to_string(), AttrValue::F64(r.seconds()))],
+                attrs: {
+                    let mut attrs = r.attrs.clone();
+                    attrs.push(("local_s".to_string(), AttrValue::F64(r.seconds())));
+                    attrs
+                },
                 closed_cleanly: true,
             });
         }
@@ -453,6 +457,7 @@ impl Trace {
                 start_s: s.start_s,
                 end_s: s.end_s,
                 wall_s: s.wall_s.unwrap_or(0.0),
+                attrs: s.attrs.clone(),
             })
             .collect()
     }
@@ -473,6 +478,10 @@ pub struct SpanRec {
     pub end_s: f64,
     /// Measured wall seconds (0 = not recorded).
     pub wall_s: f64,
+    /// Attributes attached by the producer (rows, bytes, cache tier, …),
+    /// preserved verbatim across the wire so `EXPLAIN ANALYZE` can render
+    /// per-scan annotations the engine side never computed.
+    pub attrs: Vec<(String, AttrValue)>,
 }
 
 impl SpanRec {
@@ -486,6 +495,19 @@ impl SpanRec {
 const MAX_WIRE_NAME: usize = 4096;
 /// Most spans accepted in one wire payload (corruption guard).
 const MAX_WIRE_SPANS: usize = 1 << 20;
+/// Most attributes accepted per span on the wire (corruption guard).
+const MAX_WIRE_ATTRS: usize = 256;
+
+/// Attribute value wire tags.
+const ATTR_TAG_U64: u8 = 0;
+const ATTR_TAG_F64: u8 = 1;
+const ATTR_TAG_STR: u8 = 2;
+
+fn encode_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = &s.as_bytes()[..s.len().min(MAX_WIRE_NAME)];
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
 
 /// Encode span records (length-prefixed, little-endian).
 pub fn encode_spans(recs: &[SpanRec]) -> Vec<u8> {
@@ -497,9 +519,26 @@ pub fn encode_spans(recs: &[SpanRec]) -> Vec<u8> {
         out.extend_from_slice(&r.start_s.to_le_bytes());
         out.extend_from_slice(&r.end_s.to_le_bytes());
         out.extend_from_slice(&r.wall_s.to_le_bytes());
-        let name = &r.name.as_bytes()[..r.name.len().min(MAX_WIRE_NAME)];
-        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
-        out.extend_from_slice(name);
+        encode_str(&mut out, &r.name);
+        let attrs = &r.attrs[..r.attrs.len().min(MAX_WIRE_ATTRS)];
+        out.extend_from_slice(&(attrs.len() as u32).to_le_bytes());
+        for (key, value) in attrs {
+            encode_str(&mut out, key);
+            match value {
+                AttrValue::U64(v) => {
+                    out.push(ATTR_TAG_U64);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                AttrValue::F64(v) => {
+                    out.push(ATTR_TAG_F64);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                AttrValue::Str(v) => {
+                    out.push(ATTR_TAG_STR);
+                    encode_str(&mut out, v);
+                }
+            }
+        }
     }
     out
 }
@@ -537,6 +576,15 @@ fn take_f64(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
     Ok(f64::from_bits(take_u64(bytes, pos)?))
 }
 
+fn take_str(bytes: &[u8], pos: &mut usize, what: &str) -> Result<String, String> {
+    let len = take_u32(bytes, pos)? as usize;
+    if len > MAX_WIRE_NAME {
+        return Err(format!("span {what} claims {len} bytes"));
+    }
+    let raw = take(bytes, pos, len)?;
+    Ok(String::from_utf8_lossy(raw).into_owned())
+}
+
 /// Decode an [`encode_spans`] payload, starting at `*pos` and advancing
 /// it. Bound-checked: truncation and absurd counts are structured errors,
 /// never panics.
@@ -552,12 +600,23 @@ pub fn decode_spans(bytes: &[u8], pos: &mut usize) -> Result<Vec<SpanRec>, Strin
         let start_s = take_f64(bytes, pos)?;
         let end_s = take_f64(bytes, pos)?;
         let wall_s = take_f64(bytes, pos)?;
-        let name_len = take_u32(bytes, pos)? as usize;
-        if name_len > MAX_WIRE_NAME {
-            return Err(format!("span name claims {name_len} bytes"));
+        let name = take_str(bytes, pos, "name")?;
+        let attr_count = take_u32(bytes, pos)? as usize;
+        if attr_count > MAX_WIRE_ATTRS {
+            return Err(format!("span claims {attr_count} attributes"));
         }
-        let name_bytes = take(bytes, pos, name_len)?;
-        let name = String::from_utf8_lossy(name_bytes).into_owned();
+        let mut attrs = Vec::with_capacity(attr_count);
+        for _ in 0..attr_count {
+            let key = take_str(bytes, pos, "attr key")?;
+            let tag = take(bytes, pos, 1)?[0];
+            let value = match tag {
+                ATTR_TAG_U64 => AttrValue::U64(take_u64(bytes, pos)?),
+                ATTR_TAG_F64 => AttrValue::F64(take_f64(bytes, pos)?),
+                ATTR_TAG_STR => AttrValue::Str(take_str(bytes, pos, "attr value")?),
+                other => return Err(format!("unknown attr tag {other}")),
+            };
+            attrs.push((key, value));
+        }
         recs.push(SpanRec {
             id,
             parent,
@@ -565,6 +624,7 @@ pub fn decode_spans(bytes: &[u8], pos: &mut usize) -> Result<Vec<SpanRec>, Strin
             start_s,
             end_s,
             wall_s,
+            attrs,
         });
     }
     Ok(recs)
@@ -664,7 +724,9 @@ mod tests {
         let producer = Tracer::new();
         let root = producer.record("storage.execute", "storage", None, 0.0, 4.0);
         producer.record("storage.disk", "storage", Some(root), 0.0, 1.0);
-        producer.record("storage.scan", "storage", Some(root), 1.0, 4.0);
+        let scan_id = producer.record("storage.scan", "storage", Some(root), 1.0, 4.0);
+        producer.attr(scan_id, "cache_hit", "row_group");
+        producer.attr(scan_id, "cache_bytes_avoided", 4096u64);
         let recs = producer.finish().to_recs();
 
         // Consumer side: graft into [10, 12].
@@ -682,6 +744,13 @@ mod tests {
         let scan = trace.find("storage.scan").expect("grafted");
         assert!(scan.start_s >= disk.end_s - 1e-12);
         assert!((scan.end_s - 12.0).abs() < 1e-12);
+        // Producer attrs survive the graft alongside the added local_s.
+        assert_eq!(
+            scan.attr("cache_hit"),
+            Some(&AttrValue::Str("row_group".into()))
+        );
+        assert_eq!(scan.attr_u64("cache_bytes_avoided"), Some(4096));
+        assert_eq!(scan.attr_f64("local_s"), Some(3.0));
     }
 
     #[test]
@@ -694,6 +763,11 @@ mod tests {
                 start_s: 0.0,
                 end_s: 2.5,
                 wall_s: 0.001,
+                attrs: vec![
+                    ("rows".to_string(), AttrValue::U64(42)),
+                    ("local_s".to_string(), AttrValue::F64(2.5)),
+                    ("cache_hit".to_string(), AttrValue::Str("result".into())),
+                ],
             },
             SpanRec {
                 id: 2,
@@ -702,6 +776,7 @@ mod tests {
                 start_s: 0.5,
                 end_s: 1.5,
                 wall_s: 0.0,
+                attrs: Vec::new(),
             },
         ];
         let enc = encode_spans(&recs);
@@ -720,6 +795,7 @@ mod tests {
             start_s: 0.0,
             end_s: 1.0,
             wall_s: 0.0,
+            attrs: vec![("bytes".to_string(), AttrValue::U64(7))],
         }]);
         for cut in 0..enc.len() {
             let mut pos = 0;

@@ -19,6 +19,7 @@ use rayon::prelude::*;
 use substrait_ir::planck::{self, Diagnostic};
 use substrait_ir::{Expr, Measure, Plan, Rel};
 
+use crate::cache::{ChunkKey, NodeCaches, ObjectId};
 use crate::{OcsError, OcsResult};
 
 /// Resource consumption of one in-storage execution.
@@ -45,6 +46,16 @@ pub struct ExecutorStats {
     /// Encoded payload bytes the late-materialized scan never decoded
     /// (footer `uncompressed_len` of the chunks it skipped).
     pub decoded_bytes_avoided: u64,
+    /// Column chunks served from the decoded row-group cache.
+    pub rg_cache_hits: u64,
+    /// Column chunks that had to be read + decoded (cache miss or cache
+    /// disabled).
+    pub rg_cache_misses: u64,
+    /// Disk + decode bytes the caches kept off the cost ledger.
+    pub cache_bytes_avoided: u64,
+    /// Whole pushed subplans answered from the result cache (set by the
+    /// storage node, not the executor — 0 or 1 per request).
+    pub result_cache_hits: u64,
 }
 
 impl ExecutorStats {
@@ -204,6 +215,105 @@ struct GroupScan {
     avoided_bytes: u64,
     /// True when the mask killed the whole group.
     skipped: bool,
+    /// Chunk-cache accounting for this group.
+    cache: ChunkTally,
+}
+
+/// How one column chunk was obtained.
+enum FetchOutcome {
+    /// Served from the decoded row-group cache.
+    Hit,
+    /// Read + decoded, then admitted to the cache.
+    Miss,
+    /// No cache configured — the cold path, with zero cache accounting.
+    Uncached,
+}
+
+/// One column chunk obtained through the (optional) row-group cache, with
+/// the cost-ledger deltas it actually incurred: a hit pulls nothing from
+/// disk and decodes nothing, so those lanes bill zero and the skipped
+/// bytes land in `avoided_bytes` instead.
+struct ChunkFetch {
+    array: Arc<Array>,
+    /// Compressed bytes pulled from disk (0 on a hit).
+    disk_bytes: u64,
+    /// Bytes decoded (0 on a hit — drives decode work and decompression).
+    decoded_bytes: u64,
+    /// Disk + decode bytes a hit kept off the ledger (0 on a miss).
+    avoided_bytes: u64,
+    outcome: FetchOutcome,
+}
+
+/// Per-scope accumulator of chunk-cache counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ChunkTally {
+    hits: u64,
+    misses: u64,
+    avoided_bytes: u64,
+}
+
+impl ChunkTally {
+    fn absorb(&mut self, f: &ChunkFetch) {
+        match f.outcome {
+            FetchOutcome::Hit => self.hits += 1,
+            FetchOutcome::Miss => self.misses += 1,
+            FetchOutcome::Uncached => {}
+        }
+        self.avoided_bytes += f.avoided_bytes;
+    }
+}
+
+/// Fetch one column chunk, through the row-group cache when one is bound.
+fn fetch_chunk(
+    reader: &ParqReader,
+    cache: Option<(&NodeCaches, &ObjectId)>,
+    rg: usize,
+    col: usize,
+) -> OcsResult<ChunkFetch> {
+    let exec_err = |e: parq::ParqError| OcsError::Exec(e.to_string());
+    let Some((caches, object)) = cache else {
+        let disk_bytes = reader.chunk_compressed_bytes(rg, col).map_err(exec_err)?;
+        let array = Arc::new(reader.read_chunk(rg, col).map_err(exec_err)?);
+        let decoded_bytes = array.byte_size() as u64;
+        return Ok(ChunkFetch {
+            array,
+            disk_bytes,
+            decoded_bytes,
+            avoided_bytes: 0,
+            outcome: FetchOutcome::Uncached,
+        });
+    };
+    let key: ChunkKey = (
+        object.bucket.clone(),
+        object.key.clone(),
+        object.version,
+        rg,
+        col,
+    );
+    if let Some(array) = caches.row_group.get(&key) {
+        let avoided_bytes =
+            reader.chunk_compressed_bytes(rg, col).map_err(exec_err)? + array.byte_size() as u64;
+        return Ok(ChunkFetch {
+            array,
+            disk_bytes: 0,
+            decoded_bytes: 0,
+            avoided_bytes,
+            outcome: FetchOutcome::Hit,
+        });
+    }
+    let disk_bytes = reader.chunk_compressed_bytes(rg, col).map_err(exec_err)?;
+    let array = Arc::new(reader.read_chunk(rg, col).map_err(exec_err)?);
+    let decoded_bytes = array.byte_size() as u64;
+    caches
+        .row_group
+        .insert(key, array.clone(), decoded_bytes.max(1));
+    Ok(ChunkFetch {
+        array,
+        disk_bytes,
+        decoded_bytes,
+        avoided_bytes: 0,
+        outcome: FetchOutcome::Miss,
+    })
 }
 
 /// The embedded executor over one parq object.
@@ -212,17 +322,19 @@ pub struct Executor<'a> {
     cost: &'a CostParams,
     stats: ExecutorStats,
     late_mat: bool,
+    caches: Option<(&'a NodeCaches, &'a ObjectId)>,
 }
 
 impl<'a> Executor<'a> {
     /// New executor over an open object. Late materialization is on by
-    /// default (the production configuration).
+    /// default (the production configuration); no cache is bound.
     pub fn new(reader: &'a ParqReader, cost: &'a CostParams) -> Self {
         Executor {
             reader,
             cost,
             stats: ExecutorStats::default(),
             late_mat: true,
+            caches: None,
         }
     }
 
@@ -231,6 +343,16 @@ impl<'a> Executor<'a> {
     /// path; kept for A/B benchmarking).
     pub fn late_materialization(mut self, enabled: bool) -> Self {
         self.late_mat = enabled;
+        self
+    }
+
+    /// Bind the node's caches and the scanned object's identity so chunk
+    /// reads go through the decoded row-group cache. A disabled tier
+    /// leaves the executor on the cold path with zero cache accounting.
+    pub fn with_caches(mut self, caches: &'a NodeCaches, object: &'a ObjectId) -> Self {
+        if caches.row_group.is_enabled() {
+            self.caches = Some((caches, object));
+        }
         self
     }
 
@@ -387,21 +509,37 @@ impl<'a> Executor<'a> {
             Some(p) => p.to_vec(),
             None => (0..self.reader.schema().len()).collect(),
         };
+        let schema = Arc::new(
+            self.reader
+                .schema()
+                .project(&indices)
+                .map_err(|e| OcsError::Exec(e.to_string()))?,
+        );
         let mut out = Vec::with_capacity(groups.len());
         for rg in groups {
-            self.stats.disk_bytes += self
-                .reader
-                .projected_compressed_bytes(rg, &indices)
+            // Chunk-at-a-time through the (optional) row-group cache: a
+            // hit bills no disk bytes and no decode work, so the node's
+            // disk/decompress/scan lanes shrink accordingly.
+            let mut columns = Vec::with_capacity(indices.len());
+            let mut decoded = 0u64;
+            let mut tally = ChunkTally::default();
+            for &c in &indices {
+                let f = fetch_chunk(self.reader, self.caches, rg, c)?;
+                self.stats.disk_bytes += f.disk_bytes;
+                decoded += f.decoded_bytes;
+                tally.absorb(&f);
+                columns.push(f.array);
+            }
+            let batch = RecordBatch::try_new(schema.clone(), columns)
                 .map_err(|e| OcsError::Exec(e.to_string()))?;
-            let batch = self
-                .reader
-                .read_row_group(rg, Some(&indices))
-                .map_err(|e| OcsError::Exec(e.to_string()))?;
-            self.stats.uncompressed_bytes += batch.byte_size() as u64;
+            self.stats.uncompressed_bytes += decoded;
             self.stats.rows_scanned += batch.num_rows() as u64;
-            self.stats.work.add(Work::decode(
-                batch.byte_size() as f64 * self.cost.byte_decode,
-            ));
+            self.stats.rg_cache_hits += tally.hits;
+            self.stats.rg_cache_misses += tally.misses;
+            self.stats.cache_bytes_avoided += tally.avoided_bytes;
+            self.stats
+                .work
+                .add(Work::decode(decoded as f64 * self.cost.byte_decode));
             out.push(batch);
         }
         Ok(out)
@@ -441,6 +579,7 @@ impl<'a> Executor<'a> {
         let weight = predicate.op_weight();
         let reader = self.reader;
         let cost = self.cost;
+        let caches = self.caches;
         let schema = reader.schema();
         let exec_err = |e: parq::ParqError| OcsError::Exec(e.to_string());
 
@@ -450,18 +589,19 @@ impl<'a> Executor<'a> {
                 let rows = reader.row_group_rows(rg).map_err(exec_err)?;
                 let mut work = Work::zero();
                 let mut disk_bytes = 0u64;
+                let mut tally = ChunkTally::default();
                 let mut cols: Vec<Option<Arc<Array>>> = vec![None; out_cols.len()];
 
-                // Phase 1: filter columns only.
+                // Phase 1: filter columns only. `filter_bytes` counts only
+                // bytes actually decoded — cache hits bill nothing here.
                 let mut filter_bytes = 0usize;
                 for &pos in filter_pos {
                     let file_col = out_cols[pos];
-                    disk_bytes += reader
-                        .chunk_compressed_bytes(rg, file_col)
-                        .map_err(exec_err)?;
-                    let a = reader.read_chunk(rg, file_col).map_err(exec_err)?;
-                    filter_bytes += a.byte_size();
-                    cols[pos] = Some(Arc::new(a));
+                    let f = fetch_chunk(reader, caches, rg, file_col)?;
+                    disk_bytes += f.disk_bytes;
+                    filter_bytes += f.decoded_bytes as usize;
+                    tally.absorb(&f);
+                    cols[pos] = Some(f.array);
                 }
                 work.add(Work::decode(filter_bytes as f64 * cost.byte_decode));
                 let filter_fields: Vec<Field> = filter_pos
@@ -499,20 +639,22 @@ impl<'a> Executor<'a> {
                         rows,
                         avoided_bytes: avoided,
                         skipped: true,
+                        cache: tally,
                     });
                 }
 
-                // Phase 2: payload columns for the surviving group.
+                // Phase 2: payload columns for the surviving group. As in
+                // phase 1, `payload_bytes` counts decoded (missed) bytes
+                // only so decompression and decode work bill honestly.
                 let mut payload_bytes = 0usize;
                 for (pos, slot) in cols.iter_mut().enumerate() {
                     if slot.is_none() {
                         let file_col = out_cols[pos];
-                        disk_bytes += reader
-                            .chunk_compressed_bytes(rg, file_col)
-                            .map_err(exec_err)?;
-                        let a = reader.read_chunk(rg, file_col).map_err(exec_err)?;
-                        payload_bytes += a.byte_size();
-                        *slot = Some(Arc::new(a));
+                        let f = fetch_chunk(reader, caches, rg, file_col)?;
+                        disk_bytes += f.disk_bytes;
+                        payload_bytes += f.decoded_bytes as usize;
+                        tally.absorb(&f);
+                        *slot = Some(f.array);
                     }
                 }
                 work.add(Work::decode(payload_bytes as f64 * cost.byte_decode));
@@ -536,6 +678,7 @@ impl<'a> Executor<'a> {
                     rows,
                     avoided_bytes: 0,
                     skipped: false,
+                    cache: tally,
                 })
             })
             .collect();
@@ -548,6 +691,9 @@ impl<'a> Executor<'a> {
             self.stats.rows_scanned += g.rows;
             self.stats.decoded_bytes_avoided += g.avoided_bytes;
             self.stats.row_groups_skipped += g.skipped as u64;
+            self.stats.rg_cache_hits += g.cache.hits;
+            self.stats.rg_cache_misses += g.cache.misses;
+            self.stats.cache_bytes_avoided += g.cache.avoided_bytes;
             self.stats.scan_work.push(g.work);
             if let Some(b) = g.batch {
                 if b.num_rows() > 0 {

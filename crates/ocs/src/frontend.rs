@@ -4,10 +4,12 @@
 //! endpoint to applications, parses incoming queries, and dispatches them
 //! to the appropriate storage node").
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use netsim::{CostParams, ExecStats, NodeSpec};
+use parking_lot::Mutex;
 
 use crate::node::StorageNode;
 use crate::stream::WireStream;
@@ -23,29 +25,75 @@ pub struct WireResponse {
     pub stats: ExecStats,
 }
 
+/// Cache-affinity routing state: each key's sticky owner plus per-node
+/// assignment counts for the overflow fallback.
+#[derive(Debug, Default)]
+struct RouterState {
+    owner: HashMap<String, usize>,
+    load: Vec<usize>,
+}
+
 /// The frontend node.
 #[derive(Debug)]
 pub struct OcsFrontend {
     nodes: Vec<Arc<StorageNode>>,
     spec: NodeSpec,
     cost: CostParams,
+    router: Mutex<RouterState>,
 }
 
 impl OcsFrontend {
     /// Build a frontend over `nodes`.
     pub fn new(nodes: Vec<Arc<StorageNode>>, spec: NodeSpec, cost: CostParams) -> Self {
         assert!(!nodes.is_empty(), "OCS needs at least one storage node");
-        OcsFrontend { nodes, spec, cost }
+        let router = Mutex::new(RouterState {
+            owner: HashMap::new(),
+            load: vec![0; nodes.len()],
+        });
+        OcsFrontend {
+            nodes,
+            spec,
+            cost,
+            router,
+        }
     }
 
-    /// Which node owns `key` (stable hash sharding).
+    /// Which node owns `key` — cache-affinity routing.
+    ///
+    /// A key's first request hashes it to its *natural* owner and the
+    /// assignment is remembered; every later scan of the same object goes
+    /// to the node already holding its decoded row groups and cached
+    /// results. When the natural owner is overloaded (its assignment
+    /// count is at least twice the balanced share), the key falls back to
+    /// the least-loaded node instead — and sticks *there*, so the entries
+    /// it warms still have a single home.
     fn route(&self, key: &str) -> &Arc<StorageNode> {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in key.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
+        &self.nodes[self.route_index(key)]
+    }
+
+    fn route_index(&self, key: &str) -> usize {
+        let n = self.nodes.len();
+        let mut state = self.router.lock();
+        if let Some(&idx) = state.owner.get(key) {
+            return idx;
         }
-        &self.nodes[(h % self.nodes.len() as u64) as usize]
+        let natural = (cache::fnv1a64(key.as_bytes()) % n as u64) as usize;
+        let total: usize = state.load.iter().sum();
+        let threshold = 2 * (total / n + 1);
+        let idx = if state.load[natural] >= threshold {
+            state
+                .load
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, l)| *l)
+                .map(|(i, _)| i)
+                .unwrap_or(natural)
+        } else {
+            natural
+        };
+        state.owner.insert(key.to_string(), idx);
+        state.load[idx] += 1;
+        idx
     }
 
     /// Number of storage nodes.
@@ -71,7 +119,10 @@ impl OcsFrontend {
         let plan = substrait_ir::decode(plan_bytes)
             .map_err(|e| OcsError::Plan(planck::Diagnostic::from_ir(&e, "root")))?;
         planck::verify_untrusted(&plan).map_err(|ds| OcsError::Plan(planck::primary(ds)))?;
-        self.route(key).execute(&plan, bucket, key)
+        // The wire bytes ARE the canonical encoding, so hash them directly
+        // for the result-cache fingerprint instead of re-encoding.
+        self.route(key)
+            .execute_encoded(&plan, bucket, key, cache::fnv1a64(plan_bytes))
     }
 
     /// Handle one request buffered: Substrait plan bytes in, one whole
@@ -99,6 +150,10 @@ impl OcsFrontend {
                 rows_returned: resp.exec.rows_emitted,
                 row_groups_skipped: resp.exec.row_groups_skipped,
                 decoded_bytes_avoided: resp.exec.decoded_bytes_avoided,
+                rg_cache_hits: resp.exec.rg_cache_hits,
+                rg_cache_misses: resp.exec.rg_cache_misses,
+                cache_bytes_avoided: resp.exec.cache_bytes_avoided,
+                result_cache_hits: resp.exec.result_cache_hits,
                 spans: resp.spans,
             },
         })
@@ -342,6 +397,44 @@ mod tests {
             seen.insert(fe.route(&format!("key-{i}")).id());
         }
         assert!(seen.len() >= 2, "hash routing should hit multiple nodes");
+    }
+
+    #[test]
+    fn overloaded_natural_owner_falls_back_to_least_loaded() {
+        let (fe, _) = frontend(3);
+        // Force every key's natural owner to one node by assigning keys
+        // until the threshold trips, then check a fresh key whose natural
+        // owner is saturated lands elsewhere — and sticks there.
+        let natural_of = |key: &str| (cache::fnv1a64(key.as_bytes()) % 3) as usize;
+        // Find many keys sharing natural owner 0.
+        let clustered: Vec<String> = (0..10_000)
+            .map(|i| format!("hot-{i}"))
+            .filter(|k| natural_of(k) == 0)
+            .take(16)
+            .collect();
+        assert!(clustered.len() >= 16);
+        let mut first_spill = None;
+        for k in &clustered {
+            let id = fe.route(k).id();
+            if id != 0 && first_spill.is_none() {
+                first_spill = Some((k.clone(), id));
+            }
+        }
+        let (spill_key, spill_node) =
+            first_spill.expect("threshold must spill some clustered keys");
+        // The spilled key is sticky on its fallback node.
+        assert_eq!(fe.route(&spill_key).id(), spill_node);
+        // Load stayed bounded: node 0 holds at most twice the fair share.
+        let loads = {
+            let state = fe.router.lock();
+            state.load.clone()
+        };
+        let total: usize = loads.iter().sum();
+        assert_eq!(total, clustered.len());
+        assert!(
+            loads[0] <= 2 * (total / 3 + 1),
+            "natural owner overloaded: {loads:?}"
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod exec;
 pub mod frontend;
 pub mod node;
@@ -90,6 +91,9 @@ pub enum OcsError {
     Storage(objstore::StoreError),
     /// Execution failed.
     Exec(String),
+    /// Invalid deployment configuration (rejected by
+    /// [`OcsConfig::validate`] before anything is brought up).
+    Config(String),
 }
 
 impl OcsError {
@@ -108,6 +112,7 @@ impl fmt::Display for OcsError {
             OcsError::Plan(d) => write!(f, "plan rejected: {d}"),
             OcsError::Storage(e) => write!(f, "storage error: {e}"),
             OcsError::Exec(m) => write!(f, "execution error: {m}"),
+            OcsError::Config(m) => write!(f, "invalid config: {m}"),
         }
     }
 }
@@ -145,11 +150,25 @@ pub struct OcsConfig {
     /// Bounded in-flight frame window of the streaming boundary: at most
     /// this many encoded frames are buffered client-side (backpressure).
     pub frame_window: usize,
+    /// Byte budget of each storage node's decoded row-group cache
+    /// (decoded column chunks, keyed by object version). Zero disables
+    /// the tier.
+    pub row_group_cache_bytes: u64,
+    /// Byte budget of each storage node's pushdown-result cache (whole
+    /// verified-subplan responses, keyed by plan fingerprint + object
+    /// version). Zero disables the tier.
+    pub result_cache_bytes: u64,
 }
+
+/// Smallest nonzero cache budget [`OcsConfig::validate`] accepts: tinier
+/// budgets reject every realistic entry and silently behave as disabled,
+/// which is exactly the misconfiguration validation exists to catch.
+pub const MIN_CACHE_BYTES: u64 = 64 * 1024;
 
 impl OcsConfig {
     /// The paper's testbed: one storage node at 16 × 2.0 GHz behind a
-    /// 48 × 3.9 GHz frontend.
+    /// 48 × 3.9 GHz frontend. Both near-storage cache tiers are on with
+    /// production budgets (64 MiB decoded row groups, 32 MiB results).
     pub fn paper_testbed() -> OcsConfig {
         let cluster = netsim::ClusterSpec::paper_testbed();
         OcsConfig {
@@ -159,7 +178,47 @@ impl OcsConfig {
             cost: CostParams::default(),
             storage_nodes: 1,
             frame_window: rpc::DEFAULT_FRAME_WINDOW,
+            row_group_cache_bytes: 64 * 1024 * 1024,
+            result_cache_bytes: 32 * 1024 * 1024,
         }
+    }
+
+    /// The same testbed with both cache tiers off — the cold-only
+    /// configuration, for A/B comparisons and tests that re-execute the
+    /// same plan and expect identical cost ledgers.
+    pub fn paper_testbed_uncached() -> OcsConfig {
+        OcsConfig {
+            row_group_cache_bytes: 0,
+            result_cache_bytes: 0,
+            ..OcsConfig::paper_testbed()
+        }
+    }
+
+    /// Check the deployment knobs, rejecting values that would previously
+    /// have been silently clamped or silently useless.
+    pub fn validate(&self) -> OcsResult<()> {
+        if self.storage_nodes == 0 {
+            return Err(OcsError::Config(
+                "storage_nodes must be >= 1 (a deployment needs at least one node)".into(),
+            ));
+        }
+        if self.frame_window == 0 {
+            return Err(OcsError::Config(
+                "frame_window must be >= 1 (zero in-flight frames can never make progress)".into(),
+            ));
+        }
+        for (name, bytes) in [
+            ("row_group_cache_bytes", self.row_group_cache_bytes),
+            ("result_cache_bytes", self.result_cache_bytes),
+        ] {
+            if bytes > 0 && bytes < MIN_CACHE_BYTES {
+                return Err(OcsError::Config(format!(
+                    "{name} = {bytes} is below the {MIN_CACHE_BYTES}-byte minimum; \
+                     use 0 to disable the tier"
+                )));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -172,22 +231,43 @@ pub struct Ocs {
 
 impl Ocs {
     /// Bring up OCS over `store` with `config`.
+    ///
+    /// # Panics
+    /// Panics when `config` fails [`OcsConfig::validate`]; use
+    /// [`Ocs::try_new`] to handle the error instead.
     pub fn new(store: Arc<ObjectStore>, config: OcsConfig) -> Ocs {
-        let nodes: Vec<Arc<StorageNode>> = (0..config.storage_nodes.max(1))
+        match Ocs::try_new(store, config) {
+            Ok(ocs) => ocs,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Bring up OCS over `store` with `config`, validating the config
+    /// first. Each storage node gets its own pair of near-storage caches
+    /// sized by the config budgets.
+    pub fn try_new(store: Arc<ObjectStore>, config: OcsConfig) -> OcsResult<Ocs> {
+        config.validate()?;
+        let nodes: Vec<Arc<StorageNode>> = (0..config.storage_nodes)
             .map(|id| {
-                Arc::new(StorageNode::new(
-                    id,
-                    store.clone(),
-                    config.storage_node.clone(),
-                    config.storage_disk,
-                    config.cost.clone(),
-                ))
+                Arc::new(
+                    StorageNode::new(
+                        id,
+                        store.clone(),
+                        config.storage_node.clone(),
+                        config.storage_disk,
+                        config.cost.clone(),
+                    )
+                    .with_caches(cache::NodeCaches::new(
+                        config.row_group_cache_bytes,
+                        config.result_cache_bytes,
+                    )),
+                )
             })
             .collect();
-        Ocs {
+        Ok(Ocs {
             frontend: Arc::new(OcsFrontend::new(nodes, config.frontend_node, config.cost)),
-            frame_window: config.frame_window.max(1),
-        }
+            frame_window: config.frame_window,
+        })
     }
 
     /// The frontend endpoint.
@@ -199,5 +279,61 @@ impl Ocs {
     /// in-flight frame window.
     pub fn client(&self) -> OcsClient {
         OcsClient::with_window(self.frontend.clone(), self.frame_window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_config_is_valid() {
+        assert!(OcsConfig::paper_testbed().validate().is_ok());
+        assert!(OcsConfig::paper_testbed_uncached().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_frame_window_is_a_config_error() {
+        let config = OcsConfig {
+            frame_window: 0,
+            ..OcsConfig::paper_testbed()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(matches!(err, OcsError::Config(_)), "got {err}");
+        assert!(err.to_string().contains("frame_window"));
+        assert!(Ocs::try_new(Arc::new(ObjectStore::new()), config).is_err());
+    }
+
+    #[test]
+    fn zero_storage_nodes_is_a_config_error() {
+        let config = OcsConfig {
+            storage_nodes: 0,
+            ..OcsConfig::paper_testbed()
+        };
+        let err = config.validate().unwrap_err();
+        assert!(err.to_string().contains("storage_nodes"));
+    }
+
+    #[test]
+    fn undersized_cache_budgets_are_config_errors() {
+        for (rg, res, field) in [
+            (MIN_CACHE_BYTES - 1, 0, "row_group_cache_bytes"),
+            (0, 1, "result_cache_bytes"),
+        ] {
+            let config = OcsConfig {
+                row_group_cache_bytes: rg,
+                result_cache_bytes: res,
+                ..OcsConfig::paper_testbed()
+            };
+            let err = config.validate().unwrap_err();
+            assert!(err.to_string().contains(field), "got {err}");
+        }
+        // Zero means disabled, and the minimum itself is accepted.
+        let config = OcsConfig {
+            row_group_cache_bytes: 0,
+            result_cache_bytes: MIN_CACHE_BYTES,
+            ..OcsConfig::paper_testbed()
+        };
+        assert!(config.validate().is_ok());
     }
 }

@@ -9,6 +9,7 @@ use objstore::ObjectStore;
 use parq::ParqReader;
 use substrait_ir::Plan;
 
+use crate::cache::{CachedResult, NodeCaches, ObjectId, ResultKey};
 use crate::exec::{Executor, ExecutorStats};
 use crate::OcsResult;
 
@@ -40,10 +41,12 @@ pub struct StorageNode {
     spec: NodeSpec,
     disk: DiskSpec,
     cost: CostParams,
+    caches: NodeCaches,
 }
 
 impl StorageNode {
-    /// Create a node over the shared object store.
+    /// Create a node over the shared object store. Caches start disabled;
+    /// bind them with [`StorageNode::with_caches`].
     pub fn new(
         id: usize,
         store: Arc<ObjectStore>,
@@ -57,7 +60,14 @@ impl StorageNode {
             spec,
             disk,
             cost,
+            caches: NodeCaches::disabled(),
         }
+    }
+
+    /// Attach this node's near-storage caches (row-group + result tiers).
+    pub fn with_caches(mut self, caches: NodeCaches) -> Self {
+        self.caches = caches;
+        self
     }
 
     /// Node id (used by the frontend's shard routing).
@@ -70,13 +80,76 @@ impl StorageNode {
         &self.spec
     }
 
+    /// This node's cache tiers (for monitoring and tests).
+    pub fn caches(&self) -> &NodeCaches {
+        &self.caches
+    }
+
     /// Execute `plan` against the object at `bucket`/`key`.
+    ///
+    /// The result-cache fingerprint is computed here from the canonical
+    /// Substrait encoding; callers that already hold the encoded plan
+    /// bytes (the frontend) should use [`StorageNode::execute_encoded`]
+    /// to skip the re-encode.
     pub fn execute(&self, plan: &Plan, bucket: &str, key: &str) -> OcsResult<NodeResponse> {
+        let fingerprint = if self.caches.result.is_enabled() {
+            cache::fnv1a64(&substrait_ir::encode(plan))
+        } else {
+            0
+        };
+        self.execute_encoded(plan, bucket, key, fingerprint)
+    }
+
+    /// [`StorageNode::execute`] with a precomputed plan fingerprint —
+    /// FNV-1a of the canonical Substrait plan bytes (ignored when the
+    /// result tier is disabled).
+    pub fn execute_encoded(
+        &self,
+        plan: &Plan,
+        bucket: &str,
+        key: &str,
+        fingerprint: u64,
+    ) -> OcsResult<NodeResponse> {
         let wall_start = std::time::Instant::now();
-        let bytes = self.store.get_object(bucket, key)?;
+        let (bytes, version) = self.store.get_object_versioned(bucket, key)?;
+        self.caches.observe_version(bucket, key, version);
+
+        // Result-cache probe: identical verified subplans against the same
+        // object version replay the cold run's batches at zero simulated
+        // cost. The plan fingerprint is a stable FNV-1a of the canonical
+        // Substrait encoding, so it survives plan re-construction.
+        let result_key: ResultKey = (bucket.to_string(), key.to_string(), version, fingerprint);
+        if let Some(cached) = self.caches.result.get(&result_key) {
+            return Ok(self.replay_cached(&cached, wall_start));
+        }
+
+        let object = ObjectId {
+            bucket: bucket.to_string(),
+            key: key.to_string(),
+            version,
+        };
         let reader = ParqReader::open(bytes).map_err(|e| crate::OcsError::Exec(e.to_string()))?;
         let codec = reader.codec();
-        let (batches, exec) = Executor::new(&reader, &self.cost).run(plan)?;
+        let (batches, exec) = Executor::new(&reader, &self.cost)
+            .with_caches(&self.caches, &object)
+            .run(plan)?;
+
+        if self.caches.result.is_enabled() {
+            let charge: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
+            self.caches.result.insert(
+                result_key,
+                Arc::new(CachedResult {
+                    batches: batches.clone(),
+                    rows_emitted: exec.rows_emitted,
+                    // What a future hit avoids: this run's disk + decode
+                    // traffic, plus whatever the chunk cache already saved.
+                    bytes_avoided: exec.disk_bytes
+                        + exec.uncompressed_bytes
+                        + exec.cache_bytes_avoided,
+                }),
+                charge.max(1),
+            );
+        }
 
         // Decompression cost: uncompressed bytes through the codec at its
         // single-core throughput.
@@ -107,6 +180,15 @@ impl StorageNode {
         m.counter("ocs.storage.rows_returned")
             .add(exec.rows_emitted);
         m.counter("ocs.storage.disk_bytes").add(exec.disk_bytes);
+        m.counter("ocs.cache.rg_hits").add(exec.rg_cache_hits);
+        m.counter("ocs.cache.rg_misses").add(exec.rg_cache_misses);
+        m.counter("ocs.cache.bytes_avoided")
+            .add(exec.cache_bytes_avoided);
+        let (rg_stats, result_stats) = self.caches.stats();
+        m.gauge("ocs.cache.rg_evictions")
+            .record_max(rg_stats.evictions as i64);
+        m.gauge("ocs.cache.result_evictions")
+            .record_max(result_stats.evictions as i64);
 
         Ok(NodeResponse {
             batches,
@@ -116,6 +198,49 @@ impl StorageNode {
             exec,
             spans,
         })
+    }
+
+    /// Answer a request from the result cache: the cold run's batches,
+    /// zero simulated cost, and a span marking the hit.
+    fn replay_cached(&self, cached: &CachedResult, wall_start: std::time::Instant) -> NodeResponse {
+        let exec = ExecutorStats {
+            rows_emitted: cached.rows_emitted,
+            result_cache_hits: 1,
+            cache_bytes_avoided: cached.bytes_avoided,
+            ..ExecutorStats::default()
+        };
+        let m = obs::metrics();
+        m.counter("ocs.storage.requests").inc();
+        m.counter("ocs.cache.result_hits").inc();
+        m.counter("ocs.cache.bytes_avoided")
+            .add(cached.bytes_avoided);
+
+        let tracer = obs::Tracer::new();
+        let spans = if tracer.is_enabled() {
+            let root = tracer.record(
+                format!("storage[{}].execute", self.id),
+                "storage",
+                None,
+                0.0,
+                0.0,
+            );
+            tracer.set_wall(root, wall_start.elapsed().as_secs_f64());
+            tracer.attr(root, "cache_hit", "result");
+            tracer.attr(root, "cache_bytes_avoided", cached.bytes_avoided);
+            tracer.attr(root, "rows", cached.rows_emitted);
+            tracer.finish().to_recs()
+        } else {
+            Vec::new()
+        };
+
+        NodeResponse {
+            batches: cached.batches.clone(),
+            cpu_s: 0.0,
+            decompress_s: 0.0,
+            disk_bytes: 0,
+            exec,
+            spans,
+        }
     }
 
     fn record_spans(
@@ -142,6 +267,13 @@ impl StorageNode {
         tracer.set_wall(root, wall_start.elapsed().as_secs_f64());
         tracer.attr(root, "rows", exec.rows_scanned);
         tracer.attr(root, "bytes", exec.disk_bytes);
+        let tier = if exec.rg_cache_hits > 0 {
+            "row_group"
+        } else {
+            "none"
+        };
+        tracer.attr(root, "cache_hit", tier);
+        tracer.attr(root, "cache_bytes_avoided", exec.cache_bytes_avoided);
         let mut cursor = 0.0;
         for (name, seconds) in [
             ("storage.disk_read", disk_s),
@@ -159,6 +291,9 @@ impl StorageNode {
                     tracer.attr(id, "rows", exec.rows_scanned);
                     tracer.attr(id, "row_groups", exec.scan_work.len() as u64);
                     tracer.attr(id, "row_groups_skipped", exec.row_groups_skipped);
+                    tracer.attr(id, "cache_hit", tier);
+                    tracer.attr(id, "rg_cache_hits", exec.rg_cache_hits);
+                    tracer.attr(id, "cache_bytes_avoided", exec.cache_bytes_avoided);
                 }
                 "storage.ops" => {
                     tracer.attr(id, "rows", exec.rows_emitted);

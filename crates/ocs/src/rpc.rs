@@ -324,10 +324,143 @@ mod tests {
         )
         .unwrap();
         store.put_object("lake", "t/0", bytes.into()).unwrap();
+        // Cache tiers off: several tests here re-execute the same plan
+        // against the same object and compare cost ledgers, which warm
+        // caches would legitimately change.
         (
-            Ocs::new(store, OcsConfig::paper_testbed()),
+            Ocs::new(store, OcsConfig::paper_testbed_uncached()),
             (*schema).clone(),
         )
+    }
+
+    /// Same data as [`deployment`], but with the near-storage cache tiers
+    /// on (paper-testbed budgets).
+    fn cached_deployment() -> (Arc<ObjectStore>, Ocs, Schema) {
+        let store = Arc::new(ObjectStore::new());
+        store.create_bucket("lake").unwrap();
+        let schema = Arc::new(Schema::new(vec![
+            Field::new("g", DataType::Int64, false),
+            Field::new("v", DataType::Float64, false),
+        ]));
+        let n = 10_000i64;
+        let batch = RecordBatch::try_new(
+            schema.clone(),
+            vec![
+                Arc::new(Array::from_i64((0..n).map(|i| i % 7).collect())),
+                Arc::new(Array::from_f64((0..n).map(|i| i as f64).collect())),
+            ],
+        )
+        .unwrap();
+        let bytes = parq::writer::write_file(
+            schema.clone(),
+            &[batch],
+            parq::WriteOptions {
+                row_group_rows: 1024,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        store.put_object("lake", "t/0", bytes.into()).unwrap();
+        let ocs = Ocs::new(store.clone(), OcsConfig::paper_testbed());
+        (store, ocs, (*schema).clone())
+    }
+
+    #[test]
+    fn warm_repeat_hits_result_cache_at_zero_storage_cost() {
+        let (_, ocs, schema) = cached_deployment();
+        let client = ocs.client();
+        let plan = Plan::new(Rel::Aggregate {
+            input: Box::new(Rel::read("t", schema, None)),
+            group_by: vec![(Expr::field(0), "g".into())],
+            measures: vec![Measure {
+                func: AggFunc::Sum,
+                arg: Some(Expr::field(1)),
+                name: "s".into(),
+            }],
+        });
+        let cold = client.execute(&plan, "lake", "t/0").unwrap();
+        let warm = client.execute(&plan, "lake", "t/0").unwrap();
+
+        assert_eq!(cold.stats.result_cache_hits, 0);
+        assert_eq!(warm.stats.result_cache_hits, 1);
+        assert!(cold.stats.storage_cpu_s > 0.0);
+        assert_eq!(warm.stats.storage_cpu_s, 0.0, "hit replays for free");
+        assert_eq!(warm.stats.disk_bytes, 0);
+        assert!(
+            warm.stats.cache_bytes_avoided >= cold.stats.disk_bytes + cold.stats.rows_scanned,
+            "hit reports what the cold run paid"
+        );
+        // Identical rows either way.
+        assert_eq!(warm.stats.rows_returned, cold.stats.rows_returned);
+        let rows = |batches: &[RecordBatch]| -> Vec<Vec<Scalar>> {
+            batches
+                .iter()
+                .flat_map(|b| (0..b.num_rows()).map(|r| b.row(r)).collect::<Vec<_>>())
+                .collect()
+        };
+        assert_eq!(rows(&warm.batches), rows(&cold.batches));
+    }
+
+    #[test]
+    fn distinct_plans_share_the_row_group_cache() {
+        let (_, ocs, schema) = cached_deployment();
+        let client = ocs.client();
+        // Two different plans over the same columns: the second misses the
+        // result cache but scans entirely from the decoded chunk cache.
+        let scan = Plan::new(Rel::read("t", schema.clone(), None));
+        let agg = Plan::new(Rel::Aggregate {
+            input: Box::new(Rel::read("t", schema, None)),
+            group_by: vec![(Expr::field(0), "g".into())],
+            measures: vec![Measure {
+                func: AggFunc::Sum,
+                arg: Some(Expr::field(1)),
+                name: "s".into(),
+            }],
+        });
+        let cold = client.execute(&scan, "lake", "t/0").unwrap();
+        assert!(cold.stats.rg_cache_misses > 0);
+        assert_eq!(cold.stats.rg_cache_hits, 0);
+
+        let warm = client.execute(&agg, "lake", "t/0").unwrap();
+        assert_eq!(warm.stats.result_cache_hits, 0, "different fingerprint");
+        assert!(warm.stats.rg_cache_hits > 0, "chunks reused across plans");
+        assert_eq!(warm.stats.rg_cache_misses, 0, "every chunk was resident");
+        assert_eq!(warm.stats.disk_bytes, 0, "no disk traffic on a warm scan");
+        assert!(warm.stats.cache_bytes_avoided > 0);
+        assert!(
+            warm.stats.storage_cpu_s < cold.stats.storage_cpu_s,
+            "warm aggregation skips decode: {} vs {}",
+            warm.stats.storage_cpu_s,
+            cold.stats.storage_cpu_s
+        );
+    }
+
+    #[test]
+    fn writes_invalidate_both_cache_tiers() {
+        let (store, ocs, schema) = cached_deployment();
+        let client = ocs.client();
+        let plan = Plan::new(Rel::read("t", schema.clone(), None));
+        let before = client.execute(&plan, "lake", "t/0").unwrap();
+        assert_eq!(before.stats.rows_returned, 10_000);
+        // Warm it, then overwrite the object with 5 rows.
+        client.execute(&plan, "lake", "t/0").unwrap();
+        let schema = Arc::new(schema);
+        let batch = RecordBatch::try_new(
+            schema.clone(),
+            vec![
+                Arc::new(Array::from_i64(vec![1, 2, 3, 4, 5])),
+                Arc::new(Array::from_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+            ],
+        )
+        .unwrap();
+        let bytes = parq::writer::write_file(schema.clone(), &[batch], Default::default()).unwrap();
+        store.put_object("lake", "t/0", bytes.into()).unwrap();
+
+        let after = client.execute(&plan, "lake", "t/0").unwrap();
+        assert_eq!(after.stats.rows_returned, 5, "no stale cached result");
+        assert_eq!(after.stats.result_cache_hits, 0);
+        assert_eq!(after.stats.rg_cache_hits, 0, "chunk keys carry the version");
+        assert!(after.stats.disk_bytes > 0);
     }
 
     #[test]

@@ -117,6 +117,10 @@ impl WireStream {
             rows_returned: resp.exec.rows_emitted,
             row_groups_skipped: resp.exec.row_groups_skipped,
             decoded_bytes_avoided: resp.exec.decoded_bytes_avoided,
+            rg_cache_hits: resp.exec.rg_cache_hits,
+            rg_cache_misses: resp.exec.rg_cache_misses,
+            cache_bytes_avoided: resp.exec.cache_bytes_avoided,
+            result_cache_hits: resp.exec.result_cache_hits,
             spans,
         };
         WireStream {

@@ -66,7 +66,10 @@ fn deployment(seed: u64, rows: usize, window: usize) -> Ocs {
     let store = Arc::new(ObjectStore::new());
     store.create_bucket("lake").unwrap();
     store.put_object("lake", "t/0", bytes.into()).unwrap();
-    let mut config = OcsConfig::paper_testbed();
+    // Cache tiers off: this property re-executes the same plan through
+    // two boundaries and compares cost ledgers, which warm caches would
+    // legitimately change (cache_prop.rs covers cached-vs-cold equality).
+    let mut config = OcsConfig::paper_testbed_uncached();
     config.frame_window = window;
     Ocs::new(store, config)
 }

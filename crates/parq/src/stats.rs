@@ -274,6 +274,74 @@ mod tests {
     }
 
     #[test]
+    fn merge_handles_null_bounds_on_either_side() {
+        let vals = ColumnStats::compute(&Array::from_i64(vec![5, -3, 8]));
+        let mut empty_chunk = ArrayBuilder::new(DataType::Int64);
+        empty_chunk.push_null();
+        empty_chunk.push_null();
+        let all_null = ColumnStats::compute(&empty_chunk.finish());
+        assert!(all_null.min.is_null());
+
+        // Null bounds never win a min/max comparison, whichever side they
+        // come from — and null/row counts still add.
+        for m in [vals.merge(&all_null), all_null.merge(&vals)] {
+            assert_eq!(m.min, Scalar::Int64(-3));
+            assert_eq!(m.max, Scalar::Int64(8));
+            assert_eq!(m.null_count, 2);
+            assert_eq!(m.row_count, 5);
+            assert_eq!(m.distinct, 3);
+        }
+
+        // Both sides all-null: bounds stay null, counts still add.
+        let m = all_null.merge(&all_null);
+        assert!(m.min.is_null());
+        assert!(m.max.is_null());
+        assert_eq!(m.null_count, 4);
+        assert_eq!(m.row_count, 4);
+        assert_eq!(m.distinct, 0);
+    }
+
+    #[test]
+    fn merge_ndv_union_correction_is_symmetric_and_capped() {
+        let mk = |distinct: u64| ColumnStats {
+            min: Scalar::Int64(0),
+            max: Scalar::Int64(1),
+            null_count: 0,
+            row_count: distinct,
+            distinct,
+        };
+        // max(hi, lo) + lo/2, regardless of argument order.
+        assert_eq!(mk(100).merge(&mk(40)).distinct, 120);
+        assert_eq!(mk(40).merge(&mk(100)).distinct, 120);
+        // Zero on one side contributes nothing.
+        assert_eq!(mk(0).merge(&mk(7)).distinct, 7);
+        // The estimate saturates at NDV_CAP instead of growing unbounded.
+        let cap = NDV_CAP as u64;
+        assert_eq!(mk(cap).merge(&mk(cap)).distinct, cap);
+        assert_eq!(mk(cap - 1).merge(&mk(4)).distinct, cap);
+    }
+
+    #[test]
+    fn merge_disjoint_and_overlapping_ranges() {
+        let lo = ColumnStats::compute(&Array::from_i64(vec![1, 2, 3]));
+        let hi = ColumnStats::compute(&Array::from_i64(vec![100, 200]));
+        // Disjoint ranges: the merged bounds span both chunks.
+        let m = lo.merge(&hi);
+        assert_eq!(m.min, Scalar::Int64(1));
+        assert_eq!(m.max, Scalar::Int64(200));
+
+        // Overlapping ranges: one chunk strictly contains the other.
+        let outer = ColumnStats::compute(&Array::from_i64(vec![-10, 50]));
+        let inner = ColumnStats::compute(&Array::from_i64(vec![0, 10]));
+        let m = outer.merge(&inner);
+        assert_eq!(m.min, Scalar::Int64(-10));
+        assert_eq!(m.max, Scalar::Int64(50));
+        let m = inner.merge(&outer);
+        assert_eq!(m.min, Scalar::Int64(-10));
+        assert_eq!(m.max, Scalar::Int64(50));
+    }
+
+    #[test]
     fn serialization_roundtrip() {
         for s in [
             ColumnStats::compute(&Array::from_strs(["abc", "xyz", "abc"])),

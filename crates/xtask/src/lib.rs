@@ -28,6 +28,7 @@ use std::path::{Path, PathBuf};
 /// plus the streaming-boundary modules that decode untrusted wire frames
 /// or schedule from untrusted durations.
 const BANNED_PANIC_CRATES: &[&str] = &[
+    "crates/cache/",
     "crates/ocs/",
     "crates/substrait-ir/",
     "crates/core/",

@@ -127,6 +127,31 @@ fn explain_and_explain_analyze_render() {
 }
 
 #[test]
+fn explain_analyze_annotates_cache_tier_and_bytes_avoided() {
+    let st = stack(PushdownPolicy::all(), CodecKind::None, &[]);
+    rebind(&st, "lineitem", "ocs");
+    let sql = format!("EXPLAIN ANALYZE {}", queries::TPCH_Q1);
+    let render = |label: &str| match st.engine.execute_statement(&sql).expect(label) {
+        StatementOutput::Text(text) => text,
+        StatementOutput::Rows(_) => panic!("EXPLAIN ANALYZE must return text"),
+    };
+
+    // Cold: every storage scan reports its miss tier and zero savings.
+    let cold = render("cold explain analyze");
+    assert!(cold.contains("cache_hit=none"), "{cold}");
+    assert!(cold.contains("cache_bytes_avoided=0 B"), "{cold}");
+    assert!(!cold.contains("cache_hit=result"), "{cold}");
+
+    // Warm: the identical pushed subplans replay from the result cache,
+    // and each scan annotates the hit tier plus the bytes it skipped.
+    let warm = render("warm explain analyze");
+    assert!(warm.contains("cache_hit=result"), "{warm}");
+    assert!(!warm.contains("cache_hit=none"), "{warm}");
+    assert!(!warm.contains("cache_bytes_avoided=0 B"), "{warm}");
+    assert!(warm.contains("cache_bytes_avoided="), "{warm}");
+}
+
+#[test]
 fn chrome_export_of_real_query_validates() {
     let st = stack(PushdownPolicy::all(), CodecKind::None, &[]);
     rebind(&st, "lineitem", "ocs");
