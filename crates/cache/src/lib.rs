@@ -1,5 +1,5 @@
-//! `cache` — dependency-free byte-budgeted LRU primitives for the
-//! near-storage caching tier.
+//! `cache` — byte-budgeted LRU primitives for the near-storage caching
+//! tier (no dependencies beyond the workspace's `sync` lock auditor).
 //!
 //! OCS nodes pay disk + decompress + decode + kernel work on every scan,
 //! even when the same objects and the same pushed subplans run repeatedly
@@ -11,7 +11,8 @@
 //!   charging each entry a caller-declared byte weight. Eviction order is
 //!   deterministic (a monotonic recency tick, ties impossible), so cache
 //!   behaviour is reproducible under the simulated clock.
-//! * [`SharedByteLru`] — the `Arc<Mutex<_>>` wrapper storage nodes hold.
+//! * [`SharedByteLru`] — the `Arc<DebugMutex<_>>` wrapper storage nodes
+//!   hold (audited for lock-order inversions in debug builds).
 //! * [`fnv1a64`] — the stable FNV-1a fingerprint used for plan keys and
 //!   affinity routing (same constants as the frontend's shard router).
 //!
@@ -24,7 +25,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use sync::DebugMutex;
 
 /// FNV-1a 64-bit offset basis.
 pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -235,12 +236,16 @@ impl<K: Eq + Hash + Clone, V: Clone> ByteLru<K, V> {
 }
 
 /// Thread-safe handle to a [`ByteLru`], cloned freely across storage-node
-/// workers. All methods take `&self`; the mutex is uncontended in the
-/// simulator (requests are serialized per node) and cheap under
-/// `parking_lot` in the parallel executor paths.
+/// workers. All methods take `&self` and hold the internal mutex for one
+/// call at most (never across user callbacks other than [`retain`]'s
+/// predicate, which must therefore stay lock-free). The mutex is a
+/// [`sync::DebugMutex`], so debug builds audit every acquisition for
+/// lock-order inversions.
+///
+/// [`retain`]: SharedByteLru::retain
 #[derive(Debug)]
 pub struct SharedByteLru<K, V> {
-    inner: Arc<Mutex<ByteLru<K, V>>>,
+    inner: Arc<DebugMutex<ByteLru<K, V>>>,
 }
 
 impl<K, V> Clone for SharedByteLru<K, V> {
@@ -252,10 +257,19 @@ impl<K, V> Clone for SharedByteLru<K, V> {
 }
 
 impl<K: Eq + Hash + Clone, V: Clone> SharedByteLru<K, V> {
-    /// New shared cache with `budget` bytes (zero disables it).
+    /// New shared cache with `budget` bytes (zero disables it), using the
+    /// generic `cache.bytelru` lock class. Prefer [`SharedByteLru::named`]
+    /// when a node holds several tiers, so the audit graph tells them
+    /// apart.
     pub fn new(budget: u64) -> Self {
+        Self::named(budget, "cache.bytelru")
+    }
+
+    /// New shared cache whose audit lock class is `class` (see
+    /// `LOCK_ORDER.md`).
+    pub fn named(budget: u64, class: &str) -> Self {
         SharedByteLru {
-            inner: Arc::new(Mutex::new(ByteLru::new(budget))),
+            inner: Arc::new(DebugMutex::named(class, ByteLru::new(budget))),
         }
     }
 

@@ -6,7 +6,7 @@
 use std::collections::VecDeque;
 
 use dsq::session::{EventListener, QueryEvent};
-use parking_lot::Mutex;
+use sync::DebugMutex;
 
 /// One remembered execution. Streaming metrics (time to first batch, peak
 /// buffer, frames) and the phase breakdown are derived from the query's
@@ -219,14 +219,14 @@ impl PushdownHistory {
 /// The `EventListener` feeding the history.
 #[derive(Debug)]
 pub struct PushdownMonitor {
-    history: Mutex<PushdownHistory>,
+    history: DebugMutex<PushdownHistory>,
 }
 
 impl PushdownMonitor {
     /// Monitor keeping the last `window` executions.
     pub fn new(window: usize) -> Self {
         PushdownMonitor {
-            history: Mutex::new(PushdownHistory::new(window)),
+            history: DebugMutex::named("core.monitor.history", PushdownHistory::new(window)),
         }
     }
 

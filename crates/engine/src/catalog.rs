@@ -4,9 +4,9 @@
 //! min/max/NDV/row-count statistics the Presto-OCS connector's Selectivity
 //! Analyzer consumes.
 
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use sync::DebugRwLock;
 
 use columnar::SchemaRef;
 use parq::ColumnStats;
@@ -69,9 +69,17 @@ impl TableMeta {
 }
 
 /// Thread-safe table registry.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Metastore {
-    tables: RwLock<BTreeMap<String, Arc<TableMeta>>>,
+    tables: DebugRwLock<BTreeMap<String, Arc<TableMeta>>>,
+}
+
+impl Default for Metastore {
+    fn default() -> Self {
+        Metastore {
+            tables: DebugRwLock::named("engine.catalog.tables", BTreeMap::new()),
+        }
+    }
 }
 
 impl Metastore {

@@ -5,8 +5,8 @@ use std::sync::Arc;
 
 use columnar::prelude::*;
 use netsim::{ClusterSpec, Ledger};
-use parking_lot::RwLock;
 use sqlparse::{Query, StatementKind};
+use sync::DebugRwLock;
 
 use crate::analyzer::{analyze, AnalyzedQuery};
 use crate::catalog::Metastore;
@@ -143,8 +143,8 @@ impl EngineBuilder {
     pub fn build(self) -> Engine {
         Engine {
             metastore: Arc::new(Metastore::new()),
-            connectors: RwLock::new(HashMap::new()),
-            listeners: RwLock::new(Vec::new()),
+            connectors: DebugRwLock::named("engine.session.connectors", HashMap::new()),
+            listeners: DebugRwLock::named("engine.session.listeners", Vec::new()),
             cluster: self.cluster,
             cost: self.cost,
             tracing: self.tracing,
@@ -155,8 +155,8 @@ impl EngineBuilder {
 /// The query engine (coordinator + in-process workers).
 pub struct Engine {
     metastore: Arc<Metastore>,
-    connectors: RwLock<HashMap<String, Arc<dyn Connector>>>,
-    listeners: RwLock<Vec<Arc<dyn EventListener>>>,
+    connectors: DebugRwLock<HashMap<String, Arc<dyn Connector>>>,
+    listeners: DebugRwLock<Vec<Arc<dyn EventListener>>>,
     cluster: ClusterSpec,
     cost: CostParams,
     tracing: bool,

@@ -2,9 +2,9 @@
 //! by execution phase. One ledger per query run; the bench harness reads it
 //! to print Figure-5/6 bars and the Table-3 breakdown.
 
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
+use sync::DebugMutex;
 
 /// Execution phases mirroring the paper's Table 3 breakdown (plus the
 /// storage-internal phases our simulation makes visible).
@@ -67,9 +67,17 @@ impl fmt::Display for Phase {
 }
 
 /// Thread-safe bucketed accumulator of simulated seconds.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Ledger {
-    buckets: Mutex<BTreeMap<Phase, f64>>,
+    buckets: DebugMutex<BTreeMap<Phase, f64>>,
+}
+
+impl Default for Ledger {
+    fn default() -> Ledger {
+        Ledger {
+            buckets: DebugMutex::named("netsim.ledger.buckets", BTreeMap::new()),
+        }
+    }
 }
 
 impl Ledger {

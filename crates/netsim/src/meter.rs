@@ -18,22 +18,27 @@ impl ByteMeter {
 
     /// Record one transfer of `bytes`.
     pub fn record(&self, bytes: u64) {
+        // RELAXED: independent statistics cells — a momentarily torn
+        // bytes/requests view is fine, nothing else is published.
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
         self.requests.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total bytes recorded.
     pub fn bytes(&self) -> u64 {
+        // RELAXED: statistics read; reports don't order against writers.
         self.bytes.load(Ordering::Relaxed)
     }
 
     /// Total transfers recorded.
     pub fn requests(&self) -> u64 {
+        // RELAXED: statistics read; reports don't order against writers.
         self.requests.load(Ordering::Relaxed)
     }
 
     /// Zero the meter.
     pub fn reset(&self) {
+        // RELAXED: see `record` — independent statistics cells.
         self.bytes.store(0, Ordering::Relaxed);
         self.requests.store(0, Ordering::Relaxed);
     }

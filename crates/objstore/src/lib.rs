@@ -33,9 +33,9 @@ pub mod select;
 pub use select::{select, SelectPredicate, SelectRequest, SelectResponse, SelectStats};
 
 use bytes::Bytes;
-use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
+use sync::DebugRwLock;
 
 /// Errors from object-store operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -109,11 +109,20 @@ struct Bucket {
 /// The in-memory object store. Share it across threads behind an `Arc`;
 /// the internal `RwLock` keeps concurrent readers wait-free against each
 /// other (reads vastly dominate in analytics workloads).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ObjectStore {
-    buckets: RwLock<BTreeMap<String, Bucket>>,
+    buckets: DebugRwLock<BTreeMap<String, Bucket>>,
     /// Source of write versions; see [`ObjectMeta::version`].
     next_version: std::sync::atomic::AtomicU64,
+}
+
+impl Default for ObjectStore {
+    fn default() -> ObjectStore {
+        ObjectStore {
+            buckets: DebugRwLock::named("objstore.buckets", BTreeMap::new()),
+            next_version: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
 }
 
 impl ObjectStore {
@@ -143,6 +152,9 @@ impl ObjectStore {
         let bucket = b
             .get_mut(bucket)
             .ok_or_else(|| StoreError::NoSuchBucket(bucket.to_string()))?;
+        // RELAXED: a pure version allocator — versions only need
+        // uniqueness/monotonicity of the counter itself; publication of
+        // the object happens under the bucket write lock above.
         let version = 1 + self
             .next_version
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);

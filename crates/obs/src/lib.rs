@@ -44,10 +44,13 @@ static KERNEL_TIMING: AtomicBool = AtomicBool::new(false);
 
 /// Enable or disable kernel wall-clock timing hooks ([`KernelTimer`]).
 pub fn set_kernel_timing(on: bool) {
+    // RELAXED: an isolated on/off flag — a timer arming one toggle late
+    // is harmless and nothing else is published through it.
     KERNEL_TIMING.store(on && !cfg!(feature = "tracing-off"), Ordering::Relaxed);
 }
 
 /// True when kernel timing hooks should arm.
 pub fn kernel_timing_enabled() -> bool {
+    // RELAXED: see `set_kernel_timing` — isolated flag read.
     !cfg!(feature = "tracing-off") && KERNEL_TIMING.load(Ordering::Relaxed)
 }

@@ -7,7 +7,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::sync::{Arc, OnceLock};
+
+use sync::DebugMutex;
 
 /// Histogram bucket bounds for second-scale latencies (upper-inclusive
 /// edges; an implicit +inf bucket catches the rest).
@@ -29,13 +31,6 @@ pub const BYTES_BUCKETS: &[f64] = &[
     1024.0 * 1024.0 * 1024.0,
 ];
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
-    }
-}
-
 /// A monotonically increasing counter.
 #[derive(Debug, Clone)]
 pub struct Counter(Arc<AtomicU64>);
@@ -43,6 +38,8 @@ pub struct Counter(Arc<AtomicU64>);
 impl Counter {
     /// Add `n`.
     pub fn add(&self, n: u64) {
+        // RELAXED: an isolated statistics cell — no other memory is
+        // published by an increment, readers tolerate any interleaving.
         self.0.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -53,6 +50,7 @@ impl Counter {
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // RELAXED: statistics read; snapshots don't order against writers.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -64,21 +62,26 @@ pub struct Gauge(Arc<AtomicI64>);
 impl Gauge {
     /// Set to an absolute value.
     pub fn set(&self, v: i64) {
+        // RELAXED: an isolated statistics cell — the level itself is the
+        // only state, nothing else is published through it.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Add a (possibly negative) delta.
     pub fn add(&self, delta: i64) {
+        // RELAXED: see `set` — isolated statistics cell.
         self.0.fetch_add(delta, Ordering::Relaxed);
     }
 
     /// Record a new value and keep the maximum (high-water marks).
     pub fn record_max(&self, v: i64) {
+        // RELAXED: see `set` — isolated statistics cell.
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> i64 {
+        // RELAXED: statistics read; snapshots don't order against writers.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -106,11 +109,18 @@ impl Histogram {
             .iter()
             .position(|b| v <= *b)
             .unwrap_or(self.0.bounds.len());
+        // RELAXED: independent statistical counters — readers tolerate a
+        // momentarily torn bucket/count/sum view, nothing else is
+        // published through them.
         self.0.buckets[i].fetch_add(1, Ordering::Relaxed);
+        // RELAXED: same isolated-statistics argument as the bucket above.
         self.0.count.fetch_add(1, Ordering::Relaxed);
+        // RELAXED: seed read for the CAS loop below, re-read on failure.
         let mut cur = self.0.sum_bits.load(Ordering::Relaxed);
         loop {
             let next = (f64::from_bits(cur) + v).to_bits();
+            // RELAXED: CAS retry loop over a single cell — the exchanged
+            // bits carry all the state, no cross-cell ordering needed.
             match self.0.sum_bits.compare_exchange_weak(
                 cur,
                 next,
@@ -125,11 +135,13 @@ impl Histogram {
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
+        // RELAXED: statistics read; snapshots don't order against writers.
         self.0.count.load(Ordering::Relaxed)
     }
 
     /// Sum of observations.
     pub fn sum(&self) -> f64 {
+        // RELAXED: statistics read; snapshots don't order against writers.
         f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
     }
 
@@ -138,6 +150,7 @@ impl Histogram {
         self.0
             .buckets
             .iter()
+            // RELAXED: statistics read; a torn multi-bucket view is fine.
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
@@ -150,9 +163,16 @@ enum Instrument {
 }
 
 /// A registry of named instruments.
-#[derive(Default)]
 pub struct Registry {
-    by_name: Mutex<BTreeMap<String, Instrument>>,
+    by_name: DebugMutex<BTreeMap<String, Instrument>>,
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry {
+            by_name: DebugMutex::named("obs.metrics.by_name", BTreeMap::new()),
+        }
+    }
 }
 
 impl Registry {
@@ -164,7 +184,7 @@ impl Registry {
 
     /// Get or register the counter `name`.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut map = lock(&self.by_name);
+        let mut map = self.by_name.lock();
         match map
             .entry(name.to_string())
             .or_insert_with(|| Instrument::Counter(Counter(Arc::new(AtomicU64::new(0)))))
@@ -178,7 +198,7 @@ impl Registry {
 
     /// Get or register the gauge `name`.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut map = lock(&self.by_name);
+        let mut map = self.by_name.lock();
         match map
             .entry(name.to_string())
             .or_insert_with(|| Instrument::Gauge(Gauge(Arc::new(AtomicI64::new(0)))))
@@ -191,7 +211,7 @@ impl Registry {
     /// Get or register the histogram `name` with the given bucket bounds
     /// (ignored if the histogram already exists).
     pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
-        let mut map = lock(&self.by_name);
+        let mut map = self.by_name.lock();
         match map.entry(name.to_string()).or_insert_with(|| {
             let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
             Instrument::Histogram(Histogram(Arc::new(HistogramInner {
@@ -213,7 +233,7 @@ impl Registry {
 
     /// Freeze every instrument into a diffable snapshot.
     pub fn snapshot(&self) -> Snapshot {
-        let map = lock(&self.by_name);
+        let map = self.by_name.lock();
         let values = map
             .iter()
             .map(|(name, inst)| {

@@ -16,7 +16,9 @@
 //! `local_s` attribute.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
+
+use sync::DebugMutex;
 
 /// Identifier of one span within a [`Tracer`]. Ids are dense, start at 1,
 /// and id 0 is the wire encoding of "no parent".
@@ -123,16 +125,18 @@ impl Span {
     }
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct TracerInner {
-    spans: Mutex<Vec<Span>>,
+    spans: DebugMutex<Vec<Span>>,
     next: AtomicU64,
 }
 
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    match m.lock() {
-        Ok(g) => g,
-        Err(poisoned) => poisoned.into_inner(),
+impl Default for TracerInner {
+    fn default() -> TracerInner {
+        TracerInner {
+            spans: DebugMutex::named("obs.span.spans", Vec::new()),
+            next: AtomicU64::new(0),
+        }
     }
 }
 
@@ -169,7 +173,7 @@ impl Tracer {
             None => SpanId(0),
             Some(inner) => {
                 let id = span.id;
-                lock(&inner.spans).push(span);
+                inner.spans.lock().push(span);
                 id
             }
         }
@@ -178,6 +182,8 @@ impl Tracer {
     fn mint(&self) -> SpanId {
         match &self.inner {
             None => SpanId(0),
+            // RELAXED: a pure id allocator — ids only need uniqueness, no
+            // ordering with any other memory access.
             Some(inner) => SpanId(inner.next.fetch_add(1, Ordering::Relaxed) + 1),
         }
     }
@@ -244,7 +250,7 @@ impl Tracer {
     /// Attach an attribute to an already-recorded span.
     pub fn attr(&self, id: SpanId, key: &str, value: impl Into<AttrValue>) {
         let Some(inner) = &self.inner else { return };
-        let mut spans = lock(&inner.spans);
+        let mut spans = inner.spans.lock();
         if let Some(s) = spans.iter_mut().find(|s| s.id == id) {
             s.attrs.push((key.to_string(), value.into()));
         }
@@ -253,7 +259,7 @@ impl Tracer {
     /// Attach measured wall-clock seconds to an already-recorded span.
     pub fn set_wall(&self, id: SpanId, wall_s: f64) {
         let Some(inner) = &self.inner else { return };
-        let mut spans = lock(&inner.spans);
+        let mut spans = inner.spans.lock();
         if let Some(s) = spans.iter_mut().find(|s| s.id == id) {
             s.wall_s = Some(wall_s);
         }
@@ -290,7 +296,7 @@ impl Tracer {
         let lookup = |local: u64| -> Option<SpanId> {
             map.iter().find(|(l, _)| *l == local).map(|(_, id)| *id)
         };
-        let mut spans = lock(&inner.spans);
+        let mut spans = inner.spans.lock();
         for (r, (_, id)) in recs.iter().zip(&map) {
             let new_parent = if r.parent == 0 {
                 Some(parent)
@@ -323,7 +329,7 @@ impl Tracer {
     pub fn finish(&self) -> Trace {
         let mut spans = match &self.inner {
             None => Vec::new(),
-            Some(inner) => lock(&inner.spans).clone(),
+            Some(inner) => inner.spans.lock().clone(),
         };
         spans.sort_by(|a, b| {
             a.start_s

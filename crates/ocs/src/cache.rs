@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use cache::{CacheStats, SharedByteLru};
 use columnar::{Array, RecordBatch};
-use parking_lot::Mutex;
+use sync::DebugMutex;
 
 /// Key of one decoded column chunk.
 pub type ChunkKey = (String, String, u64, usize, usize);
@@ -65,16 +65,16 @@ pub struct NodeCaches {
     /// Pushdown-result cache.
     pub result: SharedByteLru<ResultKey, Arc<CachedResult>>,
     /// Last write version seen per object, to purge superseded entries.
-    seen: Arc<Mutex<HashMap<(String, String), u64>>>,
+    seen: Arc<DebugMutex<HashMap<(String, String), u64>>>,
 }
 
 impl NodeCaches {
     /// Caches with the given byte budgets (zero disables a tier).
     pub fn new(row_group_bytes: u64, result_bytes: u64) -> NodeCaches {
         NodeCaches {
-            row_group: SharedByteLru::new(row_group_bytes),
-            result: SharedByteLru::new(result_bytes),
-            seen: Arc::new(Mutex::new(HashMap::new())),
+            row_group: SharedByteLru::named(row_group_bytes, "ocs.cache.row_group"),
+            result: SharedByteLru::named(result_bytes, "ocs.cache.result"),
+            seen: Arc::new(DebugMutex::named("ocs.cache.seen", HashMap::new())),
         }
     }
 

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use netsim::{CostParams, ExecStats, NodeSpec};
-use parking_lot::Mutex;
+use sync::DebugMutex;
 
 use crate::node::StorageNode;
 use crate::stream::WireStream;
@@ -39,17 +39,20 @@ pub struct OcsFrontend {
     nodes: Vec<Arc<StorageNode>>,
     spec: NodeSpec,
     cost: CostParams,
-    router: Mutex<RouterState>,
+    router: DebugMutex<RouterState>,
 }
 
 impl OcsFrontend {
     /// Build a frontend over `nodes`.
     pub fn new(nodes: Vec<Arc<StorageNode>>, spec: NodeSpec, cost: CostParams) -> Self {
         assert!(!nodes.is_empty(), "OCS needs at least one storage node");
-        let router = Mutex::new(RouterState {
-            owner: HashMap::new(),
-            load: vec![0; nodes.len()],
-        });
+        let router = DebugMutex::named(
+            "ocs.frontend.router",
+            RouterState {
+                owner: HashMap::new(),
+                load: vec![0; nodes.len()],
+            },
+        );
         OcsFrontend {
             nodes,
             spec,

@@ -1,0 +1,498 @@
+//! Deadlock-auditing lock wrappers — the dynamic half of the repo's
+//! concurrency auditor (the static half lives in `crates/xtask`).
+//!
+//! [`DebugMutex`] and [`DebugRwLock`] are drop-in replacements for the
+//! plain `Mutex` / `RwLock` the workspace used to hold its shared state
+//! (cache-affinity router, near-storage caches, connector registry,
+//! pushdown monitor, metrics registry, cost ledger, object store). In
+//! release builds without the `lock-audit` feature they compile down to
+//! `std::sync` primitives with poison recovery and nothing else.
+//!
+//! Under `cfg(debug_assertions)` **or** the `lock-audit` feature, every
+//! acquisition is audited *before it can block*:
+//!
+//! * a **per-thread lockset** records which locks the current thread
+//!   holds, so a reentrant acquire (guaranteed deadlock on `std` locks)
+//!   panics immediately with the thread's lock path instead of hanging;
+//! * a **global acquisition-order graph** accumulates one edge
+//!   `held → acquired` per observed class pair; before a new edge is
+//!   inserted, a cycle check runs, and a potential deadlock (this thread
+//!   acquires B while holding A, some earlier acquisition took A while
+//!   holding B) panics with **both** acquisition paths — the current
+//!   thread's lockset and the remembered path that created the reverse
+//!   edge.
+//!
+//! Lock *classes* are the names given via [`DebugMutex::named`] /
+//! [`DebugRwLock::named`] and are expected to match the `dynamic class`
+//! column of `LOCK_ORDER.md` at the repo root; anonymous locks get a
+//! unique per-instance class. Because the audit runs in every debug
+//! build, the entire existing test suite doubles as a deadlock/race
+//! regression harness: any new nesting that inverts an established order
+//! fails the first test that exercises both orders, not the first
+//! production hang.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::{self, MutexGuard as StdMutexGuard};
+use std::sync::{RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard};
+
+#[cfg(any(debug_assertions, feature = "lock-audit"))]
+pub mod audit;
+
+#[cfg(any(debug_assertions, feature = "lock-audit"))]
+use audit::{AcquireMode, HeldToken, LockMeta};
+
+/// True when acquisitions are being audited in this build.
+pub const fn audit_enabled() -> bool {
+    cfg!(any(debug_assertions, feature = "lock-audit"))
+}
+
+/// A mutex audited for lock-order inversions and reentrant acquires.
+///
+/// `lock()` never returns a poison error (a poisoned lock is recovered
+/// transparently, matching the `parking_lot` API the workspace migrated
+/// from).
+#[derive(Default)]
+pub struct DebugMutex<T: ?Sized> {
+    #[cfg(any(debug_assertions, feature = "lock-audit"))]
+    meta: LockMeta,
+    inner: sync::Mutex<T>,
+}
+
+impl<T> DebugMutex<T> {
+    /// An anonymous audited mutex (its lock class is unique to this
+    /// instance). Prefer [`DebugMutex::named`] for long-lived state so
+    /// the order graph aggregates by role.
+    pub fn new(value: T) -> DebugMutex<T> {
+        DebugMutex {
+            #[cfg(any(debug_assertions, feature = "lock-audit"))]
+            meta: LockMeta::anonymous(),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// An audited mutex whose lock class is `name` (one class per *role*,
+    /// shared by every instance constructed with the same name; declared
+    /// in `LOCK_ORDER.md`).
+    pub fn named(name: &str, value: T) -> DebugMutex<T> {
+        #[cfg(not(any(debug_assertions, feature = "lock-audit")))]
+        let _ = name;
+        DebugMutex {
+            #[cfg(any(debug_assertions, feature = "lock-audit"))]
+            meta: LockMeta::named(name),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> DebugMutex<T> {
+    /// Acquire the lock (audited first, so a would-be deadlock panics
+    /// with both lock paths instead of blocking forever).
+    pub fn lock(&self) -> DebugMutexGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-audit"))]
+        let token = audit::acquire(&self.meta, AcquireMode::Exclusive);
+        let inner = match self.inner.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        DebugMutexGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lock-audit"))]
+            _token: token,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for DebugMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("DebugMutex");
+        match self.inner.try_lock() {
+            Ok(guard) => d.field("data", &&*guard),
+            Err(_) => d.field("data", &"<locked>"),
+        };
+        d.finish()
+    }
+}
+
+/// Guard returned by [`DebugMutex::lock`].
+pub struct DebugMutexGuard<'a, T: ?Sized> {
+    inner: StdMutexGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lock-audit"))]
+    _token: HeldToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for DebugMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for DebugMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for DebugMutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// A reader-writer lock audited for lock-order inversions and reentrant
+/// acquires (a same-thread `read` inside `read` is flagged too: with a
+/// queued writer in between it deadlocks on `std::sync::RwLock`).
+#[derive(Default)]
+pub struct DebugRwLock<T: ?Sized> {
+    #[cfg(any(debug_assertions, feature = "lock-audit"))]
+    meta: LockMeta,
+    inner: sync::RwLock<T>,
+}
+
+impl<T> DebugRwLock<T> {
+    /// An anonymous audited rwlock (see [`DebugMutex::new`]).
+    pub fn new(value: T) -> DebugRwLock<T> {
+        DebugRwLock {
+            #[cfg(any(debug_assertions, feature = "lock-audit"))]
+            meta: LockMeta::anonymous(),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// An audited rwlock whose lock class is `name` (declared in
+    /// `LOCK_ORDER.md`).
+    pub fn named(name: &str, value: T) -> DebugRwLock<T> {
+        #[cfg(not(any(debug_assertions, feature = "lock-audit")))]
+        let _ = name;
+        DebugRwLock {
+            #[cfg(any(debug_assertions, feature = "lock-audit"))]
+            meta: LockMeta::named(name),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> DebugRwLock<T> {
+    /// Acquire a shared read guard (audited first).
+    pub fn read(&self) -> DebugReadGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-audit"))]
+        let token = audit::acquire(&self.meta, AcquireMode::Shared);
+        let inner = match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        DebugReadGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lock-audit"))]
+            _token: token,
+        }
+    }
+
+    /// Acquire an exclusive write guard (audited first).
+    pub fn write(&self) -> DebugWriteGuard<'_, T> {
+        #[cfg(any(debug_assertions, feature = "lock-audit"))]
+        let token = audit::acquire(&self.meta, AcquireMode::Exclusive);
+        let inner = match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        DebugWriteGuard {
+            inner,
+            #[cfg(any(debug_assertions, feature = "lock-audit"))]
+            _token: token,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for DebugRwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("DebugRwLock");
+        match self.inner.try_read() {
+            Ok(guard) => d.field("data", &&*guard),
+            Err(_) => d.field("data", &"<locked>"),
+        };
+        d.finish()
+    }
+}
+
+/// Shared guard returned by [`DebugRwLock::read`].
+pub struct DebugReadGuard<'a, T: ?Sized> {
+    inner: StdReadGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lock-audit"))]
+    _token: HeldToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for DebugReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for DebugReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Exclusive guard returned by [`DebugRwLock::write`].
+pub struct DebugWriteGuard<'a, T: ?Sized> {
+    inner: StdWriteGuard<'a, T>,
+    #[cfg(any(debug_assertions, feature = "lock-audit"))]
+    _token: HeldToken,
+}
+
+impl<T: ?Sized> std::ops::Deref for DebugWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for DebugWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for DebugWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_basic_lock_unlock() {
+        let m = DebugMutex::named("test.basic", 41);
+        {
+            let mut g = m.lock();
+            *g += 1;
+        }
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_readers_then_writer() {
+        let l = DebugRwLock::named("test.rw", vec![1, 2, 3]);
+        {
+            let r = l.read();
+            assert_eq!(r.len(), 3);
+        }
+        l.write().push(4);
+        assert_eq!(l.read().len(), 4);
+    }
+
+    #[test]
+    fn get_mut_and_default() {
+        let mut m = DebugMutex::new(1u64);
+        *m.get_mut() += 1;
+        assert_eq!(*m.lock(), 2);
+        let d: DebugRwLock<u32> = DebugRwLock::default();
+        assert_eq!(*d.read(), 0);
+    }
+
+    #[test]
+    fn concurrent_counting() {
+        let m = Arc::new(DebugMutex::named("test.concurrent", 0u64));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let m = m.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn consistent_nesting_is_fine() {
+        // A -> B in many threads concurrently: a legal hierarchy, never
+        // flagged.
+        let a = Arc::new(DebugMutex::named("test.nest.outer", ()));
+        let b = Arc::new(DebugMutex::named("test.nest.inner", 0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let (a, b) = (a.clone(), b.clone());
+                s.spawn(move || {
+                    for _ in 0..100 {
+                        let _ga = a.lock();
+                        *b.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*b.lock(), 400);
+    }
+
+    #[cfg(any(debug_assertions, feature = "lock-audit"))]
+    mod audited {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "reentrant acquire")]
+        fn reentrant_mutex_panics_instead_of_deadlocking() {
+            let m = DebugMutex::named("test.reentrant", ());
+            let _g = m.lock();
+            let _g2 = m.lock();
+        }
+
+        #[test]
+        #[should_panic(expected = "reentrant acquire")]
+        fn reentrant_read_panics() {
+            let l = DebugRwLock::named("test.reentrant.rw", ());
+            let _r1 = l.read();
+            // With a writer queued between the two reads this deadlocks on
+            // std::sync::RwLock, so the auditor treats it as an error.
+            let _r2 = l.read();
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order inversion")]
+        fn deliberate_inversion_is_caught() {
+            // The acceptance-criteria test: establish A -> B, then acquire
+            // B -> A. Single-threaded, yet the order graph proves two
+            // threads interleaving these paths can deadlock.
+            let a = DebugMutex::named("test.inv.a", ());
+            let b = DebugMutex::named("test.inv.b", ());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            let _gb = b.lock();
+            let _ga = a.lock(); // inversion: panics with both lock paths
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order inversion")]
+        fn cross_thread_inversion_is_caught_without_interleaving() {
+            // Thread 1 takes X then Y and finishes completely before
+            // thread 2 takes Y then X: no timing ever deadlocks this run,
+            // but the graph remembers the first order and flags the
+            // second — the whole point of lockset analysis.
+            let x = Arc::new(DebugMutex::named("test.cross.x", ()));
+            let y = Arc::new(DebugMutex::named("test.cross.y", ()));
+            let (x1, y1) = (x.clone(), y.clone());
+            std::thread::spawn(move || {
+                let _gx = x1.lock();
+                let _gy = y1.lock();
+            })
+            .join()
+            .ok();
+            let _gy = y.lock();
+            let _gx = x.lock();
+        }
+
+        #[test]
+        #[should_panic(expected = "lock-order inversion")]
+        fn three_lock_cycle_is_caught() {
+            let a = DebugMutex::named("test.tri.a", ());
+            let b = DebugMutex::named("test.tri.b", ());
+            let c = DebugMutex::named("test.tri.c", ());
+            {
+                let _ga = a.lock();
+                let _gb = b.lock();
+            }
+            {
+                let _gb = b.lock();
+                let _gc = c.lock();
+            }
+            let _gc = c.lock();
+            let _ga = a.lock(); // closes the a -> b -> c -> a cycle
+        }
+
+        #[test]
+        #[should_panic(expected = "while holding a lock of the same class")]
+        fn same_class_instances_nested_panics() {
+            // Two instances sharing one class nested: safe in this exact
+            // order, but another thread nesting them the other way around
+            // deadlocks, so class-level analysis rejects it.
+            let a = DebugMutex::named("test.sameclass", 1);
+            let b = DebugMutex::named("test.sameclass", 2);
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+
+        #[test]
+        fn anonymous_instances_do_not_share_a_class() {
+            // Anonymous locks get per-instance classes, so nesting two of
+            // them (in a stable order) is not a same-class violation.
+            let a = DebugMutex::new(());
+            let b = DebugMutex::new(());
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+
+        #[test]
+        fn lockset_reports_current_thread_path() {
+            let a = DebugMutex::named("test.path.outer", ());
+            let b = DebugMutex::named("test.path.inner", ());
+            assert_eq!(audit::held_lock_names(), Vec::<String>::new());
+            let _ga = a.lock();
+            let _gb = b.lock();
+            assert_eq!(
+                audit::held_lock_names(),
+                vec!["test.path.outer".to_string(), "test.path.inner".into()]
+            );
+            drop(_gb);
+            assert_eq!(
+                audit::held_lock_names(),
+                vec!["test.path.outer".to_string()]
+            );
+        }
+
+        #[test]
+        fn out_of_order_guard_drops_release_correctly() {
+            let a = DebugMutex::named("test.ooo.a", ());
+            let b = DebugMutex::named("test.ooo.b", ());
+            let ga = a.lock();
+            let gb = b.lock();
+            drop(ga); // release the *outer* guard first
+            assert_eq!(audit::held_lock_names(), vec!["test.ooo.b".to_string()]);
+            drop(gb);
+            assert!(audit::held_lock_names().is_empty());
+        }
+    }
+}

@@ -1,0 +1,974 @@
+//! Concurrency auditor: static lock-order and atomics analysis.
+//!
+//! Four passes over the same code view the other lints use, all
+//! token-level (no Rust parser), all scoped to non-test code under
+//! `crates/` — except `crates/sync/` itself, whose `inner` fields *are*
+//! the wrapped locks the auditor models and whose tests deliberately
+//! construct inversions:
+//!
+//! * **Inventory** — every `Mutex`/`RwLock`/`DebugMutex`/`DebugRwLock`
+//!   field or static becomes a lock id `<crate>.<field>` (the crate is
+//!   the directory under `crates/`). Every id must appear in the
+//!   `LOCK_ORDER.md` hierarchy (**C100**), and every hierarchy row must
+//!   still match a declaration, with the right kind (**C101**).
+//! * **Nesting** — within a function body, acquiring a lock while a
+//!   guard of a *higher-ranked* lock is live is an out-of-order
+//!   acquisition (**C200**); acquiring while a guard of the *same* lock
+//!   is live is a self-deadlock (**C201**). Guard liveness is tracked
+//!   per line: `let`-bound guards die at end of scope or at an explicit
+//!   `drop(name)`, temporaries at the end of their statement. The scan
+//!   is intra-procedural; cross-function cycles are the dynamic
+//!   auditor's job (`sync` crate, `lock-audit` feature).
+//! * **Atomics** — `Ordering::Relaxed` needs a `// RELAXED:`
+//!   justification within the three lines above the statement it
+//!   appears in (**C300**), mirroring the `unsafe`/`SAFETY:` rule.
+//! * **Yield points** — a live lock guard at a `par_iter`/`rayon::scope`
+//!   fan-out or a `next_frame`/`next_batch` stream pull is flagged
+//!   (**C400**): the guard would be held across arbitrary other work,
+//!   re-entering the executor with a lock held.
+//!
+//! Violations from C2xx–C4xx can be suppressed with rule-prefixed
+//! allowlist entries (`C300 path: needle` in `lint-allow.txt`); C100 and
+//! C101 cannot — fix the inventory or the hierarchy instead.
+
+use std::collections::BTreeMap;
+
+use crate::{code_view, line_of, test_line_mask, AllowEntry, Violation};
+
+/// Lines above a statement in which a `// RELAXED:` comment may sit
+/// (mirrors the `SAFETY:` window).
+const RELAXED_WINDOW: usize = 3;
+
+/// Lock flavor, as declared and as listed in `LOCK_ORDER.md`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    /// `Mutex` / `DebugMutex` — acquired with `.lock()`.
+    Mutex,
+    /// `RwLock` / `DebugRwLock` — acquired with `.read()` / `.write()`.
+    RwLock,
+}
+
+impl LockKind {
+    /// The `kind` column value in `LOCK_ORDER.md`.
+    pub fn label(self) -> &'static str {
+        match self {
+            LockKind::Mutex => "mutex",
+            LockKind::RwLock => "rwlock",
+        }
+    }
+}
+
+/// One lock-typed field (or static) found in the source.
+#[derive(Debug, Clone)]
+pub struct LockField {
+    /// Stable id: `<crate dir>.<field name>`.
+    pub id: String,
+    /// Field (or static) name.
+    pub field: String,
+    /// Mutex or RwLock.
+    pub kind: LockKind,
+    /// Declared via the auditing `DebugMutex`/`DebugRwLock` wrappers.
+    pub debug_wrapper: bool,
+    /// Repo-relative file of the declaration.
+    pub file: String,
+    /// 1-based declaration line.
+    pub line: usize,
+}
+
+/// One parsed `LOCK_ORDER.md` row.
+#[derive(Debug, Clone)]
+pub struct OrderEntry {
+    /// Acquisition rank: a thread may only acquire locks of *strictly
+    /// increasing* rank while holding others.
+    pub rank: u32,
+    /// Lock id, matching [`LockField::id`].
+    pub id: String,
+    /// Dynamic lock class (the `sync::DebugMutex::named` name).
+    pub class: String,
+    /// Declared kind.
+    pub kind: LockKind,
+    /// The declaring file, informational.
+    pub declared_in: String,
+    /// 1-based line in `LOCK_ORDER.md`.
+    pub line: usize,
+}
+
+/// Parse `LOCK_ORDER.md`: the first markdown table whose rows are
+/// `| rank | lock id | dynamic class | kind | declared in |`. Header and
+/// separator rows are skipped; ranks must be unique and ids unique.
+pub fn parse_lock_order(text: &str) -> Result<Vec<OrderEntry>, String> {
+    let mut out: Vec<OrderEntry> = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let t = line.trim();
+        if !t.starts_with('|') {
+            continue;
+        }
+        let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+        if cells.len() != 5 {
+            continue;
+        }
+        // Header / separator rows.
+        if cells[0].eq_ignore_ascii_case("rank") || cells[0].starts_with('-') {
+            continue;
+        }
+        let rank: u32 = cells[0]
+            .parse()
+            .map_err(|_| format!("LOCK_ORDER.md:{line_no}: bad rank `{}`", cells[0]))?;
+        let kind = match cells[3] {
+            "mutex" => LockKind::Mutex,
+            "rwlock" => LockKind::RwLock,
+            other => {
+                return Err(format!(
+                    "LOCK_ORDER.md:{line_no}: kind must be `mutex` or `rwlock`, got `{other}`"
+                ))
+            }
+        };
+        if out.iter().any(|e| e.id == cells[1]) {
+            return Err(format!(
+                "LOCK_ORDER.md:{line_no}: duplicate lock id `{}`",
+                cells[1]
+            ));
+        }
+        if out.iter().any(|e| e.rank == rank) {
+            return Err(format!("LOCK_ORDER.md:{line_no}: duplicate rank {rank}"));
+        }
+        out.push(OrderEntry {
+            rank,
+            id: cells[1].to_string(),
+            class: cells[2].to_string(),
+            kind,
+            declared_in: cells[4].to_string(),
+            line: line_no,
+        });
+    }
+    out.sort_by_key(|e| e.rank);
+    Ok(out)
+}
+
+/// Is this file in scope for the concurrency passes? Production code
+/// under `crates/`, excluding the auditor implementation itself and the
+/// usual test/bench trees.
+fn in_scope(path: &str) -> bool {
+    path.starts_with("crates/")
+        && !path.starts_with("crates/sync/")
+        && !path.contains("/tests/")
+        && !path.contains("/benches/")
+}
+
+/// The crate directory of a `crates/<dir>/…` path.
+fn crate_key(path: &str) -> Option<&str> {
+    path.strip_prefix("crates/")?.split('/').next()
+}
+
+fn is_ident(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric()
+}
+
+/// Extract every lock declaration from the file set.
+pub fn lock_inventory(files: &[(String, String)]) -> Vec<LockField> {
+    const PATTERNS: &[(&str, LockKind, bool)] = &[
+        ("DebugMutex<", LockKind::Mutex, true),
+        ("DebugRwLock<", LockKind::RwLock, true),
+        ("Mutex<", LockKind::Mutex, false),
+        ("RwLock<", LockKind::RwLock, false),
+    ];
+    let mut out: Vec<LockField> = Vec::new();
+    for (path, src) in files {
+        if !in_scope(path) {
+            continue;
+        }
+        let Some(krate) = crate_key(path) else {
+            continue;
+        };
+        let view = code_view(src);
+        let mask = test_line_mask(&view);
+        for (idx, vline) in view.lines().enumerate() {
+            let line_no = idx + 1;
+            if mask.get(line_no).copied().unwrap_or(false) {
+                continue;
+            }
+            for &(pat, kind, debug_wrapper) in PATTERNS {
+                let mut from = 0;
+                while let Some(off) = vline[from..].find(pat) {
+                    let pos = from + off;
+                    from = pos + 1;
+                    // Token boundary: `Mutex<` inside `DebugMutex<` has an
+                    // identifier byte before it and is skipped here (the
+                    // Debug pattern claims it).
+                    if pos > 0 && is_ident(vline.as_bytes()[pos - 1]) {
+                        continue;
+                    }
+                    let Some(field) = field_name_before(&vline[..pos]) else {
+                        continue;
+                    };
+                    let id = format!("{krate}.{field}");
+                    if out.iter().any(|f| f.id == id && f.kind == kind) {
+                        continue; // same field seen twice (re-export etc.)
+                    }
+                    out.push(LockField {
+                        id,
+                        field,
+                        kind,
+                        debug_wrapper,
+                        file: path.clone(),
+                        line: line_no,
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.id.cmp(&b.id));
+    out
+}
+
+/// The field (or static) name declared before a lock type at the end of
+/// `prefix` — the identifier in front of the last *single* colon
+/// (`name: Arc<DebugMutex<…`, `static NAME: Mutex<…`). Returns `None`
+/// for non-declaration positions: reference types (`&Mutex<…`, a borrow
+/// in a signature) and anything inside parentheses (parameters).
+fn field_name_before(prefix: &str) -> Option<String> {
+    if prefix.contains('(') || prefix.trim_end().ends_with('&') {
+        return None;
+    }
+    let b = prefix.as_bytes();
+    // Find the last single `:` (not part of a `::` path separator).
+    let mut colon = None;
+    let mut j = 0;
+    while j < b.len() {
+        if b[j] == b':' {
+            if b.get(j + 1) == Some(&b':') {
+                j += 2;
+                continue;
+            }
+            colon = Some(j);
+        }
+        j += 1;
+    }
+    let colon = colon?;
+    let mut end = colon;
+    while end > 0 && b[end - 1] == b' ' {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && is_ident(b[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some(prefix[start..end].to_string())
+}
+
+/// First line of the multi-line statement containing `line` (1-based):
+/// walk upward while the previous line continues the same expression
+/// (is non-empty and does not end a statement or open/close a block).
+fn stmt_anchor(view_lines: &[&str], line: usize) -> usize {
+    let mut l = line;
+    while l > 1 {
+        let prev = view_lines[l - 2].trim();
+        if prev.is_empty() {
+            break;
+        }
+        match prev.chars().last() {
+            Some(';') | Some('{') | Some('}') => break,
+            _ => l -= 1,
+        }
+    }
+    l
+}
+
+/// Does an allowlist entry suppress this candidate violation? C-rules
+/// require an explicit rule prefix; bare entries are the L2 allowlist.
+fn allowed(
+    allow: &[AllowEntry],
+    used: &mut [bool],
+    rule: &str,
+    path: &str,
+    src_line: &str,
+) -> bool {
+    let mut hit = false;
+    for (i, a) in allow.iter().enumerate() {
+        if a.rule.as_deref() == Some(rule)
+            && path.ends_with(&a.path)
+            && src_line.contains(&a.needle)
+        {
+            if let Some(u) = used.get_mut(i) {
+                *u = true;
+            }
+            hit = true;
+        }
+    }
+    hit
+}
+
+/// A guard assumed live during the nesting scan.
+struct LiveGuard {
+    id: String,
+    binding: Option<String>,
+    /// Brace depth at the acquisition; the guard dies when the scan
+    /// leaves this depth.
+    depth: usize,
+    /// Temporaries (no `let`) die at the end of their statement.
+    temp: bool,
+    line: usize,
+}
+
+/// Tokens after which holding a lock guard is flagged (C400): rayon
+/// fan-out and streaming yield points.
+const YIELD_TOKENS: &[&str] = &[
+    ".par_iter(",
+    ".into_par_iter(",
+    ".par_bridge(",
+    "rayon::scope(",
+    ".next_frame(",
+    ".next_batch(",
+];
+
+/// All concurrency passes over the file set. `used` has one slot per
+/// allowlist entry and is set when an entry suppresses a violation.
+pub fn check_concurrency(
+    files: &[(String, String)],
+    order: &[OrderEntry],
+    allow: &[AllowEntry],
+    used: &mut [bool],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let inventory = lock_inventory(files);
+
+    // C100: every lock declaration appears in the hierarchy.
+    for f in &inventory {
+        if !order.iter().any(|e| e.id == f.id) {
+            out.push(Violation {
+                file: f.file.clone(),
+                line: f.line,
+                rule: "C100",
+                message: format!(
+                    "lock `{}` ({}) is not declared in LOCK_ORDER.md — add it \
+                     with a rank that matches its acquisition order",
+                    f.id,
+                    f.kind.label()
+                ),
+            });
+        }
+    }
+    // C101: every hierarchy row still matches a declaration, same kind.
+    for e in order {
+        match inventory.iter().find(|f| f.id == e.id) {
+            None => out.push(Violation {
+                file: "LOCK_ORDER.md".to_string(),
+                line: e.line,
+                rule: "C101",
+                message: format!(
+                    "stale LOCK_ORDER.md entry: no lock field `{}` is declared \
+                     anywhere — remove the row or fix the id",
+                    e.id
+                ),
+            }),
+            Some(f) if f.kind != e.kind => out.push(Violation {
+                file: "LOCK_ORDER.md".to_string(),
+                line: e.line,
+                rule: "C101",
+                message: format!(
+                    "LOCK_ORDER.md entry `{}` says {} but the declaration at \
+                     {}:{} is a {}",
+                    e.id,
+                    e.kind.label(),
+                    f.file,
+                    f.line,
+                    f.kind.label()
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+
+    // Per-crate field → lock map for receiver resolution.
+    let mut fields: BTreeMap<&str, BTreeMap<&str, &LockField>> = BTreeMap::new();
+    for f in &inventory {
+        let krate = f.id.split('.').next().unwrap_or("");
+        fields.entry(krate).or_default().insert(&f.field, f);
+    }
+    let rank: BTreeMap<&str, u32> = order.iter().map(|e| (e.id.as_str(), e.rank)).collect();
+
+    for (path, src) in files {
+        if !in_scope(path) {
+            continue;
+        }
+        let Some(krate) = crate_key(path) else {
+            continue;
+        };
+        let crate_fields = fields.get(krate);
+        let view = code_view(src);
+        let mask = test_line_mask(&view);
+        let src_lines: Vec<&str> = src.lines().collect();
+        let view_lines: Vec<&str> = view.lines().collect();
+
+        out.extend(scan_nesting(
+            path,
+            &view,
+            &mask,
+            &src_lines,
+            crate_fields,
+            &rank,
+            allow,
+            used,
+        ));
+        out.extend(scan_relaxed(
+            path,
+            &view,
+            &mask,
+            &src_lines,
+            &view_lines,
+            allow,
+            used,
+        ));
+    }
+    out
+}
+
+/// C200/C201/C400: guard-liveness walk over one file's code view.
+#[allow(clippy::too_many_arguments)]
+fn scan_nesting(
+    path: &str,
+    view: &str,
+    mask: &[bool],
+    src_lines: &[&str],
+    crate_fields: Option<&BTreeMap<&str, &LockField>>,
+    rank: &BTreeMap<&str, u32>,
+    allow: &[AllowEntry],
+    used: &mut [bool],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let b = view.as_bytes();
+    let mut depth = 0usize;
+    let mut line = 1usize;
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    let mut flagged_yield_lines: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+                i += 1;
+            }
+            b';' => {
+                guards.retain(|g| !(g.temp && g.depth == depth));
+                i += 1;
+            }
+            b'd' if view[i..].starts_with("drop")
+                && (i == 0 || !is_ident(b[i - 1]))
+                && !is_ident(*b.get(i + 4).unwrap_or(&b' ')) =>
+            {
+                // `drop(name)` releases the named guard early.
+                if let Some(name) = paren_ident(&view[i + 4..]) {
+                    guards.retain(|g| g.binding.as_deref() != Some(name));
+                }
+                i += 4;
+            }
+            b'.' => {
+                let method = [
+                    (".lock()", LockKind::Mutex),
+                    (".read()", LockKind::RwLock),
+                    (".write()", LockKind::RwLock),
+                ]
+                .into_iter()
+                .find(|(m, _)| view[i..].starts_with(m));
+                let Some((m, kind)) = method else {
+                    // Not a lock method — but maybe a `.`-prefixed yield
+                    // point (`.par_iter(` etc.).
+                    check_yield_point(
+                        path,
+                        view,
+                        i,
+                        line,
+                        mask,
+                        src_lines,
+                        &guards,
+                        &mut flagged_yield_lines,
+                        allow,
+                        used,
+                        &mut out,
+                    );
+                    i += 1;
+                    continue;
+                };
+                let masked = mask.get(line).copied().unwrap_or(false);
+                let lock = crate_fields.and_then(|cf| {
+                    receiver_ident(view, i)
+                        .and_then(|r| cf.get(r.as_str()).copied())
+                        .filter(|f| f.kind == kind)
+                });
+                if let (Some(lock), false) = (lock, masked) {
+                    let src_line = src_lines.get(line - 1).copied().unwrap_or("");
+                    for g in &guards {
+                        if g.id == lock.id {
+                            if !allowed(allow, used, "C201", path, src_line) {
+                                out.push(Violation {
+                                    file: path.to_string(),
+                                    line,
+                                    rule: "C201",
+                                    message: format!(
+                                        "acquiring `{}` while a guard of the same lock \
+                                         (taken at line {}) is still live — self-deadlock",
+                                        lock.id, g.line
+                                    ),
+                                });
+                            }
+                        } else if let (Some(&held), Some(&acq)) =
+                            (rank.get(g.id.as_str()), rank.get(lock.id.as_str()))
+                        {
+                            if held > acq && !allowed(allow, used, "C200", path, src_line) {
+                                out.push(Violation {
+                                    file: path.to_string(),
+                                    line,
+                                    rule: "C200",
+                                    message: format!(
+                                        "acquiring `{}` (rank {acq}) while holding `{}` \
+                                         (rank {held}, taken at line {}) — out of order \
+                                         per LOCK_ORDER.md",
+                                        lock.id, g.id, g.line
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    let binding = let_binding(view, i);
+                    guards.push(LiveGuard {
+                        id: lock.id.clone(),
+                        temp: binding.is_none(),
+                        binding,
+                        depth,
+                        line,
+                    });
+                }
+                i += m.len();
+            }
+            _ => {
+                check_yield_point(
+                    path,
+                    view,
+                    i,
+                    line,
+                    mask,
+                    src_lines,
+                    &guards,
+                    &mut flagged_yield_lines,
+                    allow,
+                    used,
+                    &mut out,
+                );
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// C400 at one byte position: if a yield-point token starts at `i` while
+/// any guard is live (outside test code), emit a violation — once per
+/// line, suppressible with a `C400`-prefixed allowlist entry.
+#[allow(clippy::too_many_arguments)]
+fn check_yield_point(
+    path: &str,
+    view: &str,
+    i: usize,
+    line: usize,
+    mask: &[bool],
+    src_lines: &[&str],
+    guards: &[LiveGuard],
+    flagged_yield_lines: &mut Vec<usize>,
+    allow: &[AllowEntry],
+    used: &mut [bool],
+    out: &mut Vec<Violation>,
+) {
+    if mask.get(line).copied().unwrap_or(false)
+        || guards.is_empty()
+        || flagged_yield_lines.contains(&line)
+    {
+        return;
+    }
+    let Some(tok) = YIELD_TOKENS.iter().find(|t| view[i..].starts_with(*t)) else {
+        return;
+    };
+    let src_line = src_lines.get(line - 1).copied().unwrap_or("");
+    if !allowed(allow, used, "C400", path, src_line) {
+        let held: Vec<&str> = guards.iter().map(|g| g.id.as_str()).collect();
+        out.push(Violation {
+            file: path.to_string(),
+            line,
+            rule: "C400",
+            message: format!(
+                "`{}` reached while lock guard(s) [{}] are live — don't hold \
+                 locks across rayon fan-out or stream yield points",
+                tok.trim_start_matches('.').trim_end_matches('('),
+                held.join(", ")
+            ),
+        });
+    }
+    flagged_yield_lines.push(line);
+}
+
+/// The identifier the method at byte offset `dot` (a `.`) is called on:
+/// walk back over whitespace, then collect the identifier. `a.b.lock()`
+/// resolves to `b` — the final path segment is the field.
+fn receiver_ident(view: &str, dot: usize) -> Option<String> {
+    let b = view.as_bytes();
+    let mut j = dot;
+    while j > 0 && (b[j - 1] as char).is_whitespace() {
+        j -= 1;
+    }
+    let end = j;
+    while j > 0 && is_ident(b[j - 1]) {
+        j -= 1;
+    }
+    if j == end {
+        return None;
+    }
+    Some(view[j..end].to_string())
+}
+
+/// If the statement containing byte offset `pos` is a `let` binding,
+/// its bound name (skipping `mut`); `None` for temporaries.
+fn let_binding(view: &str, pos: usize) -> Option<String> {
+    let b = view.as_bytes();
+    let mut start = pos;
+    while start > 0 && !matches!(b[start - 1], b';' | b'{' | b'}') {
+        start -= 1;
+    }
+    let stmt = &view[start..pos];
+    let let_off = stmt.find("let ")?;
+    let mut rest = stmt[let_off + 4..].trim_start();
+    if let Some(r) = rest.strip_prefix("mut ") {
+        rest = r.trim_start();
+    }
+    let name: String = rest.chars().take_while(|c| is_ident(*c as u8)).collect();
+    if name.is_empty() {
+        None
+    } else {
+        Some(name)
+    }
+}
+
+/// The identifier inside `(…)` right after a `drop` token, if the text
+/// starts with a parenthesized single identifier.
+fn paren_ident(after: &str) -> Option<&str> {
+    let t = after.trim_start();
+    let inner = t.strip_prefix('(')?;
+    let close = inner.find(')')?;
+    let name = inner[..close].trim();
+    if !name.is_empty() && name.bytes().all(is_ident) {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// C300: `Ordering::Relaxed` needs a `// RELAXED:` justification within
+/// [`RELAXED_WINDOW`] lines above the statement it belongs to.
+#[allow(clippy::too_many_arguments)]
+fn scan_relaxed(
+    path: &str,
+    view: &str,
+    mask: &[bool],
+    src_lines: &[&str],
+    view_lines: &[&str],
+    allow: &[AllowEntry],
+    used: &mut [bool],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut search = 0;
+    while let Some(off) = view[search..].find("Relaxed") {
+        let pos = search + off;
+        search = pos + "Relaxed".len();
+        let b = view.as_bytes();
+        let before = if pos == 0 { b' ' } else { b[pos - 1] };
+        let after = *b.get(pos + "Relaxed".len()).unwrap_or(&b' ');
+        if is_ident(before) || is_ident(after) {
+            continue;
+        }
+        let line = line_of(view, pos);
+        if mask.get(line).copied().unwrap_or(false) {
+            continue;
+        }
+        let anchor = stmt_anchor(view_lines, line);
+        let lo = anchor.saturating_sub(RELAXED_WINDOW + 1);
+        let documented = src_lines[lo..line.min(src_lines.len())]
+            .iter()
+            .any(|l| l.contains("RELAXED:"));
+        if !documented {
+            let src_line = src_lines.get(line - 1).copied().unwrap_or("");
+            if !allowed(allow, used, "C300", path, src_line) {
+                out.push(Violation {
+                    file: path.to_string(),
+                    line,
+                    rule: "C300",
+                    message: "`Ordering::Relaxed` without a `// RELAXED:` justification \
+                              in the 3 lines above its statement"
+                        .into(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORDER_MD: &str = "\
+# order\n\
+| rank | lock id | dynamic class | kind | declared in |\n\
+|-----:|---------|---------------|------|-------------|\n\
+| 10 | a.first | a.first | mutex | crates/a/src/lib.rs |\n\
+| 20 | a.second | a.second | rwlock | crates/a/src/lib.rs |\n";
+
+    fn order() -> Vec<OrderEntry> {
+        parse_lock_order(ORDER_MD).expect("order parses")
+    }
+
+    fn check_one(src: &str, order: &[OrderEntry]) -> Vec<Violation> {
+        let files = vec![("crates/a/src/lib.rs".to_string(), src.to_string())];
+        check_concurrency(&files, order, &[], &mut [])
+    }
+
+    /// `check_one` minus the C101 rows that fire whenever a test source
+    /// omits the `a.first`/`a.second` declarations on purpose.
+    fn check_one_no_inv(src: &str, order: &[OrderEntry]) -> Vec<Violation> {
+        check_one(src, order)
+            .into_iter()
+            .filter(|v| v.rule != "C101" && v.rule != "C100")
+            .collect()
+    }
+
+    #[test]
+    fn parses_lock_order_table() {
+        let o = order();
+        assert_eq!(o.len(), 2);
+        assert_eq!(o[0].rank, 10);
+        assert_eq!(o[0].id, "a.first");
+        assert_eq!(o[0].kind, LockKind::Mutex);
+        assert_eq!(o[1].kind, LockKind::RwLock);
+        assert_eq!(o[1].line, 5);
+    }
+
+    #[test]
+    fn rejects_duplicate_ids_and_ranks() {
+        let dup_id = format!("{ORDER_MD}| 30 | a.first | x | mutex | crates/a/src/lib.rs |\n");
+        assert!(parse_lock_order(&dup_id).is_err());
+        let dup_rank = format!("{ORDER_MD}| 10 | a.third | x | mutex | crates/a/src/lib.rs |\n");
+        assert!(parse_lock_order(&dup_rank).is_err());
+        assert!(parse_lock_order("| 1 | x | x | spinlock | y |\n").is_err());
+    }
+
+    #[test]
+    fn inventory_finds_fields_and_statics() {
+        let src = "\
+use sync::{DebugMutex, DebugRwLock};\n\
+struct S {\n    first: DebugMutex<u32>,\n    second: Arc<DebugRwLock<Vec<u8>>>,\n}\n\
+static THIRD: Mutex<u8> = Mutex::new(0);\n\
+fn f(param: &Mutex<u8>) {}\n";
+        let files = vec![("crates/a/src/lib.rs".to_string(), src.to_string())];
+        let inv = lock_inventory(&files);
+        let ids: Vec<&str> = inv.iter().map(|f| f.id.as_str()).collect();
+        assert_eq!(ids, vec!["a.THIRD", "a.first", "a.second"]);
+        assert!(
+            inv.iter()
+                .find(|f| f.id == "a.first")
+                .unwrap()
+                .debug_wrapper
+        );
+        assert!(
+            !inv.iter()
+                .find(|f| f.id == "a.THIRD")
+                .unwrap()
+                .debug_wrapper
+        );
+        assert_eq!(
+            inv.iter().find(|f| f.id == "a.second").unwrap().kind,
+            LockKind::RwLock
+        );
+    }
+
+    #[test]
+    fn c100_undeclared_lock() {
+        let src = "struct S {\n    ghost: DebugMutex<u32>,\n}\n";
+        let v = check_one(src, &order());
+        assert!(v.iter().any(|v| v.rule == "C100" && v.line == 2), "{v:?}");
+        assert!(v[0].message.contains("a.ghost"), "{}", v[0].message);
+        // The hierarchy rows are now stale, too.
+        assert_eq!(v.iter().filter(|v| v.rule == "C101").count(), 2);
+    }
+
+    #[test]
+    fn c101_stale_entry_and_kind_mismatch() {
+        // `a.first` declared as rwlock although the table says mutex;
+        // `a.second` missing entirely.
+        let src = "struct S {\n    first: DebugRwLock<u32>,\n}\n";
+        let v = check_one(src, &order());
+        let c101: Vec<_> = v.iter().filter(|v| v.rule == "C101").collect();
+        assert_eq!(c101.len(), 2, "{v:?}");
+        assert!(c101.iter().all(|v| v.file == "LOCK_ORDER.md"));
+        assert!(c101.iter().any(|v| v.message.contains("says mutex")));
+        assert!(c101.iter().any(|v| v.message.contains("stale")));
+    }
+
+    fn clean_decls() -> &'static str {
+        "struct S {\n    first: DebugMutex<u32>,\n    second: DebugRwLock<u32>,\n}\n"
+    }
+
+    #[test]
+    fn c200_out_of_order_nesting() {
+        let src = format!(
+            "{}impl S {{\n    fn f(&self) {{\n        let g = self.second.read();\n        let h = self.first.lock();\n        drop(h);\n        drop(g);\n    }}\n}}\n",
+            clean_decls()
+        );
+        let v = check_one(&src, &order());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "C200");
+        assert_eq!(v[0].line, 8);
+        assert!(v[0].message.contains("a.first"), "{}", v[0].message);
+        assert!(v[0].message.contains("a.second"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn in_order_nesting_passes() {
+        let src = format!(
+            "{}impl S {{\n    fn f(&self) {{\n        let g = self.first.lock();\n        let h = self.second.write();\n    }}\n}}\n",
+            clean_decls()
+        );
+        assert!(check_one(&src, &order()).is_empty());
+    }
+
+    #[test]
+    fn drop_releases_guard_for_ordering() {
+        // second is released before first is taken: no violation.
+        let src = format!(
+            "{}impl S {{\n    fn f(&self) {{\n        let g = self.second.read();\n        drop(g);\n        let h = self.first.lock();\n    }}\n}}\n",
+            clean_decls()
+        );
+        assert!(check_one(&src, &order()).is_empty());
+    }
+
+    #[test]
+    fn scope_exit_releases_guard() {
+        let src = format!(
+            "{}impl S {{\n    fn f(&self) {{\n        {{\n            let g = self.second.read();\n        }}\n        let h = self.first.lock();\n    }}\n}}\n",
+            clean_decls()
+        );
+        assert!(check_one(&src, &order()).is_empty());
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = format!(
+            "{}impl S {{\n    fn f(&self) {{\n        self.second.read().len();\n        let h = self.first.lock();\n    }}\n}}\n",
+            clean_decls()
+        );
+        assert!(check_one(&src, &order()).is_empty());
+    }
+
+    #[test]
+    fn c201_self_nest() {
+        let src = format!(
+            "{}impl S {{\n    fn f(&self) {{\n        let g = self.first.lock();\n        let h = self.first.lock();\n    }}\n}}\n",
+            clean_decls()
+        );
+        let v = check_one(&src, &order());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "C201");
+        assert!(v[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn c300_relaxed_without_justification() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let v = check_one_no_inv(src, &order());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "C300");
+        assert_eq!(v[0].line, 2);
+    }
+
+    #[test]
+    fn c300_justified_passes_including_multiline_statements() {
+        let src = "\
+fn f(c: &AtomicU64) {\n\
+    // RELAXED: isolated counter.\n\
+    c.fetch_add(1, Ordering::Relaxed);\n\
+    // RELAXED: CAS loop, value-carried state.\n\
+    c.compare_exchange(\n        0,\n        1,\n        Ordering::Relaxed,\n        Ordering::Relaxed,\n    ).ok();\n\
+}\n";
+        assert!(check_one_no_inv(src, &order()).is_empty());
+    }
+
+    #[test]
+    fn c300_skips_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(c: &AtomicU64) {\n        c.load(Ordering::Relaxed);\n    }\n}\n";
+        assert!(check_one_no_inv(src, &order()).is_empty());
+    }
+
+    #[test]
+    fn c400_guard_across_yield_point() {
+        let src = format!(
+            "{}impl S {{\n    fn f(&self, items: &[u32]) {{\n        let g = self.first.lock();\n        items.par_iter().for_each(|_| {{}});\n    }}\n}}\n",
+            clean_decls()
+        );
+        let v = check_one(&src, &order());
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "C400");
+        assert!(v[0].message.contains("a.first"), "{}", v[0].message);
+        assert!(v[0].message.contains("par_iter"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn c400_no_guard_is_fine() {
+        let src = format!(
+            "{}impl S {{\n    fn f(&self, items: &[u32]) {{\n        items.par_iter().for_each(|_| {{}});\n    }}\n}}\n",
+            clean_decls()
+        );
+        assert!(check_one(&src, &order()).is_empty());
+    }
+
+    #[test]
+    fn rule_prefixed_allowlist_suppresses_and_marks_used() {
+        let src = "fn f(c: &AtomicU64) {\n    c.fetch_add(1, Ordering::Relaxed);\n}\n";
+        let files = vec![("crates/a/src/lib.rs".to_string(), src.to_string())];
+        let allow = crate::parse_allowlist("C300 src/lib.rs: fetch_add(1, Ordering::Relaxed)\n");
+        let mut used = vec![false; allow.len()];
+        let v = check_concurrency(&files, &order(), &allow, &mut used);
+        assert!(v.iter().all(|v| v.rule == "C101"), "{v:?}");
+        assert_eq!(used, vec![true]);
+        // A bare (L2) entry does not suppress C300.
+        let bare = crate::parse_allowlist("src/lib.rs: fetch_add(1, Ordering::Relaxed)\n");
+        let mut used2 = vec![false; bare.len()];
+        let v2 = check_concurrency(&files, &order(), &bare, &mut used2);
+        assert_eq!(v2.iter().filter(|v| v.rule == "C300").count(), 1);
+        assert_eq!(used2, vec![false]);
+    }
+
+    #[test]
+    fn sync_crate_and_test_trees_are_out_of_scope() {
+        let src = "struct S {\n    ghost: DebugMutex<u32>,\n}\n";
+        for path in [
+            "crates/sync/src/lib.rs",
+            "crates/a/tests/x.rs",
+            "crates/a/benches/x.rs",
+            "tests/tests/x.rs",
+        ] {
+            let files = vec![(path.to_string(), src.to_string())];
+            let v = check_concurrency(&files, &order(), &[], &mut []);
+            // Only the (now stale) order rows fire, never C100.
+            assert!(v.iter().all(|v| v.rule == "C101"), "{path}: {v:?}");
+        }
+    }
+}

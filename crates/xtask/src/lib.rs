@@ -1,23 +1,37 @@
 //! Token-level repo lints, run as `cargo run -p xtask -- lint`.
 //!
-//! Three rules, all enforced over a *code view* of each source file —
-//! the original text with comments, string literals, and char literals
-//! blanked out (newlines preserved) so tokens inside them never match:
+//! Four general rules, all enforced over a *code view* of each source
+//! file — the original text with comments, string literals, and char
+//! literals blanked out (newlines preserved) so tokens inside them never
+//! match:
 //!
-//! 1. **`unsafe` needs `// SAFETY:`** — every `unsafe` token must have a
-//!    `SAFETY:` comment on its own line or within the three lines above.
-//! 2. **No `unwrap`/`expect` on the trust boundary** — non-test code in
-//!    `crates/ocs`, `crates/substrait-ir`, `crates/core`, and
+//! 1. **`unsafe` needs `// SAFETY:`** (`L1`) — every `unsafe` token must
+//!    have a `SAFETY:` comment on its own line or within the three lines
+//!    above.
+//! 2. **No `unwrap`/`expect` on the trust boundary** (`L2`) — non-test
+//!    code in `crates/ocs`, `crates/substrait-ir`, `crates/core`, and
 //!    `crates/obs` (which decodes span payloads off the wire) must not
 //!    call `.unwrap()` or `.expect(`; a storage node must return an
 //!    error frame, never abort. Survivors are listed in
 //!    `crates/xtask/lint-allow.txt` with a justification.
-//! 3. **No dead error variants** — every variant of a `pub enum *Error`
-//!    must be constructed somewhere in the workspace; an unconstructable
-//!    variant is an error path that cannot happen and should be deleted.
+//! 3. **No dead error variants** (`L3`) — every variant of a `pub enum
+//!    *Error` must be constructed somewhere in the workspace; an
+//!    unconstructable variant is an error path that cannot happen and
+//!    should be deleted.
+//! 4. **No stale allowlist entries** (`L4`) — every `lint-allow.txt`
+//!    entry must suppress at least one would-be violation; an unused
+//!    entry means the excused code is gone and the entry must go too.
+//!
+//! The [`conc`] module adds the concurrency audit (`C100`–`C400`): a
+//! lock inventory checked against the `LOCK_ORDER.md` hierarchy, a
+//! static nested-acquisition scan, the `Ordering::Relaxed`/`RELAXED:`
+//! justification rule, and a guard-across-yield-point check. See the
+//! module docs for the individual codes.
 //!
 //! The scanner is deliberately not a Rust parser (no external deps); the
 //! heuristics are documented inline where they matter.
+
+pub mod conc;
 
 use std::fmt;
 use std::fs;
@@ -64,28 +78,50 @@ impl fmt::Display for Violation {
     }
 }
 
-/// One allowlist entry: `path-suffix: line-substring` (see
-/// `lint-allow.txt`). A rule-2 violation is suppressed when the file path
-/// ends with `path` and the offending source line contains `needle`.
+/// One allowlist entry: `[RULE] path-suffix: line-substring` (see
+/// `lint-allow.txt`). A violation is suppressed when the entry's rule
+/// matches (a bare entry is shorthand for `L2`), the file path ends with
+/// `path`, and the offending source line contains `needle`.
 #[derive(Debug, Clone)]
 pub struct AllowEntry {
+    /// Rule code the entry applies to (`None` = bare entry = `L2`).
+    pub rule: Option<String>,
     /// Path suffix the entry applies to.
     pub path: String,
     /// Substring of the allowed source line.
     pub needle: String,
+    /// 1-based line in `lint-allow.txt` (for `L4` reporting).
+    pub line: usize,
 }
 
-/// Parse `lint-allow.txt`: one `path: substring` entry per line, `#`
-/// comments and blank lines ignored.
+/// Is `tok` a rule code like `L2` or `C300` — uppercase letters then
+/// digits?
+fn is_rule_token(tok: &str) -> bool {
+    let letters = tok.chars().take_while(|c| c.is_ascii_uppercase()).count();
+    letters >= 1 && letters < tok.len() && tok.chars().skip(letters).all(|c| c.is_ascii_digit())
+}
+
+/// Parse `lint-allow.txt`: one `path: substring` entry per line, with an
+/// optional leading rule code (`C300 path: substring`); `#` comments and
+/// blank lines ignored.
 pub fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
     text.lines()
-        .map(str::trim)
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .filter_map(|l| {
-            let (path, needle) = l.split_once(':')?;
+        .enumerate()
+        .map(|(idx, l)| (idx + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|(line, l)| {
+            let (rule, rest) = match l.split_once(' ') {
+                Some((tok, rest)) if is_rule_token(tok) => {
+                    (Some(tok.to_string()), rest.trim_start())
+                }
+                _ => (None, l),
+            };
+            let (path, needle) = rest.split_once(':')?;
             Some(AllowEntry {
+                rule,
                 path: path.trim().to_string(),
                 needle: needle.trim().to_string(),
+                line,
             })
         })
         .collect()
@@ -257,7 +293,7 @@ pub fn test_line_mask(view: &str) -> Vec<bool> {
 }
 
 /// 1-based line number of byte offset `pos`.
-fn line_of(text: &str, pos: usize) -> usize {
+pub(crate) fn line_of(text: &str, pos: usize) -> usize {
     text.as_bytes()[..pos]
         .iter()
         .filter(|&&c| c == b'\n')
@@ -269,6 +305,18 @@ fn line_of(text: &str, pos: usize) -> usize {
 /// separators. Test code (files under a `tests/` directory, `benches/`,
 /// `examples/`, and `#[cfg(test)]` items) is exempt from rule 2.
 pub fn lint_source(path: &str, src: &str, allow: &[AllowEntry]) -> Vec<Violation> {
+    let mut used = vec![false; allow.len()];
+    lint_source_tracked(path, src, allow, &mut used)
+}
+
+/// [`lint_source`], additionally marking which allowlist entries fired
+/// in `used` (one slot per entry) so `run` can report stale ones (`L4`).
+pub fn lint_source_tracked(
+    path: &str,
+    src: &str,
+    allow: &[AllowEntry],
+    used: &mut [bool],
+) -> Vec<Violation> {
     let mut out = Vec::new();
     let view = code_view(src);
     let src_lines: Vec<&str> = src.lines().collect();
@@ -317,9 +365,16 @@ pub fn lint_source(path: &str, src: &str, allow: &[AllowEntry]) -> Vec<Violation
                     continue;
                 }
                 let original = src_lines.get(idx).copied().unwrap_or("");
-                let allowed = allow
-                    .iter()
-                    .any(|a| path.ends_with(&a.path) && original.contains(&a.needle));
+                let mut allowed = false;
+                for (i, a) in allow.iter().enumerate() {
+                    let rule_matches = matches!(a.rule.as_deref(), None | Some("L2"));
+                    if rule_matches && path.ends_with(&a.path) && original.contains(&a.needle) {
+                        allowed = true;
+                        if let Some(u) = used.get_mut(i) {
+                            *u = true;
+                        }
+                    }
+                }
                 if !allowed {
                     out.push(Violation {
                         file: path.to_string(),
@@ -541,17 +596,39 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Run every lint over the workspace at `root`. Returns all violations.
+/// Run every lint over the workspace at `root` — the general rules
+/// (`L1`–`L3`), the concurrency audit (`C100`–`C400`) against
+/// `LOCK_ORDER.md`, and the stale-allowlist check (`L4`). Returns all
+/// violations sorted by file and line.
 pub fn run(root: &Path) -> Result<Vec<Violation>, String> {
     let allow_text = fs::read_to_string(root.join("crates/xtask/lint-allow.txt"))
         .map_err(|e| format!("reading lint-allow.txt: {e}"))?;
     let allow = parse_allowlist(&allow_text);
+    let mut used = vec![false; allow.len()];
     let files = collect_sources(root)?;
     let mut violations = Vec::new();
     for (path, src) in &files {
-        violations.extend(lint_source(path, src, &allow));
+        violations.extend(lint_source_tracked(path, src, &allow, &mut used));
     }
     violations.extend(check_error_enums(&files));
+    let order_text = fs::read_to_string(root.join("LOCK_ORDER.md"))
+        .map_err(|e| format!("reading LOCK_ORDER.md: {e}"))?;
+    let order = conc::parse_lock_order(&order_text)?;
+    violations.extend(conc::check_concurrency(&files, &order, &allow, &mut used));
+    for (entry, &was_used) in allow.iter().zip(used.iter()) {
+        if !was_used {
+            violations.push(Violation {
+                file: "crates/xtask/lint-allow.txt".to_string(),
+                line: entry.line,
+                rule: "L4",
+                message: format!(
+                    "unused allowlist entry `{}: {}` — the code it excused is \
+                     gone; delete the entry",
+                    entry.path, entry.needle
+                ),
+            });
+        }
+    }
     violations.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Ok(violations)
 }
@@ -662,6 +739,66 @@ mod tests {
     }
 
     #[test]
+    fn allowlist_rule_prefix_parses() {
+        let entries = parse_allowlist(
+            "# header\nC300 src/a.rs: fetch_add\nsrc/b.rs: invariant: present\nL2 src/c.rs: decoded\n",
+        );
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].rule.as_deref(), Some("C300"));
+        assert_eq!(entries[0].path, "src/a.rs");
+        assert_eq!(entries[0].line, 2);
+        assert_eq!(entries[1].rule, None);
+        assert_eq!(entries[1].needle, "invariant: present");
+        assert_eq!(entries[2].rule.as_deref(), Some("L2"));
+        // A path-looking first token is not mistaken for a rule code.
+        assert!(!is_rule_token("src/b.rs:"));
+        assert!(is_rule_token("C300") && is_rule_token("L2"));
+        assert!(!is_rule_token("C") && !is_rule_token("300"));
+    }
+
+    #[test]
+    fn used_tracking_marks_firing_entries() {
+        let src = "pub fn f(x: Option<u8>) -> u8 {\n    x.expect(\"invariant: present\")\n}\n";
+        let allow = parse_allowlist("src/x.rs: invariant: present\nsrc/x.rs: never fires\n");
+        let mut used = vec![false; allow.len()];
+        let v = lint_source_tracked("crates/ocs/src/x.rs", src, &allow, &mut used);
+        assert!(v.is_empty(), "{v:?}");
+        assert_eq!(used, vec![true, false]);
+        // An explicit L2-prefixed entry also suppresses and marks.
+        let allow2 = parse_allowlist("L2 src/x.rs: invariant: present\n");
+        let mut used2 = vec![false; allow2.len()];
+        assert!(lint_source_tracked("crates/ocs/src/x.rs", src, &allow2, &mut used2).is_empty());
+        assert_eq!(used2, vec![true]);
+    }
+
+    #[test]
+    fn l4_reports_unused_allowlist_entry() {
+        let root = std::env::temp_dir().join(format!("xtask-l4-{}", std::process::id()));
+        let xtask_dir = root.join("crates/xtask");
+        let crate_dir = root.join("crates/a/src");
+        fs::create_dir_all(&xtask_dir).expect("mkdir xtask");
+        fs::create_dir_all(&crate_dir).expect("mkdir crate");
+        fs::write(
+            xtask_dir.join("lint-allow.txt"),
+            "# one stale entry\nsrc/ghost.rs: nothing here matches\n",
+        )
+        .expect("write allowlist");
+        fs::write(
+            root.join("LOCK_ORDER.md"),
+            "| rank | lock id | dynamic class | kind | declared in |\n|--|--|--|--|--|\n",
+        )
+        .expect("write lock order");
+        fs::write(crate_dir.join("lib.rs"), "pub fn f() {}\n").expect("write source");
+        let violations = run(&root).expect("lint run");
+        fs::remove_dir_all(&root).ok();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+        assert_eq!(violations[0].rule, "L4");
+        assert_eq!(violations[0].file, "crates/xtask/lint-allow.txt");
+        assert_eq!(violations[0].line, 2);
+        assert!(violations[0].message.contains("src/ghost.rs"));
+    }
+
+    #[test]
     fn workspace_is_clean() {
         let violations = run(&workspace_root()).expect("lint run");
         assert!(
@@ -672,6 +809,17 @@ mod tests {
                 .map(|v| v.to_string())
                 .collect::<Vec<_>>()
                 .join("\n")
+        );
+    }
+
+    #[test]
+    fn full_static_analysis_under_two_seconds() {
+        let start = std::time::Instant::now();
+        run(&workspace_root()).expect("lint run");
+        let elapsed = start.elapsed();
+        assert!(
+            elapsed < std::time::Duration::from_secs(2),
+            "full static analysis took {elapsed:?} (budget: 2s)"
         );
     }
 }

@@ -1,0 +1,146 @@
+//! Property tests for the lint scanner's two foundations: the code view
+//! (comment/string/char blanking) and the `#[cfg(test)]` line mask. The
+//! token-level concurrency and panic lints are only as good as these
+//! two, so they get adversarial generated input: raw strings with
+//! braces and quotes, multi-line strings, nested block comments, and
+//! nested `#[cfg(test)]` items.
+
+use proptest::prelude::*;
+use xtask::{code_view, test_line_mask};
+
+/// One generated source fragment. `payload` is drawn from `[a-v]{1,6}`
+/// so it can never spell the sentinel token `unwrap` (no `w`).
+///
+/// Returns the fragment text and whether it contains the sentinel in
+/// *code* position (as opposed to inside a literal or comment).
+fn fragment(kind: u8, payload: &str, extra: u8) -> (String, bool) {
+    match kind {
+        // Plain code, no sentinel.
+        0 => (format!("let {payload} = {payload}2;"), false),
+        // Code containing the sentinel: must survive the view.
+        1 => (format!("let {payload} = q.unwrap();"), true),
+        // Line comment: sentinel must be blanked.
+        2 => (format!("// unwrap {payload}"), false),
+        // Plain string literal with escapes.
+        3 => (format!("let s = \"unwrap \\\"{payload}\\\" \\n\";"), false),
+        // Multi-line string literal.
+        4 => (format!("let s = \"unwrap\n {payload} unwrap\";"), false),
+        // Raw string; with hashes the content may contain bare quotes.
+        5 => {
+            let hashes = "#".repeat(usize::from(extra % 3));
+            let inner = if hashes.is_empty() {
+                format!("unwrap {payload}")
+            } else {
+                format!("unwrap \"{payload}\" ")
+            };
+            (format!("let r = r{hashes}\"{inner}\"{hashes};"), false)
+        }
+        // Nested block comment.
+        6 => (
+            format!("/* unwrap {payload} /* nested unwrap */ tail */"),
+            false,
+        ),
+        // Char literals (escaped and plain) next to a lifetime.
+        _ => (
+            format!("let c: &'static u8 = &b; let {payload} = '\\n';"),
+            false,
+        ),
+    }
+}
+
+/// Newline byte positions, for comparing line structure exactly.
+fn newline_positions(s: &str) -> Vec<usize> {
+    s.bytes()
+        .enumerate()
+        .filter(|(_, b)| *b == b'\n')
+        .map(|(i, _)| i)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The view preserves line structure byte-for-byte, never invents
+    /// the sentinel token, never loses it from code position, and is a
+    /// fixed point of itself (a second pass has nothing left to blank).
+    #[test]
+    fn code_view_properties(
+        spec in proptest::collection::vec((0u8..8, "[a-v]{1,6}", 0u8..4), 0..30)
+    ) {
+        let mut src = String::new();
+        let mut sentinel_in_code = false;
+        for (kind, payload, extra) in &spec {
+            let (text, in_code) = fragment(*kind, payload, *extra);
+            sentinel_in_code |= in_code;
+            src.push_str(&text);
+            src.push('\n');
+        }
+        let view = code_view(&src);
+        prop_assert_eq!(newline_positions(&view), newline_positions(&src));
+        prop_assert_eq!(view.contains("unwrap"), sentinel_in_code, "view:\n{}", view);
+        let again = code_view(&view);
+        prop_assert_eq!(&again, &view, "code_view is not idempotent");
+    }
+
+    /// The mask covers exactly the `#[cfg(test)]` item — from the
+    /// attribute line through the matching closing brace — even when the
+    /// body hides unbalanced braces in string/raw-string literals or
+    /// contains nested blocks and nested `#[cfg(test)]` items.
+    #[test]
+    fn test_line_mask_properties(
+        n_pre in 0usize..5,
+        body in proptest::collection::vec((0u8..6, "[a-v]{1,6}"), 0..12),
+        n_post in 0usize..5,
+    ) {
+        let mut src = String::new();
+        for i in 0..n_pre {
+            src.push_str(&format!("fn pre{i}() {{ let a = 1; }}\n"));
+        }
+        let attr_line = n_pre + 1;
+        src.push_str("#[cfg(test)]\nmod tests {\n");
+        for (kind, payload) in &body {
+            let frag = match kind {
+                0 => format!("    let {payload} = 1;\n"),
+                1 => format!("    {{ let {payload} = 2; }}\n"),
+                2 => format!("    {{\n    let {payload} = 3;\n    }}\n"),
+                3 => "    let s = \"}}}{{{\";\n".to_string(),
+                4 => "    let s = r#\"}\n}{\"#;\n".to_string(),
+                _ => format!("    #[cfg(test)]\n    fn {payload}_t() {{ let q = 4; }}\n"),
+            };
+            src.push_str(&frag);
+        }
+        src.push_str("}\n");
+        let close_line = src.lines().count();
+        for i in 0..n_post {
+            src.push_str(&format!("fn post{i}() {{}}\n"));
+        }
+        let n_lines = src.lines().count();
+
+        let view = code_view(&src);
+        let mask = test_line_mask(&view);
+        prop_assert_eq!(mask.len(), n_lines + 2);
+        for (line, &masked) in mask.iter().enumerate().take(n_lines + 1).skip(1) {
+            let expected = line >= attr_line && line <= close_line;
+            prop_assert_eq!(
+                masked, expected,
+                "line {} (attr {}, close {}):\n{}",
+                line, attr_line, close_line, src
+            );
+        }
+    }
+
+    /// A file with no `#[cfg(test)]` has an all-false mask.
+    #[test]
+    fn mask_is_empty_without_cfg_test(
+        body in proptest::collection::vec((0u8..8, "[a-v]{1,6}", 0u8..4), 0..20)
+    ) {
+        let mut src = String::new();
+        for (kind, payload, extra) in &body {
+            src.push_str(&fragment(*kind, payload, *extra).0);
+            src.push('\n');
+        }
+        let view = code_view(&src);
+        let mask = test_line_mask(&view);
+        prop_assert!(mask.iter().all(|m| !m), "src:\n{}", src);
+    }
+}
