@@ -293,6 +293,7 @@ fn bench_agg(c: &mut Criterion) {
         base * 1e3,
         base / vec
     );
+    ocs_bench::record_gate("agg_q1_speedup", base / vec);
     let base_hc = time_best_of(|| run_baseline(&high), 3);
     let vec_hc = time_best_of(|| run_vectorized(&high), 3);
     println!(

@@ -175,6 +175,8 @@ fn bench_cache(c: &mut Criterion) {
         warm.sim_total_s,
         overhead * 100.0
     );
+    ocs_bench::record_gate("cache_warm_speedup", speedup);
+    ocs_bench::record_gate("cache_cold_overhead", overhead);
 
     let mut g = c.benchmark_group("cache");
     g.bench_function("q1_cold", |b| {

@@ -132,6 +132,10 @@ fn bench_late_mat(c: &mut Criterion) {
         ROWS / GROUP_ROWS,
         late.decoded_bytes_avoided,
     );
+    ocs_bench::record_gate(
+        "late_mat_decoded_bytes_reduction",
+        eager.uncompressed_bytes as f64 / late.uncompressed_bytes as f64,
+    );
 
     let mut g = c.benchmark_group("late_mat");
     g.throughput(Throughput::Elements(ROWS as u64));

@@ -91,6 +91,11 @@ fn bench_pipeline(c: &mut Criterion) {
         human_bytes(r.moved_bytes),
         r.moved_bytes as f64 / p.peak_buffered_bytes as f64,
     );
+    ocs_bench::record_gate("pipeline_overlap_speedup", p.additive_s / p.overlapped_s);
+    ocs_bench::record_gate(
+        "pipeline_backpressure_buffer_reduction",
+        r.moved_bytes as f64 / p.peak_buffered_bytes as f64,
+    );
 
     let mut g = c.benchmark_group("pipeline");
     g.bench_function("q1_stream_filter_only", |b| {

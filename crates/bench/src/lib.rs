@@ -284,6 +284,43 @@ pub fn render_sweep(title: &str, rows: &[Measurement], baseline_label: &str) -> 
     out
 }
 
+/// Record one acceptance-gate ratio into `BENCH_RESULTS.json` at the
+/// workspace root. Merge-on-write: each gate bench rewrites only its own
+/// entry, so running a single bench never clobbers the others' numbers.
+/// Best-effort — an unwritable tree must never fail a gate that passed.
+pub fn record_gate(name: &str, ratio: f64) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_RESULTS.json");
+    let mut gates: std::collections::BTreeMap<String, f64> = std::collections::BTreeMap::new();
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(json) = obs::chrome::parse_json(&text) {
+            if let Some(obs::chrome::Json::Obj(fields)) = json.get("gates") {
+                for (k, v) in fields {
+                    if let Some(n) = v.as_num() {
+                        gates.insert(k.clone(), n);
+                    }
+                }
+            }
+        }
+    }
+    gates.insert(name.to_string(), ratio);
+    let mut out = String::from(
+        "{\n  \"note\": \"acceptance-gate ratios recorded by the criterion gate \
+         benches (cargo bench -- --test regenerates)\",\n  \"gates\": {\n",
+    );
+    let mut first = true;
+    for (k, v) in &gates {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("    \"{k}\": {v:.6}"));
+    }
+    out.push_str("\n  }\n}\n");
+    if std::fs::write(&path, out).is_err() {
+        eprintln!("record_gate: could not write {}", path.display());
+    }
+}
+
 /// Write a report under `results/` (best-effort) and echo it to stdout.
 pub fn emit_report(name: &str, content: &str) {
     println!("{content}");

@@ -316,6 +316,7 @@ mod tests {
             result_cache_hits: 0,
             cache_bytes_avoided: if pushed { 512 } else { 0 },
             trace: Arc::new(t.finish()),
+            profile: Arc::new(obs::Profile::default()),
         }
     }
 

@@ -68,6 +68,10 @@ pub struct ExecutionOutcome {
     /// Split-phase scheduling report (overlap vs. additive, streaming
     /// observability).
     pub pipeline: PipelineSummary,
+    /// Per-resource utilization timelines over the split phase, on the
+    /// query's simulated clock — the input to bottleneck attribution and
+    /// the Chrome counter tracks.
+    pub profile: obs::Profile,
 }
 
 /// Per-split partial result.
@@ -462,6 +466,28 @@ pub fn execute_plan(
     let frames_total: u64 = outputs.iter().map(|o| o.metrics.frames.len() as u64).sum();
     let peak_buffered: u64 = outputs.iter().map(|o| o.metrics.peak_buffered_bytes).sum();
 
+    // Resource-utilization profile: fold the scheduler's per-stage busy
+    // intervals into named resources on the query clock (the split phase
+    // starts at `cursor`). The two storage-CPU stages (decompress, scan)
+    // share the same physical cores, so they merge into one timeline.
+    let stage_resources: [(&str, usize); 6] = [
+        ("storage-disk", 1),
+        ("storage-cores", cluster.storage.cores),
+        ("storage-cores", cluster.storage.cores),
+        ("frontend-cores", cluster.frontend.cores),
+        ("link", 1),
+        ("compute-cores", cluster.compute.cores),
+    ];
+    let mut profile = obs::Profile::new(cursor, cursor + report.makespan);
+    for (stage, (resource, lanes)) in stage_resources.iter().enumerate() {
+        let intervals: Vec<(f64, f64)> = report
+            .stage_intervals
+            .get(stage)
+            .map(|iv| iv.iter().map(|&(s, e)| (cursor + s, cursor + e)).collect())
+            .unwrap_or_default();
+        profile.add_resource(resource, *lanes, intervals);
+    }
+
     // The split-phase span covers the overlapped makespan. Its children:
     // the six apportioned stage shares laid back-to-back (their sum is the
     // makespan by construction, so the phase breakdown stays exact), plus
@@ -476,6 +502,13 @@ pub fn execute_plan(
         split_phase.attr("bytes", moved_bytes);
         split_phase.attr("time_to_first_batch_s", time_to_first_batch_s);
         split_phase.attr("peak_buffered_bytes", peak_buffered);
+        if let Some(b) = profile.bottleneck() {
+            split_phase.attr("bottleneck", b.resource.as_str());
+            split_phase.attr(
+                "bottleneck_util_pct",
+                (b.utilization * 100.0).round() as u64,
+            );
+        }
         let split_phase_id = split_phase.close(cursor + report.makespan);
         Ledger::layout_spans(tracer, split_phase_id, cursor, &apportioned);
 
@@ -497,6 +530,13 @@ pub fn execute_plan(
             span.attr("rows", o.metrics.stats.rows_returned);
             span.attr("bytes", o.metrics.network_bytes);
             span.attr("frames", o.metrics.frames.len() as u64);
+            if let Some(b) = profile.bottleneck_in(cursor, end) {
+                span.attr("bottleneck", b.resource.as_str());
+                span.attr(
+                    "bottleneck_util_pct",
+                    (b.utilization * 100.0).round() as u64,
+                );
+            }
             let id = span.close(end);
             tracer.graft(&o.metrics.stats.spans, id, cursor, end);
         }
@@ -730,5 +770,6 @@ pub fn execute_plan(
         result_cache_hits,
         cache_bytes_avoided,
         pipeline: pipeline_summary,
+        profile,
     })
 }

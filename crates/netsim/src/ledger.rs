@@ -158,10 +158,14 @@ impl Ledger {
     }
 
     /// Render a Table-3-style breakdown (label, seconds, share%).
+    ///
+    /// Seconds and shares derive from one snapshot taken under a single
+    /// lock acquisition, so concurrent `add`s can never make the shares
+    /// sum to anything but 100% (a second `total()` read could drift).
     pub fn breakdown(&self) -> Vec<(String, f64, f64)> {
-        let total = self.total();
-        self.snapshot()
-            .into_iter()
+        let snap = self.snapshot();
+        let total: f64 = snap.iter().map(|(_, v)| v).sum();
+        snap.into_iter()
             .map(|(p, v)| {
                 (
                     p.label().to_string(),
@@ -245,6 +249,33 @@ mod tests {
         let sum: f64 = trace.children(root).iter().map(|s| s.seconds()).sum();
         assert!((sum - 3.0).abs() < 1e-12);
         assert_eq!(trace.find(Phase::ComputeCpu.label()).unwrap().start_s, 1.5);
+    }
+
+    #[test]
+    fn breakdown_shares_consistent_under_concurrent_adds() {
+        // Regression: `breakdown` used to read `total()` and `snapshot()`
+        // under two separate lock acquisitions; an `add` landing between
+        // them skewed every share. Shares must now always sum to 100
+        // (within float tolerance) no matter how adds interleave.
+        let l = std::sync::Arc::new(Ledger::new());
+        l.add(Phase::PlanAnalysis, 1.0);
+        std::thread::scope(|s| {
+            let writer = l.clone();
+            s.spawn(move || {
+                for _ in 0..2000 {
+                    writer.add(Phase::StorageCpu, 0.01);
+                    writer.add(Phase::NetworkTransfer, 0.02);
+                }
+            });
+            for _ in 0..500 {
+                let b = l.breakdown();
+                let shares: f64 = b.iter().map(|(_, _, s)| s).sum();
+                assert!(
+                    (shares - 100.0).abs() < 1e-6,
+                    "shares drifted: {shares} over {b:?}"
+                );
+            }
+        });
     }
 
     #[test]

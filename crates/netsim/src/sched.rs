@@ -53,6 +53,12 @@ pub struct PipelineReport {
     /// of a query is its first frame, so `item_done.first()` approximates
     /// time-to-first-batch).
     pub item_done: Vec<f64>,
+    /// Busy intervals `(start, end)` per stage, in schedule order —
+    /// every non-zero service window some lane of the stage spent
+    /// occupied. Summing a stage's interval lengths reproduces
+    /// `stage_busy[s]` exactly; overlapping them against the stage's lane
+    /// count yields its utilization timeline (see `obs::profile`).
+    pub stage_intervals: Vec<Vec<(f64, f64)>>,
 }
 
 impl PipelineReport {
@@ -115,11 +121,13 @@ pub fn pipeline_grouped(
 ) -> PipelineReport {
     let nstages = lanes.len();
     let mut stage_busy = vec![0.0f64; nstages];
+    let mut stage_intervals: Vec<Vec<(f64, f64)>> = vec![Vec::new(); nstages];
     if items.is_empty() || nstages == 0 {
         return PipelineReport {
             makespan: 0.0,
             stage_busy,
             item_done: vec![0.0; items.len()],
+            stage_intervals,
         };
     }
     let group_of = |i: usize| groups.get(i).copied().unwrap_or(0);
@@ -191,6 +199,9 @@ pub fn pipeline_grouped(
                 }
                 let start = runnable.max(lane_free[li]);
                 let done = start + d;
+                if d > 0.0 {
+                    stage_intervals[s].push((start, done));
+                }
                 lane_free[li] = done;
                 ready[i] = done;
                 group_free[g] = done;
@@ -210,6 +221,9 @@ pub fn pipeline_grouped(
                 }
                 let start = ready[i].max(lane_free[li]);
                 let done = start + d;
+                if d > 0.0 {
+                    stage_intervals[s].push((start, done));
+                }
                 lane_free[li] = done;
                 ready[i] = done;
             }
@@ -220,6 +234,7 @@ pub fn pipeline_grouped(
         makespan,
         stage_busy,
         item_done: ready,
+        stage_intervals,
     }
 }
 
@@ -442,6 +457,64 @@ mod tests {
                 .sum();
             assert!(grouped.makespan >= chain - 1e-9);
         }
+    }
+
+    #[test]
+    fn stage_intervals_sum_to_busy_and_respect_lanes() {
+        let items: Vec<Vec<f64>> = (0..23)
+            .map(|i| {
+                (0..4)
+                    .map(|s| (((i * 7 + s * 13) % 11) as f64) * 0.17)
+                    .collect()
+            })
+            .collect();
+        let lanes = [1usize, 3, 2, 1];
+        let groups: Vec<usize> = (0..23).map(|i| i % 5).collect();
+        let r = pipeline_grouped(&items, &lanes, &groups, &[false, false, true, false]);
+        for (s, ivs) in r.stage_intervals.iter().enumerate() {
+            // Interval lengths reproduce stage busy time exactly.
+            let len: f64 = ivs.iter().map(|(a, b)| b - a).sum();
+            assert!((len - r.stage_busy[s]).abs() < 1e-9, "stage {s}");
+            // Zero-duration service never recorded; all windows inside
+            // the makespan.
+            for &(a, b) in ivs {
+                assert!(b > a, "stage {s}: empty interval");
+                assert!(b <= r.makespan + 1e-9, "stage {s}: past makespan");
+            }
+            // Concurrency never exceeds the stage's lane count: sweep the
+            // interval endpoints and count overlaps.
+            let mut events: Vec<(f64, i64)> = Vec::new();
+            for &(a, b) in ivs {
+                events.push((a, 1));
+                events.push((b, -1));
+            }
+            events.sort_by(|x, y| {
+                x.0.partial_cmp(&y.0)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(x.1.cmp(&y.1))
+            });
+            let mut depth = 0i64;
+            for (_, d) in events {
+                depth += d;
+                assert!(depth <= lanes[s] as i64, "stage {s}: over lane count");
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_pipeline_intervals_are_exact() {
+        // 3 items × [1, 1], one lane per stage (see
+        // pipeline_two_stage_textbook_overlap for the timeline).
+        let items = vec![vec![1.0, 1.0]; 3];
+        let r = pipeline(&items, &[1, 1]);
+        assert_eq!(
+            r.stage_intervals[0],
+            vec![(0.0, 1.0), (1.0, 2.0), (2.0, 3.0)]
+        );
+        assert_eq!(
+            r.stage_intervals[1],
+            vec![(1.0, 2.0), (2.0, 3.0), (3.0, 4.0)]
+        );
     }
 
     #[test]

@@ -13,10 +13,11 @@
 //! event has `name`/`ph`/`ts`/`pid`/`tid`, `"X"` events carry
 //! non-negative `dur`, and any `"B"`/`"E"` pairs balance per `tid`.
 
+use crate::profile::Profile;
 use crate::span::Trace;
 use std::collections::BTreeMap;
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -39,6 +40,17 @@ fn json_escape(s: &str) -> String {
 /// appearance so the root/phase track stays on `tid` 1. Span attributes
 /// and wall-clock seconds are carried in `args`.
 pub fn export(trace: &Trace) -> String {
+    export_with_profile(trace, None)
+}
+
+/// [`export`] plus per-resource utilization counter tracks.
+///
+/// Each [`Profile`] timeline becomes a Chrome counter (`"C"`) track named
+/// `util:<resource>` sampling the number of busy lanes at every point the
+/// concurrency changes — rendered by Perfetto as a step graph alongside
+/// the span tracks, which is exactly the "what saturated while this span
+/// ran" view bottleneck attribution numbers come from.
+pub fn export_with_profile(trace: &Trace, profile: Option<&Profile>) -> String {
     let mut tids: BTreeMap<&str, u64> = BTreeMap::new();
     let mut next_tid = 1u64;
     let mut events: Vec<String> = Vec::with_capacity(trace.spans.len() + 4);
@@ -79,6 +91,20 @@ pub fn export(trace: &Trace) -> String {
             json_escape(&span.name),
             json_escape(&span.cat),
         ));
+    }
+    // Utilization counter tracks: one "C" series per resource, sampled at
+    // each concurrency change point (counters are keyed by name, so they
+    // share tid 0 without colliding).
+    if let Some(profile) = profile {
+        for timeline in &profile.timelines {
+            for (t, busy) in timeline.steps() {
+                let ts_us = (t * 1e6).max(0.0);
+                events.push(format!(
+                    "{{\"name\":\"util:{}\",\"ph\":\"C\",\"ts\":{ts_us:.3},\"pid\":1,\"tid\":0,\"args\":{{\"busy\":{busy}}}}}",
+                    json_escape(&timeline.resource),
+                ));
+            }
+        }
     }
     // Name the thread rows after their categories so Perfetto labels them.
     for (cat, tid) in &tids {
@@ -348,7 +374,9 @@ pub fn parse_json(text: &str) -> Result<Json, String> {
 /// * every event has a string `name` and `ph`, numeric `pid`/`tid`,
 ///   and (except metadata `"M"` events) a numeric `ts`,
 /// * complete `"X"` events carry a finite, non-negative `dur`,
-/// * `"B"`/`"E"` begin/end events balance per `(pid, tid)` stack.
+/// * `"B"`/`"E"` begin/end events balance per `(pid, tid)` stack,
+/// * counter `"C"` events carry an `args` object with at least one
+///   finite numeric series value.
 ///
 /// Returns a short summary (event counts) on success.
 pub fn validate(text: &str) -> Result<String, String> {
@@ -359,6 +387,7 @@ pub fn validate(text: &str) -> Result<String, String> {
         .ok_or_else(|| "missing traceEvents array".to_string())?;
     let mut complete = 0usize;
     let mut metadata = 0usize;
+    let mut counters = 0usize;
     let mut open: BTreeMap<(u64, u64), usize> = BTreeMap::new();
     for (i, ev) in events.iter().enumerate() {
         let name = ev
@@ -410,6 +439,24 @@ pub fn validate(text: &str) -> Result<String, String> {
                 }
                 *depth -= 1;
             }
+            "C" => {
+                let args = ev
+                    .get("args")
+                    .ok_or_else(|| format!("event {i} ('{name}'): C without args"))?;
+                let series = match args {
+                    Json::Obj(fields) => fields,
+                    _ => return Err(format!("event {i} ('{name}'): C args not an object")),
+                };
+                let numeric = series
+                    .iter()
+                    .any(|(_, v)| v.as_num().is_some_and(|n| n.is_finite()));
+                if !numeric {
+                    return Err(format!(
+                        "event {i} ('{name}'): C without a finite numeric series value"
+                    ));
+                }
+                counters += 1;
+            }
             "M" => metadata += 1,
             other => {
                 return Err(format!("event {i} ('{name}'): unsupported ph '{other}'"));
@@ -425,7 +472,7 @@ pub fn validate(text: &str) -> Result<String, String> {
         return Err("trace has no duration events".to_string());
     }
     Ok(format!(
-        "{complete} duration event(s), {metadata} metadata event(s)"
+        "{complete} duration event(s), {counters} counter sample(s), {metadata} metadata event(s)"
     ))
 }
 
@@ -500,6 +547,82 @@ mod tests {
             "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":1},{\"name\":\"a\",\"ph\":\"E\",\"ts\":5,\"pid\":1,\"tid\":1}]}"
         )
         .is_ok());
+    }
+
+    #[test]
+    fn counter_tracks_export_and_validate() {
+        let mut profile = crate::profile::Profile::new(0.0, 2.0);
+        profile.add_resource("storage-cores", 2, vec![(0.0, 1.0), (0.5, 1.5)]);
+        profile.add_resource("link", 1, vec![(0.2, 1.8)]);
+        let json = export_with_profile(&sample_trace(), Some(&profile));
+        let summary = validate(&json).expect("counter-bearing trace is valid");
+        // storage-cores steps: 0.0, 0.5, 1.0, 1.5; link steps: 0.2, 1.8.
+        assert!(summary.contains("6 counter sample(s)"), "{summary}");
+        let doc = parse_json(&json).expect("parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("arr");
+        let samples: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("C"))
+            .collect();
+        assert_eq!(samples.len(), 6);
+        // The overlap window [0.5, 1.0] shows 2 busy storage lanes.
+        let two_deep = samples
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(|v| v.as_str()) == Some("util:storage-cores")
+                    && e.get("ts").and_then(|v| v.as_num()) == Some(500_000.0)
+            })
+            .expect("step at 0.5 s");
+        assert_eq!(
+            two_deep
+                .get("args")
+                .and_then(|a| a.get("busy"))
+                .and_then(|v| v.as_num()),
+            Some(2.0)
+        );
+        // Counter series end back at zero.
+        let last_link = samples
+            .iter()
+            .rfind(|e| e.get("name").and_then(|v| v.as_str()) == Some("util:link"))
+            .expect("link samples");
+        assert_eq!(
+            last_link
+                .get("args")
+                .and_then(|a| a.get("busy"))
+                .and_then(|v| v.as_num()),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn validator_checks_counter_events() {
+        // A lone counter event has no duration events — still an error.
+        assert!(validate(
+            "{\"traceEvents\":[{\"name\":\"c\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"busy\":1}}]}"
+        )
+        .is_err());
+        let with_span = |counter: &str| {
+            format!(
+                "{{\"traceEvents\":[{{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":1,\"pid\":1,\"tid\":1}},{counter}]}}"
+            )
+        };
+        assert!(validate(&with_span(
+            "{\"name\":\"c\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"busy\":1}}"
+        ))
+        .is_ok());
+        // Missing args.
+        assert!(validate(&with_span(
+            "{\"name\":\"c\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0}"
+        ))
+        .is_err());
+        // args without a numeric series.
+        assert!(validate(&with_span(
+            "{\"name\":\"c\",\"ph\":\"C\",\"ts\":0,\"pid\":1,\"tid\":0,\"args\":{\"busy\":\"x\"}}"
+        ))
+        .is_err());
     }
 
     #[test]

@@ -19,6 +19,8 @@ const INLINE_ATTRS: &[&str] = &[
     "ops",
     "workers",
     "selectivity",
+    "bottleneck",
+    "bottleneck_util_pct",
     "local_s",
     "cache_hit",
     "rg_cache_hits",

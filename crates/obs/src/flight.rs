@@ -1,0 +1,612 @@
+//! The always-on flight recorder: a fixed-size, dependency-free ring of
+//! typed structured events.
+//!
+//! Spans answer "where did the time go" for one traced query; the flight
+//! recorder answers "what was the *system* doing around then" — cache
+//! admissions and hits, routing decisions, frame-window backpressure
+//! stalls, version purges, lock-audit observations — continuously, for
+//! every query, traced or not. It is sized in events, not bytes, and old
+//! events are overwritten oldest-first, so the cost is a fixed allocation
+//! at first use plus a handful of atomic stores per event.
+//!
+//! Concurrency model: a per-slot seqlock over plain atomics (no locks, no
+//! `unsafe`). The writer claims a sequence number from a global cursor,
+//! flips the target slot's version to odd, stores the fields, and
+//! publishes by storing the even successor version. Readers snapshot the
+//! version, read the fields, and re-check; a torn or overwritten slot is
+//! simply skipped. Two writers colliding on one slot (a wraparound more
+//! than `capacity` events deep during one write) drop the later event
+//! rather than interleave stores — a flight recorder prefers a hole to a
+//! lie.
+//!
+//! The process-global recorder ([`flight`]) reads its capacity from
+//! `OBS_FLIGHT_CAPACITY` (events, default 4096) once at first use, and
+//! installs itself as the `sync` lock auditor's edge observer so newly
+//! established lock-order edges appear in the stream as
+//! [`FlightKind::LockReport`] events.
+
+use std::sync::atomic::{fence, AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Ring capacity (events) when `OBS_FLIGHT_CAPACITY` is unset.
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// The event taxonomy. Every event carries three `u64` payload words
+/// (`a`, `b`, `c`) whose meaning is per-kind (documented on each
+/// variant); unknown codes read back from the ring are skipped, never
+/// panicked on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FlightKind {
+    /// Cache admitted an entry. `a` = tier (0 row-group, 1 result),
+    /// `b` = charged bytes, `c` = node id (0 when recorded below the
+    /// node layer).
+    CacheAdmit,
+    /// Cache evicted entries under budget pressure. `a` = tier,
+    /// `b` = evictions so far (monotonic), `c` = node id.
+    CacheEvict,
+    /// Row-group cache hit(s) served a scan. `a` = hits in this request,
+    /// `b` = bytes avoided, `c` = node id.
+    CacheHit,
+    /// Pushdown-result cache replayed a whole response. `a` = 1,
+    /// `b` = bytes avoided, `c` = node id.
+    ResultCacheHit,
+    /// Router sent a request to its natural (affinity) owner.
+    /// `a` = node id, `b` = node load after, `c` = key hash.
+    RouteNatural,
+    /// Router spilled a request off its overloaded natural owner.
+    /// `a` = natural node, `b` = chosen node, `c` = key hash.
+    RouteSpill,
+    /// A stream's frame window was full when the consumer asked for the
+    /// next batch. `a` = window size, `b` = frames buffered,
+    /// `c` = frames already relayed.
+    BackpressureStall,
+    /// A write superseded cached object versions and purged them.
+    /// `a` = new version, `b` = row-group entries purged, `c` = result
+    /// entries purged.
+    VersionPurge,
+    /// The dynamic lock auditor recorded a new order-graph edge.
+    /// `a` = FNV-1a hash of the held class, `b` = hash of the acquired
+    /// class, `c` = 0.
+    LockReport,
+    /// A query exceeded the engine's slow-query threshold.
+    /// `a` = simulated microseconds, `b` = threshold microseconds,
+    /// `c` = flight cursor at query start.
+    SlowQuery,
+}
+
+impl FlightKind {
+    /// Stable wire/ring code.
+    pub fn code(self) -> u64 {
+        match self {
+            FlightKind::CacheAdmit => 1,
+            FlightKind::CacheEvict => 2,
+            FlightKind::CacheHit => 3,
+            FlightKind::ResultCacheHit => 4,
+            FlightKind::RouteNatural => 5,
+            FlightKind::RouteSpill => 6,
+            FlightKind::BackpressureStall => 7,
+            FlightKind::VersionPurge => 8,
+            FlightKind::LockReport => 9,
+            FlightKind::SlowQuery => 10,
+        }
+    }
+
+    /// Decode a ring code (`None` for unknown codes — skipped by readers).
+    pub fn from_code(code: u64) -> Option<FlightKind> {
+        Some(match code {
+            1 => FlightKind::CacheAdmit,
+            2 => FlightKind::CacheEvict,
+            3 => FlightKind::CacheHit,
+            4 => FlightKind::ResultCacheHit,
+            5 => FlightKind::RouteNatural,
+            6 => FlightKind::RouteSpill,
+            7 => FlightKind::BackpressureStall,
+            8 => FlightKind::VersionPurge,
+            9 => FlightKind::LockReport,
+            10 => FlightKind::SlowQuery,
+            _ => return None,
+        })
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FlightKind::CacheAdmit => "cache.admit",
+            FlightKind::CacheEvict => "cache.evict",
+            FlightKind::CacheHit => "cache.hit",
+            FlightKind::ResultCacheHit => "cache.result_hit",
+            FlightKind::RouteNatural => "route.natural",
+            FlightKind::RouteSpill => "route.spill",
+            FlightKind::BackpressureStall => "backpressure.stall",
+            FlightKind::VersionPurge => "version.purge",
+            FlightKind::LockReport => "lock.edge",
+            FlightKind::SlowQuery => "slow_query",
+        }
+    }
+}
+
+/// One decoded flight event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Global sequence number (monotonic across the process).
+    pub seq: u64,
+    /// Wall seconds since the recorder was created.
+    pub t_s: f64,
+    /// Event kind.
+    pub kind: FlightKind,
+    /// First payload word (per-kind meaning; see [`FlightKind`]).
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}
+
+impl FlightEvent {
+    /// One-line human rendering (`EXPLAIN ANALYZE` and incident reports).
+    pub fn describe(&self) -> String {
+        match self.kind {
+            FlightKind::CacheAdmit => format!(
+                "cache.admit tier={} bytes={} node={}",
+                tier_label(self.a),
+                self.b,
+                self.c
+            ),
+            FlightKind::CacheEvict => format!(
+                "cache.evict tier={} evictions={} node={}",
+                tier_label(self.a),
+                self.b,
+                self.c
+            ),
+            FlightKind::CacheHit => format!(
+                "cache.hit hits={} bytes_avoided={} node={}",
+                self.a, self.b, self.c
+            ),
+            FlightKind::ResultCacheHit => {
+                format!("cache.result_hit bytes_avoided={} node={}", self.b, self.c)
+            }
+            FlightKind::RouteNatural => {
+                format!("route.natural node={} load={}", self.a, self.b)
+            }
+            FlightKind::RouteSpill => {
+                format!("route.spill natural={} chosen={}", self.a, self.b)
+            }
+            FlightKind::BackpressureStall => format!(
+                "backpressure.stall window={} buffered={} relayed={}",
+                self.a, self.b, self.c
+            ),
+            FlightKind::VersionPurge => format!(
+                "version.purge version={} rg_purged={} result_purged={}",
+                self.a, self.b, self.c
+            ),
+            FlightKind::LockReport => {
+                format!("lock.edge held={:016x} acquired={:016x}", self.a, self.b)
+            }
+            FlightKind::SlowQuery => {
+                format!("slow_query sim_us={} threshold_us={}", self.a, self.b)
+            }
+        }
+    }
+}
+
+fn tier_label(tier: u64) -> &'static str {
+    match tier {
+        0 => "row_group",
+        1 => "result",
+        _ => "unknown",
+    }
+}
+
+/// One seqlock-protected ring slot: `ver` odd while a writer owns it,
+/// fields valid only when two even `ver` reads bracket them.
+#[derive(Debug)]
+struct Slot {
+    ver: AtomicU64,
+    seq: AtomicU64,
+    t_bits: AtomicU64,
+    kind: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    c: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Slot {
+        Slot {
+            ver: AtomicU64::new(0),
+            seq: AtomicU64::new(u64::MAX),
+            t_bits: AtomicU64::new(0),
+            kind: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            c: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A fixed-capacity, lock-free-ish ring of [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    /// Next sequence number to claim; `head - capacity .. head` is the
+    /// live window.
+    head: AtomicU64,
+    epoch: Instant,
+    enabled: AtomicBool,
+}
+
+impl FlightRecorder {
+    /// A recorder holding the most recent `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+            epoch: Instant::now(),
+            enabled: AtomicBool::new(!cfg!(feature = "tracing-off")),
+        }
+    }
+
+    /// Ring capacity in events.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        // RELAXED: isolated on/off flag; nothing is published through it.
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn recording on or off (the overhead bench compares the two;
+    /// `tracing-off` builds force it off).
+    pub fn set_enabled(&self, on: bool) {
+        // RELAXED: isolated on/off flag — a writer observing the toggle
+        // one event late is harmless.
+        self.enabled
+            .store(on && !cfg!(feature = "tracing-off"), Ordering::Relaxed);
+    }
+
+    /// The next sequence number to be assigned. Capture before a query
+    /// and pass to [`FlightRecorder::since`] after it to slice the
+    /// query's events.
+    pub fn cursor(&self) -> u64 {
+        // RELAXED: a monotonic cursor read; per-slot versions validate
+        // any slot actually read.
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Record one event; returns its sequence number. Disabled recorders
+    /// return the current cursor without claiming a slot.
+    pub fn record(&self, kind: FlightKind, a: u64, b: u64, c: u64) -> u64 {
+        if !self.is_enabled() {
+            return self.cursor();
+        }
+        let t_bits = self.epoch.elapsed().as_secs_f64().to_bits();
+        // RELAXED: pure sequence allocation — the slot contents are
+        // published by the per-slot version protocol, not this counter.
+        let seq = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        // RELAXED: optimistic pre-read for the claim CAS below; a stale
+        // value just fails the claim and drops the event.
+        let v = slot.ver.load(Ordering::Relaxed);
+        if v & 1 == 1 {
+            // Another writer owns this slot (wraparound deeper than the
+            // ring during its write): drop rather than tear.
+            return seq;
+        }
+        // RELAXED: failure means another writer claimed first — we drop
+        // the event, nothing was read through the failed CAS. Success is
+        // Acquire so the field stores below cannot hoist above the claim.
+        if slot
+            .ver
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return seq;
+        }
+        // RELAXED: all field stores are bracketed by the odd-version
+        // claim (Acquire) above and the even-version Release publish
+        // below; readers re-check the version and discard torn slots.
+        slot.seq.store(seq, Ordering::Relaxed);
+        // RELAXED: see the bracketing argument above.
+        slot.t_bits.store(t_bits, Ordering::Relaxed);
+        // RELAXED: see the bracketing argument above.
+        slot.kind.store(kind.code(), Ordering::Relaxed);
+        // RELAXED: see the bracketing argument above.
+        slot.a.store(a, Ordering::Relaxed);
+        // RELAXED: see the bracketing argument above.
+        slot.b.store(b, Ordering::Relaxed);
+        // RELAXED: see the bracketing argument above.
+        slot.c.store(c, Ordering::Relaxed);
+        slot.ver.store(v + 2, Ordering::Release);
+        seq
+    }
+
+    /// Read the slot that should hold `seq`; `None` when torn, still
+    /// being written, or already overwritten by a newer event.
+    fn read_slot(&self, seq: u64) -> Option<FlightEvent> {
+        let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
+        let v1 = slot.ver.load(Ordering::Acquire);
+        if v1 & 1 == 1 {
+            return None;
+        }
+        // RELAXED: seqlock read side — these field loads are validated by
+        // the version re-check after the acquire fence below; a torn view
+        // is detected and discarded.
+        let got_seq = slot.seq.load(Ordering::Relaxed);
+        // RELAXED: see the seqlock validation argument above.
+        let t_bits = slot.t_bits.load(Ordering::Relaxed);
+        // RELAXED: see the seqlock validation argument above.
+        let kind = slot.kind.load(Ordering::Relaxed);
+        // RELAXED: see the seqlock validation argument above.
+        let a = slot.a.load(Ordering::Relaxed);
+        // RELAXED: see the seqlock validation argument above.
+        let b = slot.b.load(Ordering::Relaxed);
+        // RELAXED: see the seqlock validation argument above.
+        let c = slot.c.load(Ordering::Relaxed);
+        fence(Ordering::Acquire);
+        // RELAXED: the acquire fence orders the field loads above before
+        // this validation read; inequality means a writer interleaved.
+        let v2 = slot.ver.load(Ordering::Relaxed);
+        if v1 != v2 || got_seq != seq {
+            return None;
+        }
+        Some(FlightEvent {
+            seq,
+            t_s: f64::from_bits(t_bits),
+            kind: FlightKind::from_code(kind)?,
+            a,
+            b,
+            c,
+        })
+    }
+
+    /// Events with sequence numbers `>= seq` still live in the ring,
+    /// oldest first. Torn or overwritten slots are skipped.
+    pub fn since(&self, seq: u64) -> Vec<FlightEvent> {
+        let head = self.cursor();
+        let start = seq.max(head.saturating_sub(self.slots.len() as u64));
+        (start..head).filter_map(|s| self.read_slot(s)).collect()
+    }
+
+    /// Everything still live in the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.since(0)
+    }
+}
+
+/// FNV-1a 64 of a string (local copy: `obs` stays dependency-free).
+fn fnv1a64_str(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in s.as_bytes() {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// `sync` auditor edge observer: new lock-order edges become
+/// [`FlightKind::LockReport`] events.
+fn lock_edge_observer(held: &str, acquired: &str) {
+    flight().record(
+        FlightKind::LockReport,
+        fnv1a64_str(held),
+        fnv1a64_str(acquired),
+        0,
+    );
+}
+
+/// The process-global flight recorder. Capacity comes from
+/// `OBS_FLIGHT_CAPACITY` (events), read once at first use; the first call
+/// also registers the lock-audit edge observer.
+pub fn flight() -> &'static FlightRecorder {
+    static GLOBAL: OnceLock<FlightRecorder> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let capacity = std::env::var("OBS_FLIGHT_CAPACITY")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|c| *c > 0)
+            .unwrap_or(DEFAULT_CAPACITY);
+        sync::set_audit_edge_hook(lock_edge_observer);
+        FlightRecorder::with_capacity(capacity)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn kinds_roundtrip_codes() {
+        for kind in [
+            FlightKind::CacheAdmit,
+            FlightKind::CacheEvict,
+            FlightKind::CacheHit,
+            FlightKind::ResultCacheHit,
+            FlightKind::RouteNatural,
+            FlightKind::RouteSpill,
+            FlightKind::BackpressureStall,
+            FlightKind::VersionPurge,
+            FlightKind::LockReport,
+            FlightKind::SlowQuery,
+        ] {
+            assert_eq!(FlightKind::from_code(kind.code()), Some(kind));
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(FlightKind::from_code(0), None);
+        assert_eq!(FlightKind::from_code(999), None);
+    }
+
+    #[test]
+    fn records_and_reads_back_in_order() {
+        let r = FlightRecorder::with_capacity(16);
+        for i in 0..5u64 {
+            r.record(FlightKind::CacheHit, i, i * 10, i * 100);
+        }
+        let events = r.snapshot();
+        assert_eq!(events.len(), 5);
+        for (i, e) in events.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+            assert_eq!(e.kind, FlightKind::CacheHit);
+            assert_eq!(e.a, i as u64);
+            assert_eq!(e.b, i as u64 * 10);
+            assert_eq!(e.c, i as u64 * 100);
+        }
+        // Timestamps are monotone non-decreasing.
+        for w in events.windows(2) {
+            assert!(w[1].t_s >= w[0].t_s);
+        }
+    }
+
+    #[test]
+    fn wraparound_overwrites_oldest_first() {
+        let r = FlightRecorder::with_capacity(8);
+        for i in 0..20u64 {
+            r.record(FlightKind::RouteNatural, i, 0, 0);
+        }
+        let events = r.snapshot();
+        // Exactly the last `capacity` events survive, oldest first.
+        assert_eq!(events.len(), 8);
+        assert_eq!(
+            events.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            (12..20).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            events.iter().map(|e| e.a).collect::<Vec<_>>(),
+            (12..20).collect::<Vec<_>>()
+        );
+        assert_eq!(r.cursor(), 20);
+    }
+
+    #[test]
+    fn capacity_is_exact() {
+        let r = FlightRecorder::with_capacity(3);
+        assert_eq!(r.capacity(), 3);
+        for i in 0..3u64 {
+            r.record(FlightKind::VersionPurge, i, 0, 0);
+        }
+        assert_eq!(r.snapshot().len(), 3, "exactly capacity events fit");
+        r.record(FlightKind::VersionPurge, 3, 0, 0);
+        let events = r.snapshot();
+        assert_eq!(events.len(), 3, "one past capacity still holds capacity");
+        assert_eq!(events[0].a, 1, "event 0 overwritten first");
+        // Degenerate capacity clamps to 1.
+        let tiny = FlightRecorder::with_capacity(0);
+        assert_eq!(tiny.capacity(), 1);
+        tiny.record(FlightKind::SlowQuery, 1, 2, 3);
+        assert_eq!(tiny.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn since_slices_by_cursor() {
+        let r = FlightRecorder::with_capacity(64);
+        r.record(FlightKind::CacheAdmit, 0, 0, 0);
+        let cur = r.cursor();
+        r.record(FlightKind::CacheAdmit, 1, 0, 0);
+        r.record(FlightKind::CacheAdmit, 2, 0, 0);
+        let slice = r.since(cur);
+        assert_eq!(slice.len(), 2);
+        assert_eq!(slice[0].a, 1);
+        assert_eq!(slice[1].a, 2);
+        assert!(r.since(r.cursor()).is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_drops_everything() {
+        let r = FlightRecorder::with_capacity(8);
+        r.set_enabled(false);
+        assert!(!r.is_enabled());
+        r.record(FlightKind::CacheHit, 1, 2, 3);
+        assert_eq!(r.cursor(), 0);
+        assert!(r.snapshot().is_empty());
+        r.set_enabled(true);
+        r.record(FlightKind::CacheHit, 1, 2, 3);
+        assert_eq!(
+            r.snapshot().len(),
+            if cfg!(feature = "tracing-off") { 0 } else { 1 }
+        );
+    }
+
+    /// No tearing under concurrent writers: every event that reads back
+    /// must satisfy the writer's per-event checksum invariant — a mixed
+    /// slot (fields from two different writes) cannot.
+    #[test]
+    fn concurrent_writers_never_tear() {
+        let r = Arc::new(FlightRecorder::with_capacity(32));
+        let threads = 8usize;
+        let per_thread = 4000u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let r = r.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        let a = t as u64;
+                        let b = i;
+                        // Checksum ties all three payload words together.
+                        let c = a.wrapping_mul(0x9e37_79b9).wrapping_add(b);
+                        r.record(FlightKind::BackpressureStall, a, b, c);
+                        if i % 64 == 0 {
+                            // Concurrent readers must also never observe
+                            // a torn slot.
+                            for e in r.snapshot() {
+                                assert_eq!(
+                                    e.c,
+                                    e.a.wrapping_mul(0x9e37_79b9).wrapping_add(e.b),
+                                    "torn slot observed mid-flight"
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let total = threads as u64 * per_thread;
+        assert_eq!(r.cursor(), total, "every record claimed a sequence");
+        let events = r.snapshot();
+        assert!(!events.is_empty());
+        assert!(events.len() <= r.capacity());
+        for e in events {
+            assert_eq!(
+                e.c,
+                e.a.wrapping_mul(0x9e37_79b9).wrapping_add(e.b),
+                "torn slot survived to the end"
+            );
+            assert!(e.seq < total);
+            assert!((e.a as usize) < threads);
+            assert!(e.b < per_thread);
+        }
+    }
+
+    #[test]
+    fn describe_renders_each_kind() {
+        let mk = |kind| FlightEvent {
+            seq: 0,
+            t_s: 0.0,
+            kind,
+            a: 1,
+            b: 2,
+            c: 3,
+        };
+        assert!(mk(FlightKind::CacheAdmit).describe().contains("result"));
+        assert!(mk(FlightKind::RouteSpill).describe().contains("chosen=2"));
+        assert!(mk(FlightKind::BackpressureStall)
+            .describe()
+            .contains("window=1"));
+        assert!(mk(FlightKind::SlowQuery).describe().contains("sim_us=1"));
+    }
+
+    #[test]
+    fn global_recorder_is_always_on() {
+        let f = flight();
+        assert!(f.capacity() >= 1);
+        if cfg!(feature = "tracing-off") {
+            return;
+        }
+        let cur = f.cursor();
+        f.record(FlightKind::CacheAdmit, 0, 1, 2);
+        assert!(f.cursor() > cur);
+    }
+}

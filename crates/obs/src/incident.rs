@@ -1,0 +1,383 @@
+//! Slow-query incident reports: one JSON document tying together the
+//! span tree, the flight-recorder slice and the utilization profile of a
+//! query that blew past the engine's latency threshold.
+//!
+//! The report is the flight recorder's payoff: when a query is slow *in
+//! production* (or in a seeded CI run), the incident captures not just
+//! where the query's own time went (spans) but what the system around it
+//! was doing (flight events) and which resource was saturated (profile +
+//! bottleneck) — the three questions a human asks first, pre-joined.
+//!
+//! Schema (all hand-rolled JSON, no serde in the workspace):
+//!
+//! ```json
+//! {
+//!   "incident": "slow_query",
+//!   "sql": "...",
+//!   "simulated_seconds": 1.25,
+//!   "threshold_s": 0.5,
+//!   "bottleneck": {"resource": "link", "utilization_pct": 82.0} | null,
+//!   "spans":   [{"id", "parent", "name", "cat", "start_s", "end_s"}...],
+//!   "flight":  [{"seq", "t_s", "kind", "a", "b", "c", "desc"}...],
+//!   "profile": [{"resource", "lanes", "intervals": [[s, e]...]}...]
+//! }
+//! ```
+//!
+//! [`check`] re-parses and structurally validates a report (the gate
+//! behind `xtask report --check`); [`summarize`] renders the
+//! human-readable view behind plain `xtask report`.
+
+use crate::chrome::{json_escape, parse_json, Json};
+use crate::flight::FlightEvent;
+use crate::profile::Profile;
+use crate::span::Trace;
+
+/// Query-level facts the engine supplies alongside the captured data.
+#[derive(Debug, Clone)]
+pub struct IncidentMeta {
+    /// The query text (or a placeholder for unnamed plans).
+    pub sql: String,
+    /// Total simulated seconds the query took.
+    pub simulated_seconds: f64,
+    /// The threshold it exceeded.
+    pub threshold_s: f64,
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Render an incident report as a JSON document.
+pub fn render(
+    meta: &IncidentMeta,
+    trace: &Trace,
+    profile: &Profile,
+    events: &[FlightEvent],
+) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\n\"incident\":\"slow_query\",\n");
+    out.push_str(&format!("\"sql\":\"{}\",\n", json_escape(&meta.sql)));
+    out.push_str(&format!(
+        "\"simulated_seconds\":{},\n",
+        fmt_f64(meta.simulated_seconds)
+    ));
+    out.push_str(&format!("\"threshold_s\":{},\n", fmt_f64(meta.threshold_s)));
+    match profile.bottleneck() {
+        Some(b) => out.push_str(&format!(
+            "\"bottleneck\":{{\"resource\":\"{}\",\"utilization_pct\":{}}},\n",
+            json_escape(&b.resource),
+            fmt_f64(b.utilization * 100.0)
+        )),
+        None => out.push_str("\"bottleneck\":null,\n"),
+    }
+    out.push_str("\"spans\":[");
+    for (i, s) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"id\":{},\"parent\":{},\"name\":\"{}\",\"cat\":\"{}\",\"start_s\":{},\"end_s\":{}}}",
+            s.id.0,
+            s.parent.map(|p| p.0).unwrap_or(0),
+            json_escape(&s.name),
+            json_escape(&s.cat),
+            fmt_f64(s.start_s),
+            fmt_f64(s.end_s),
+        ));
+    }
+    out.push_str("\n],\n\"flight\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"seq\":{},\"t_s\":{},\"kind\":\"{}\",\"a\":{},\"b\":{},\"c\":{},\"desc\":\"{}\"}}",
+            e.seq,
+            fmt_f64(e.t_s),
+            e.kind.label(),
+            e.a,
+            e.b,
+            e.c,
+            json_escape(&e.describe()),
+        ));
+    }
+    out.push_str("\n],\n\"profile\":[");
+    for (i, t) in profile.timelines.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let intervals: Vec<String> = t
+            .intervals
+            .iter()
+            .map(|&(s, e)| format!("[{},{}]", fmt_f64(s), fmt_f64(e)))
+            .collect();
+        out.push_str(&format!(
+            "\n{{\"resource\":\"{}\",\"lanes\":{},\"intervals\":[{}]}}",
+            json_escape(&t.resource),
+            t.lanes,
+            intervals.join(",")
+        ));
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+fn req_num(obj: &Json, key: &str, what: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(|v| v.as_num())
+        .ok_or_else(|| format!("{what}: missing numeric '{key}'"))
+}
+
+fn req_str<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("{what}: missing string '{key}'"))
+}
+
+/// Structurally validate an incident report. Returns a one-line summary
+/// (`N span(s), M flight event(s), K resource(s)`) on success.
+pub fn check(text: &str) -> Result<String, String> {
+    let doc = parse_json(text)?;
+    if req_str(&doc, "incident", "report")? != "slow_query" {
+        return Err("report: incident kind is not 'slow_query'".to_string());
+    }
+    req_str(&doc, "sql", "report")?;
+    let sim = req_num(&doc, "simulated_seconds", "report")?;
+    let threshold = req_num(&doc, "threshold_s", "report")?;
+    if !sim.is_finite() || sim < 0.0 {
+        return Err(format!("report: bad simulated_seconds {sim}"));
+    }
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err(format!("report: bad threshold_s {threshold}"));
+    }
+    match doc.get("bottleneck") {
+        Some(Json::Null) => {}
+        Some(b) => {
+            req_str(b, "resource", "bottleneck")?;
+            let pct = req_num(b, "utilization_pct", "bottleneck")?;
+            if !(0.0..=100.0).contains(&pct) {
+                return Err(format!("bottleneck: utilization_pct {pct} out of range"));
+            }
+        }
+        None => return Err("report: missing 'bottleneck'".to_string()),
+    }
+    let spans = doc
+        .get("spans")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| "report: missing spans array".to_string())?;
+    for (i, s) in spans.iter().enumerate() {
+        let what = format!("span {i}");
+        req_str(s, "name", &what)?;
+        req_str(s, "cat", &what)?;
+        let start = req_num(s, "start_s", &what)?;
+        let end = req_num(s, "end_s", &what)?;
+        if !start.is_finite() || !end.is_finite() || end < start {
+            return Err(format!("{what}: bad interval [{start}, {end}]"));
+        }
+        req_num(s, "id", &what)?;
+        req_num(s, "parent", &what)?;
+    }
+    let flight = doc
+        .get("flight")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| "report: missing flight array".to_string())?;
+    for (i, e) in flight.iter().enumerate() {
+        let what = format!("flight event {i}");
+        req_num(e, "seq", &what)?;
+        req_num(e, "t_s", &what)?;
+        req_str(e, "kind", &what)?;
+        req_str(e, "desc", &what)?;
+    }
+    let resources = doc
+        .get("profile")
+        .and_then(|v| v.as_arr())
+        .ok_or_else(|| "report: missing profile array".to_string())?;
+    for (i, r) in resources.iter().enumerate() {
+        let what = format!("resource {i}");
+        req_str(r, "resource", &what)?;
+        let lanes = req_num(r, "lanes", &what)?;
+        if lanes < 1.0 {
+            return Err(format!("{what}: lanes {lanes} < 1"));
+        }
+        let intervals = r
+            .get("intervals")
+            .and_then(|v| v.as_arr())
+            .ok_or_else(|| format!("{what}: missing intervals array"))?;
+        for (j, iv) in intervals.iter().enumerate() {
+            let pair = iv
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| format!("{what}: interval {j} is not a [start, end] pair"))?;
+            let (s, e) = match (pair[0].as_num(), pair[1].as_num()) {
+                (Some(s), Some(e)) => (s, e),
+                _ => return Err(format!("{what}: interval {j} is not numeric")),
+            };
+            if !s.is_finite() || !e.is_finite() || e < s {
+                return Err(format!("{what}: interval {j} is bad [{s}, {e}]"));
+            }
+        }
+    }
+    Ok(format!(
+        "{} span(s), {} flight event(s), {} resource(s)",
+        spans.len(),
+        flight.len(),
+        resources.len()
+    ))
+}
+
+/// Render the human-readable view of a (valid) report — the default
+/// output of `xtask report`.
+pub fn summarize(text: &str) -> Result<String, String> {
+    check(text)?;
+    let doc = parse_json(text)?;
+    let mut out = String::new();
+    let sql = req_str(&doc, "sql", "report")?;
+    let sim = req_num(&doc, "simulated_seconds", "report")?;
+    let threshold = req_num(&doc, "threshold_s", "report")?;
+    out.push_str(&format!("slow-query incident\n  sql: {sql}\n"));
+    out.push_str(&format!(
+        "  simulated: {sim:.6}s (threshold {threshold:.6}s, {:.1}x over)\n",
+        if threshold > 0.0 {
+            sim / threshold
+        } else {
+            f64::INFINITY
+        }
+    ));
+    match doc.get("bottleneck") {
+        Some(Json::Null) | None => out.push_str("  bottleneck: none recorded\n"),
+        Some(b) => out.push_str(&format!(
+            "  bottleneck: {} at {:.0}%\n",
+            req_str(b, "resource", "bottleneck")?,
+            req_num(b, "utilization_pct", "bottleneck")?
+        )),
+    }
+    if let Some(spans) = doc.get("spans").and_then(|v| v.as_arr()) {
+        // Top spans by duration (roots excluded: they are the total).
+        let mut durs: Vec<(&str, f64)> = spans
+            .iter()
+            .filter(|s| s.get("parent").and_then(|v| v.as_num()) != Some(0.0))
+            .filter_map(|s| {
+                let name = s.get("name").and_then(|v| v.as_str())?;
+                let d = s.get("end_s").and_then(|v| v.as_num())?
+                    - s.get("start_s").and_then(|v| v.as_num())?;
+                Some((name, d))
+            })
+            .collect();
+        durs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out.push_str(&format!("  spans: {}\n", spans.len()));
+        for (name, d) in durs.iter().take(5) {
+            out.push_str(&format!("    {d:>12.6}s  {name}\n"));
+        }
+    }
+    if let Some(flight) = doc.get("flight").and_then(|v| v.as_arr()) {
+        out.push_str(&format!("  flight events: {}\n", flight.len()));
+        for e in flight.iter().rev().take(8).collect::<Vec<_>>().iter().rev() {
+            if let Some(desc) = e.get("desc").and_then(|v| v.as_str()) {
+                out.push_str(&format!("    {desc}\n"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::{FlightEvent, FlightKind};
+    use crate::span::Tracer;
+
+    fn sample() -> String {
+        let t = Tracer::new();
+        let root = t.record("query", "phase", None, 0.0, 2.0);
+        t.record("split_phase", "phase", Some(root), 0.5, 1.8);
+        let mut p = Profile::new(0.5, 1.8);
+        p.add_resource("link", 1, vec![(0.5, 1.6)]);
+        p.add_resource("storage-cores", 16, vec![(0.5, 1.0); 4]);
+        let events = vec![
+            FlightEvent {
+                seq: 7,
+                t_s: 0.001,
+                kind: FlightKind::RouteSpill,
+                a: 0,
+                b: 2,
+                c: 42,
+            },
+            FlightEvent {
+                seq: 8,
+                t_s: 0.002,
+                kind: FlightKind::BackpressureStall,
+                a: 4,
+                b: 4,
+                c: 9,
+            },
+        ];
+        render(
+            &IncidentMeta {
+                sql: "SELECT \"x\" FROM t".into(),
+                simulated_seconds: 2.0,
+                threshold_s: 0.5,
+            },
+            &t.finish(),
+            &p,
+            &events,
+        )
+    }
+
+    #[test]
+    fn report_roundtrips_through_check() {
+        let json = sample();
+        let summary = check(&json).expect("valid report");
+        assert_eq!(summary, "2 span(s), 2 flight event(s), 2 resource(s)");
+        let human = summarize(&json).expect("summarizes");
+        assert!(human.contains("slow-query incident"));
+        assert!(human.contains("bottleneck: link"), "{human}");
+        assert!(human.contains("route.spill"), "{human}");
+        assert!(human.contains("4.0x over"), "{human}");
+    }
+
+    #[test]
+    fn check_rejects_malformed_reports() {
+        assert!(check("not json").is_err());
+        assert!(check("{}").is_err());
+        // Wrong kind.
+        assert!(check(
+            "{\"incident\":\"fast\",\"sql\":\"s\",\"simulated_seconds\":1,\"threshold_s\":1,\
+             \"bottleneck\":null,\"spans\":[],\"flight\":[],\"profile\":[]}"
+        )
+        .is_err());
+        // Bad interval in a span.
+        assert!(check(
+            "{\"incident\":\"slow_query\",\"sql\":\"s\",\"simulated_seconds\":1,\"threshold_s\":1,\
+             \"bottleneck\":null,\"spans\":[{\"id\":1,\"parent\":0,\"name\":\"a\",\"cat\":\"c\",\
+             \"start_s\":2,\"end_s\":1}],\"flight\":[],\"profile\":[]}"
+        )
+        .is_err());
+        // Utilization out of range.
+        assert!(check(
+            "{\"incident\":\"slow_query\",\"sql\":\"s\",\"simulated_seconds\":1,\"threshold_s\":1,\
+             \"bottleneck\":{\"resource\":\"link\",\"utilization_pct\":140},\
+             \"spans\":[],\"flight\":[],\"profile\":[]}"
+        )
+        .is_err());
+        // Minimal valid report.
+        assert!(check(
+            "{\"incident\":\"slow_query\",\"sql\":\"s\",\"simulated_seconds\":1,\"threshold_s\":1,\
+             \"bottleneck\":null,\"spans\":[],\"flight\":[],\"profile\":[]}"
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn escaped_sql_survives() {
+        let json = sample();
+        let doc = parse_json(&json).expect("parses");
+        assert_eq!(
+            doc.get("sql").and_then(|v| v.as_str()),
+            Some("SELECT \"x\" FROM t")
+        );
+    }
+}

@@ -18,6 +18,14 @@
 //!   `chrome://tracing` / Perfetto) and a schema validator used by CI.
 //! * [`explain`] — the `EXPLAIN ANALYZE` text renderer: the annotated
 //!   span tree with per-operator rows/bytes/seconds.
+//! * [`Profile`] — per-resource utilization timelines rebuilt from the
+//!   pipeline scheduler's busy intervals, with bottleneck attribution
+//!   ([`Profile::bottleneck`]) and Chrome counter-track export
+//!   ([`chrome::export_with_profile`]).
+//! * [`flight()`] — an always-on, fixed-size, lock-free flight recorder
+//!   of cache/routing/backpressure decisions ([`FlightRecorder`]).
+//! * [`incident`] — slow-query incident reports: SQL + span tree +
+//!   profile + flight slice as one JSON document (`xtask report`).
 //!
 //! The crate is dependency-free and the tracer is free when disabled: a
 //! [`Tracer::disabled`] handle (or building with the `tracing-off`
@@ -27,10 +35,15 @@
 
 pub mod chrome;
 pub mod explain;
+pub mod flight;
+pub mod incident;
 pub mod metrics;
+pub mod profile;
 pub mod span;
 
+pub use flight::{flight, FlightEvent, FlightKind, FlightRecorder};
 pub use metrics::{metrics, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use profile::{Bottleneck, Profile, ResourceTimeline};
 pub use span::{
     decode_spans, encode_spans, AttrValue, KernelTimer, Span, SpanGuard, SpanId, SpanRec, Trace,
     Tracer,

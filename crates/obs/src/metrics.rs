@@ -154,6 +154,54 @@ impl Histogram {
             .map(|b| b.load(Ordering::Relaxed))
             .collect()
     }
+
+    /// Estimated `q`-quantile (`0.0..=1.0`) by linear interpolation inside
+    /// the bucket holding the rank (see [`quantile_from_buckets`]).
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.0.bounds, &self.bucket_counts(), q)
+    }
+}
+
+/// Estimate the `q`-quantile (`0.0..=1.0`) of a log-bucket histogram by
+/// linear interpolation inside the bucket holding the rank.
+///
+/// `buckets` has one count per bound plus a trailing +inf bucket. The
+/// rank's bucket spans `(previous bound, its bound]` (the first bucket's
+/// lower edge is 0); the estimate interpolates linearly through that
+/// span by the rank's position among the bucket's observations. A rank
+/// landing in the +inf bucket is clamped to the last finite bound (the
+/// histogram cannot see past it). Returns `None` for an empty histogram
+/// or when there are no finite bounds to interpolate against.
+pub fn quantile_from_buckets(bounds: &[f64], buckets: &[u64], q: f64) -> Option<f64> {
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    // Nearest-rank target: the smallest k with cum(k) >= ceil(q * total),
+    // at least 1 so q=0 reads the first observation's bucket.
+    let target = ((q * total as f64).ceil() as u64).max(1);
+    let mut cum = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let before = cum;
+        cum += c;
+        if cum < target {
+            continue;
+        }
+        if i >= bounds.len() {
+            // +inf bucket: clamp to the largest finite edge.
+            return bounds.last().copied();
+        }
+        let lo = if i == 0 { 0.0 } else { bounds[i - 1] };
+        let hi = bounds[i];
+        let frac = (target - before) as f64 / c as f64;
+        return Some(lo + frac * (hi - lo));
+    }
+    bounds.last().copied()
 }
 
 enum Instrument {
@@ -244,6 +292,7 @@ impl Registry {
                         count: h.count(),
                         sum: h.sum(),
                         buckets: h.bucket_counts(),
+                        bounds: h.0.bounds.clone(),
                     },
                 };
                 (name.clone(), v)
@@ -268,6 +317,8 @@ pub enum MetricValue {
         sum: f64,
         /// Per-bucket counts (last is +inf).
         buckets: Vec<u64>,
+        /// Upper-inclusive bucket bounds (one per bucket except +inf).
+        bounds: Vec<f64>,
     },
 }
 
@@ -308,6 +359,17 @@ impl Snapshot {
         }
     }
 
+    /// Estimated `q`-quantile of histogram `name` by bucket interpolation
+    /// ([`quantile_from_buckets`]); `None` when absent or empty.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        match self.values.get(name) {
+            Some(MetricValue::Histogram {
+                buckets, bounds, ..
+            }) => quantile_from_buckets(bounds, buckets, q),
+            _ => None,
+        }
+    }
+
     /// What changed since `earlier`: counters and histogram counts/sums
     /// become deltas, gauges keep their latest level. Unchanged
     /// instruments are dropped.
@@ -342,6 +404,7 @@ impl Snapshot {
                         count,
                         sum,
                         buckets,
+                        bounds,
                     },
                     before,
                 ) => {
@@ -350,6 +413,7 @@ impl Snapshot {
                             count,
                             sum,
                             buckets,
+                            ..
                         }) => (*count, *sum, buckets.clone()),
                         _ => (0, 0.0, vec![0; buckets.len()]),
                     };
@@ -364,6 +428,7 @@ impl Snapshot {
                                 .zip(bb.iter().chain(std::iter::repeat(&0)))
                                 .map(|(n, b)| n.saturating_sub(*b))
                                 .collect(),
+                            bounds: bounds.clone(),
                         })
                     }
                 }
@@ -447,6 +512,62 @@ mod tests {
         assert_eq!(d.get("g"), None, "unchanged gauge dropped");
         assert_eq!(d.histogram("h"), (1, 2.0));
         assert!(d.render().contains("a 3"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat", &[1.0, 2.0, 4.0]);
+        // 10 observations in (1, 2]: ranks spread linearly through the
+        // bucket, so p50 reads halfway up the (1, 2] span.
+        for _ in 0..10 {
+            h.observe(1.5);
+        }
+        assert!((h.quantile(0.5).unwrap() - 1.5).abs() < 1e-9);
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-9);
+        // p0 still reads inside the occupied bucket, above its lower edge.
+        assert!(h.quantile(0.0).unwrap() > 1.0);
+        // Snapshot path agrees with the live instrument.
+        let snap = r.snapshot();
+        assert_eq!(snap.histogram_quantile("lat", 0.5), h.quantile(0.5));
+        assert_eq!(snap.histogram_quantile("missing", 0.5), None);
+    }
+
+    #[test]
+    fn quantile_exact_boundary_observations() {
+        // Observations exactly on an upper-inclusive bound land in that
+        // bound's bucket; p100 must come back as the bound itself.
+        let r = Registry::new();
+        let h = r.histogram("b", &[1.0, 2.0, 4.0]);
+        for _ in 0..4 {
+            h.observe(2.0);
+        }
+        assert!((h.quantile(1.0).unwrap() - 2.0).abs() < 1e-9);
+        // All mass in one bucket: every quantile interpolates in (1, 2].
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99] {
+            let v = h.quantile(q).unwrap();
+            assert!(v > 1.0 && v <= 2.0, "q={q} -> {v}");
+        }
+    }
+
+    #[test]
+    fn quantile_single_bucket_and_overflow() {
+        // Single-bound histogram: one finite bucket (0, 10] + the +inf
+        // overflow.
+        let r = Registry::new();
+        let h = r.histogram("s", &[10.0]);
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantile");
+        h.observe(5.0);
+        h.observe(5.0);
+        assert!((h.quantile(0.5).unwrap() - 5.0).abs() < 1e-9);
+        assert!((h.quantile(1.0).unwrap() - 10.0).abs() < 1e-9);
+        // Overflow observations clamp to the last finite bound.
+        for _ in 0..100 {
+            h.observe(1e9);
+        }
+        assert!((h.quantile(0.99).unwrap() - 10.0).abs() < 1e-9);
+        // No finite bounds at all: nothing to interpolate against.
+        assert_eq!(quantile_from_buckets(&[], &[7], 0.5), None);
     }
 
     #[test]

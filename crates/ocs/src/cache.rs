@@ -102,10 +102,22 @@ impl NodeCaches {
         }
         *slot = version;
         drop(seen);
+        let rg_before = self.row_group.len();
+        let result_before = self.result.len();
         self.row_group
             .retain(|(b, k, v, _, _)| !(b == bucket && k == key && *v != version));
         self.result
             .retain(|(b, k, v, _)| !(b == bucket && k == key && *v != version));
+        let rg_purged = rg_before.saturating_sub(self.row_group.len()) as u64;
+        let result_purged = result_before.saturating_sub(self.result.len()) as u64;
+        if rg_purged + result_purged > 0 {
+            obs::flight().record(
+                obs::FlightKind::VersionPurge,
+                version,
+                rg_purged,
+                result_purged,
+            );
+        }
     }
 
     /// Combined counter snapshot (row-group tier, result tier).

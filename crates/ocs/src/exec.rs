@@ -304,9 +304,14 @@ fn fetch_chunk(
     let disk_bytes = reader.chunk_compressed_bytes(rg, col).map_err(exec_err)?;
     let array = Arc::new(reader.read_chunk(rg, col).map_err(exec_err)?);
     let decoded_bytes = array.byte_size() as u64;
-    caches
+    if caches
         .row_group
-        .insert(key, array.clone(), decoded_bytes.max(1));
+        .insert(key, array.clone(), decoded_bytes.max(1))
+    {
+        // Node id is unknown at this layer; the admit is attributed in
+        // the per-request events the node records.
+        obs::flight().record(obs::FlightKind::CacheAdmit, 0, decoded_bytes.max(1), 0);
+    }
     Ok(ChunkFetch {
         array,
         disk_bytes,

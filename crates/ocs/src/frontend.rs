@@ -80,7 +80,8 @@ impl OcsFrontend {
         if let Some(&idx) = state.owner.get(key) {
             return idx;
         }
-        let natural = (cache::fnv1a64(key.as_bytes()) % n as u64) as usize;
+        let hash = cache::fnv1a64(key.as_bytes());
+        let natural = (hash % n as u64) as usize;
         let total: usize = state.load.iter().sum();
         let threshold = 2 * (total / n + 1);
         let idx = if state.load[natural] >= threshold {
@@ -96,6 +97,24 @@ impl OcsFrontend {
         };
         state.owner.insert(key.to_string(), idx);
         state.load[idx] += 1;
+        // Flight-record the assignment (first routing of each key only;
+        // the memoized path above is silent). The recorder takes no locks,
+        // so recording under the router mutex cannot invert lock order.
+        if idx == natural {
+            obs::flight().record(
+                obs::FlightKind::RouteNatural,
+                idx as u64,
+                state.load[idx] as u64,
+                hash,
+            );
+        } else {
+            obs::flight().record(
+                obs::FlightKind::RouteSpill,
+                natural as u64,
+                idx as u64,
+                hash,
+            );
+        }
         idx
     }
 

@@ -128,6 +128,7 @@ impl StorageNode {
             key: key.to_string(),
             version,
         };
+        let (rg_before, result_before) = self.caches.stats();
         let reader = ParqReader::open(bytes).map_err(|e| crate::OcsError::Exec(e.to_string()))?;
         let codec = reader.codec();
         let (batches, exec) = Executor::new(&reader, &self.cost)
@@ -136,7 +137,7 @@ impl StorageNode {
 
         if self.caches.result.is_enabled() {
             let charge: u64 = batches.iter().map(|b| b.byte_size() as u64).sum();
-            self.caches.result.insert(
+            let admitted = self.caches.result.insert(
                 result_key,
                 Arc::new(CachedResult {
                     batches: batches.clone(),
@@ -148,6 +149,43 @@ impl StorageNode {
                         + exec.cache_bytes_avoided,
                 }),
                 charge.max(1),
+            );
+            if admitted {
+                obs::flight().record(
+                    obs::FlightKind::CacheAdmit,
+                    1,
+                    charge.max(1),
+                    self.id as u64,
+                );
+            }
+        }
+
+        // Flight-record what the caches did during this request: hits
+        // served, and evictions the inserts forced (the per-tier counters
+        // are monotonic, so a delta means this request evicted).
+        if exec.rg_cache_hits > 0 {
+            obs::flight().record(
+                obs::FlightKind::CacheHit,
+                exec.rg_cache_hits,
+                exec.cache_bytes_avoided,
+                self.id as u64,
+            );
+        }
+        let (rg_after, result_after) = self.caches.stats();
+        if rg_after.evictions > rg_before.evictions {
+            obs::flight().record(
+                obs::FlightKind::CacheEvict,
+                0,
+                rg_after.evictions,
+                self.id as u64,
+            );
+        }
+        if result_after.evictions > result_before.evictions {
+            obs::flight().record(
+                obs::FlightKind::CacheEvict,
+                1,
+                result_after.evictions,
+                self.id as u64,
             );
         }
 
@@ -214,6 +252,12 @@ impl StorageNode {
         m.counter("ocs.cache.result_hits").inc();
         m.counter("ocs.cache.bytes_avoided")
             .add(cached.bytes_avoided);
+        obs::flight().record(
+            obs::FlightKind::ResultCacheHit,
+            1,
+            cached.bytes_avoided,
+            self.id as u64,
+        );
 
         let tracer = obs::Tracer::new();
         let spans = if tracer.is_enabled() {

@@ -125,6 +125,17 @@ impl BatchStream {
                 None => break,
             }
         }
+        // Leaving the refill with a full window means the producer ran out
+        // of slots, not frames: the consumer is pacing the stream. Record
+        // the stall so slow-query incidents can show where drains lagged.
+        if self.inflight.len() >= self.window && !self.done {
+            obs::flight().record(
+                obs::FlightKind::BackpressureStall,
+                self.window as u64,
+                self.inflight.len() as u64,
+                self.frames,
+            );
+        }
     }
 
     /// Schema of the stream (available after the first pull).

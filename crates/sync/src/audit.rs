@@ -197,12 +197,12 @@ fn add_edge(held: &Held, acquired: &MetaInner, mode: AcquireMode) {
             lock_path(),
         );
     }
-    with_graph(|g| {
+    let inserted = with_graph(|g| {
         if g.successors
             .get(held.class.as_str())
             .is_some_and(|s| s.contains(acquired.class.as_str()))
         {
-            return; // edge already known, and known to be acyclic
+            return false; // edge already known, and known to be acyclic
         }
         if let Some(rev) = g.find_path(&acquired.class, &held.class) {
             // Reconstruct the earlier acquisition that established the
@@ -243,7 +243,13 @@ fn add_edge(held: &Held, acquired: &MetaInner, mode: AcquireMode) {
                 path: format!("{} ; acquiring {}", lock_path(), acquired.class),
             },
         );
+        true
     });
+    // Fire the observer outside the graph mutex: it may do its own
+    // (lock-free) bookkeeping and must never nest under our lock.
+    if inserted {
+        crate::notify_audit_edge(&held.class, &acquired.class);
+    }
 }
 
 /// Audit one acquisition. Runs **before** the underlying lock can block;

@@ -48,6 +48,31 @@ pub const fn audit_enabled() -> bool {
     cfg!(any(debug_assertions, feature = "lock-audit"))
 }
 
+/// Observer invoked when the dynamic auditor records a **new** order-graph
+/// edge `held-class → acquired-class` (an observation, not a violation —
+/// violations panic). Installed once; later installs are ignored.
+///
+/// This is how higher layers (the `obs` flight recorder) see audit
+/// activity without `sync` growing a dependency on them. The hook runs on
+/// the acquiring thread with the audit graph lock *released*; it must not
+/// block and must not acquire audited locks.
+static AUDIT_EDGE_HOOK: std::sync::OnceLock<fn(&str, &str)> = std::sync::OnceLock::new();
+
+/// Install the order-graph edge observer. Returns `false` if one was
+/// already installed (the first install wins). In builds without the
+/// auditor compiled in, the hook is accepted but never fires.
+pub fn set_audit_edge_hook(hook: fn(&str, &str)) -> bool {
+    AUDIT_EDGE_HOOK.set(hook).is_ok()
+}
+
+/// Fire the edge observer, if installed.
+#[cfg(any(debug_assertions, feature = "lock-audit"))]
+pub(crate) fn notify_audit_edge(held: &str, acquired: &str) {
+    if let Some(hook) = AUDIT_EDGE_HOOK.get() {
+        hook(held, acquired);
+    }
+}
+
 /// A mutex audited for lock-order inversions and reentrant acquires.
 ///
 /// `lock()` never returns a poison error (a poisoned lock is recovered

@@ -1,0 +1,82 @@
+//! Slow-query auto-capture: run TPC-H Q1 under a deliberately tiny
+//! slow-query threshold so the engine trips its always-on incident path —
+//! the span tree, the flight-recorder slice around the query, and the
+//! per-resource utilization profile land in one JSON report under the
+//! incident directory, ready for `xtask report`.
+//!
+//! ```sh
+//! cargo run -p examples --example slow_query [incident-dir]
+//! cargo run -p xtask -- report <incident-dir>/incident-<seq>.json
+//! ```
+
+use std::sync::Arc;
+
+use dsq::EngineBuilder;
+use objstore::ObjectStore;
+use ocs_connector::{register_ocs_stack, PushdownPolicy};
+use workloads::{queries, TableLoader, TpchConfig};
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "incidents".to_string());
+
+    // A 1 µs threshold makes any real query "slow"; deployments set this
+    // to their latency SLO and leave it on — capture is cheap enough.
+    let engine = EngineBuilder::new()
+        .slow_query_threshold(1e-6)
+        .incident_dir(&dir)
+        .build();
+    let store = Arc::new(ObjectStore::new());
+
+    println!("generating lineitem…");
+    {
+        let loader = TableLoader::new(&store, engine.metastore());
+        workloads::tpch::load(
+            &loader,
+            &TpchConfig {
+                files: 4,
+                rows_per_file: 32 * 1024,
+                ..Default::default()
+            },
+        );
+    }
+    register_ocs_stack(&engine, store, PushdownPolicy::all());
+    engine
+        .metastore()
+        .rebind_connector("lineitem", "ocs")
+        .expect("lineitem registered");
+
+    let r = engine.execute(queries::TPCH_Q1).expect("q1");
+    println!(
+        "q1 simulated {:.6}s — over the 1 µs threshold, incident captured",
+        r.simulated_seconds
+    );
+    if let Some(b) = r.profile.bottleneck() {
+        println!("bottleneck: {b}");
+    }
+
+    // The report is also stashed on the engine; validate it end to end.
+    let report = engine.take_last_incident().expect("incident captured");
+    let summary = obs::incident::check(&report).expect("incident validates");
+    println!("incident: {summary}");
+
+    // And it was written to disk for `xtask report`.
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .expect("incident dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("incident-") && n.ends_with(".json"))
+        })
+        .collect();
+    files.sort();
+    let newest = files.last().expect("incident file written");
+    println!(
+        "wrote {} — render with: cargo run -p xtask -- report {}",
+        newest.display(),
+        newest.display()
+    );
+}

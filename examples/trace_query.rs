@@ -54,18 +54,24 @@ fn main() {
         StatementOutput::Rows(_) => unreachable!("EXPLAIN ANALYZE returns text"),
     }
 
-    // Run it again for the raw trace and export Chrome trace events.
+    // Run it again for the raw trace and export Chrome trace events,
+    // including the per-resource utilization counter tracks.
     let result = engine.execute(queries::TPCH_Q1).expect("q1 rows");
     result.trace.verify(1e-9).expect("span tree invariants");
-    let json = obs::chrome::export(&result.trace);
+    let json = obs::chrome::export_with_profile(&result.trace, Some(&result.profile));
     obs::chrome::validate(&json).expect("exported trace validates");
     std::fs::write(&out_path, &json).expect("write trace file");
     println!(
-        "wrote {} ({} spans, {} simulated seconds) — open in chrome://tracing",
+        "wrote {} ({} spans, {} resource timelines, {} simulated seconds) \
+         — open in chrome://tracing",
         out_path,
         result.trace.spans.len(),
+        result.profile.timelines.len(),
         result.trace.total_s()
     );
+    if let Some(b) = result.profile.bottleneck() {
+        println!("bottleneck: {b}");
+    }
 
     // Process-wide metrics collected along the way.
     println!("\nmetrics snapshot:");
